@@ -1,0 +1,55 @@
+// Experiment 5 (Fig. 16): overall I/O time per update operation as the flash
+// performance parameters vary: Tread in {10..1500}us with Twrite = 500us (a)
+// and 1000us (b); Terase = 1500us, N=1, %Changed=2.
+//
+// Expected shape: PDL(256B) wins across the whole sweep; OPU catches up with
+// PDL(2KB) and IPL as Tread grows (their extra reads get more expensive).
+
+#include <cstdio>
+#include <iostream>
+
+#include "harness/experiment.h"
+#include "harness/table_printer.h"
+
+using namespace flashdb;
+using harness::TablePrinter;
+
+namespace {
+
+int RunSeries(harness::ExperimentEnv env, uint32_t twrite) {
+  env.flash_cfg.timing.write_us = twrite;
+  TablePrinter tbl({"Tread_us", "IPL(18KB)", "IPL(64KB)", "PDL(2048B)",
+                    "PDL(256B)", "OPU", "IPU"});
+  for (uint32_t tread : {10u, 50u, 110u, 250u, 500u, 1000u, 1500u}) {
+    env.flash_cfg.timing.read_us = tread;
+    std::vector<std::string> row = {std::to_string(tread)};
+    for (const methods::MethodSpec& spec : methods::PaperMethodSet()) {
+      workload::WorkloadParams params;
+      params.pct_changed_by_one_op = 2.0;
+      params.updates_till_write = 1;
+      auto r = harness::RunWorkloadPoint(env, spec, params);
+      if (!r.ok()) {
+        std::cerr << spec.ToString() << ": " << r.status().ToString() << "\n";
+        return 1;
+      }
+      row.push_back(TablePrinter::Num(r->stats.overall_us_per_op()));
+    }
+    tbl.AddRow(std::move(row));
+  }
+  tbl.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  harness::Flags flags(argc, argv);
+  harness::ExperimentEnv env = harness::ExperimentEnv::FromFlags(flags);
+  std::printf(
+      "Experiment 5 (Fig. 16): overall us/op as flash parameters vary "
+      "(N=1, %%Changed=2, Terase=1500us)\n\n(a) Twrite = 500us\n");
+  if (RunSeries(env, 500) != 0) return 1;
+  std::printf("\n(b) Twrite = 1000us\n");
+  if (RunSeries(env, 1000) != 0) return 1;
+  return 0;
+}

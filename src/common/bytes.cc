@@ -1,0 +1,18 @@
+#include "common/bytes.h"
+
+namespace flashdb {
+
+std::string HexDump(ConstBytes bytes, size_t max_bytes) {
+  static const char kHex[] = "0123456789abcdef";
+  std::string out;
+  const size_t n = bytes.size() < max_bytes ? bytes.size() : max_bytes;
+  out.reserve(n * 2 + 4);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(kHex[bytes[i] >> 4]);
+    out.push_back(kHex[bytes[i] & 0xF]);
+  }
+  if (n < bytes.size()) out += "...";
+  return out;
+}
+
+}  // namespace flashdb

@@ -1,0 +1,38 @@
+// Byte-span aliases and small helpers shared across the code base.
+
+#ifndef FLASHDB_COMMON_BYTES_H_
+#define FLASHDB_COMMON_BYTES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace flashdb {
+
+/// Immutable view of raw bytes.
+using ConstBytes = std::span<const uint8_t>;
+/// Mutable view of raw bytes.
+using MutBytes = std::span<uint8_t>;
+/// Owned byte buffer.
+using ByteBuffer = std::vector<uint8_t>;
+
+/// Returns true when the two spans have equal length and contents.
+inline bool BytesEqual(ConstBytes a, ConstBytes b) {
+  return a.size() == b.size() &&
+         (a.empty() || std::memcmp(a.data(), b.data(), a.size()) == 0);
+}
+
+/// Copies `src` into `dst`; requires dst.size() >= src.size().
+inline void CopyBytes(MutBytes dst, ConstBytes src) {
+  if (!src.empty()) std::memcpy(dst.data(), src.data(), src.size());
+}
+
+/// Renders bytes as lowercase hex, capped at `max_bytes` (for diagnostics).
+std::string HexDump(ConstBytes bytes, size_t max_bytes = 64);
+
+}  // namespace flashdb
+
+#endif  // FLASHDB_COMMON_BYTES_H_

@@ -1,0 +1,28 @@
+#include "common/crc32.h"
+
+#include <array>
+
+namespace flashdb {
+
+namespace {
+constexpr uint32_t kPoly = 0x82F63B78;  // reversed CRC-32C polynomial
+
+std::array<uint32_t, 256> BuildTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1) ? (kPoly ^ (c >> 1)) : (c >> 1);
+    table[i] = c;
+  }
+  return table;
+}
+}  // namespace
+
+uint32_t Crc32c(ConstBytes data, uint32_t seed) {
+  static const std::array<uint32_t, 256> kTable = BuildTable();
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (uint8_t b : data) c = kTable[(c ^ b) & 0xFF] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace flashdb

@@ -1,0 +1,18 @@
+// CRC-32C (Castagnoli) used to validate spare-area metadata and on-flash
+// structures during recovery scans.
+
+#ifndef FLASHDB_COMMON_CRC32_H_
+#define FLASHDB_COMMON_CRC32_H_
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace flashdb {
+
+/// Computes CRC-32C over `data`, continuing from `seed` (0 to start).
+uint32_t Crc32c(ConstBytes data, uint32_t seed = 0);
+
+}  // namespace flashdb
+
+#endif  // FLASHDB_COMMON_CRC32_H_

@@ -1,0 +1,73 @@
+#include "common/random.h"
+
+#include <cmath>
+
+namespace flashdb {
+
+namespace {
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+void Random::Seed(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+}
+
+uint64_t Random::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Random::Uniform(uint64_t bound) {
+  // Rejection-free multiply-shift; bias is negligible for our use.
+  return static_cast<uint64_t>(
+      (static_cast<unsigned __int128>(Next()) * bound) >> 64);
+}
+
+uint64_t Random::Range(uint64_t lo, uint64_t hi) {
+  return lo + Uniform(hi - lo + 1);
+}
+
+bool Random::Bernoulli(double p) { return NextDouble() < p; }
+
+double Random::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+void Random::Fill(MutBytes out) {
+  size_t i = 0;
+  while (i + 8 <= out.size()) {
+    uint64_t v = Next();
+    std::memcpy(out.data() + i, &v, 8);
+    i += 8;
+  }
+  if (i < out.size()) {
+    uint64_t v = Next();
+    std::memcpy(out.data() + i, &v, out.size() - i);
+  }
+}
+
+uint64_t Random::Skewed(uint64_t n, double theta) {
+  // Approximate Zipf by exponentiating a uniform draw; adequate for creating
+  // hot/cold page access skew in workloads.
+  double u = NextDouble();
+  double x = std::pow(u, 1.0 / (1.0 - theta + 1e-9));
+  uint64_t idx = static_cast<uint64_t>(x * static_cast<double>(n));
+  return idx >= n ? n - 1 : idx;
+}
+
+}  // namespace flashdb

@@ -1,0 +1,49 @@
+// Deterministic pseudo-random generator (xoshiro256**) so experiments and
+// property tests are reproducible across runs and platforms.
+
+#ifndef FLASHDB_COMMON_RANDOM_H_
+#define FLASHDB_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace flashdb {
+
+/// Small, fast, seedable PRNG. Not for cryptography.
+class Random {
+ public:
+  explicit Random(uint64_t seed = 0x9E3779B97F4A7C15ULL) { Seed(seed); }
+
+  /// Re-seeds the generator via splitmix64 expansion of `seed`.
+  void Seed(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform in [0, bound). bound must be > 0.
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive.
+  uint64_t Range(uint64_t lo, uint64_t hi);
+
+  /// Returns true with probability p (0 <= p <= 1).
+  bool Bernoulli(double p);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Fills `out` with random bytes.
+  void Fill(MutBytes out);
+
+  /// Skewed (approximately Zipf-like) choice in [0, n) by repeated halving;
+  /// `theta` in (0,1]: larger is more skewed toward low indices.
+  uint64_t Skewed(uint64_t n, double theta);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace flashdb
+
+#endif  // FLASHDB_COMMON_RANDOM_H_

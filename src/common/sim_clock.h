@@ -1,0 +1,45 @@
+// Virtual time accounting. The flash emulator charges each operation its
+// datasheet latency to a SimClock; experiment drivers read deltas off the
+// clock instead of wall time, exactly as the paper's emulator did ("the
+// emulator returns the required time in the flash memory").
+
+#ifndef FLASHDB_COMMON_SIM_CLOCK_H_
+#define FLASHDB_COMMON_SIM_CLOCK_H_
+
+#include <cstdint>
+
+namespace flashdb {
+
+/// Monotonic virtual clock measured in microseconds.
+class SimClock {
+ public:
+  /// Current virtual time in microseconds.
+  uint64_t now_us() const { return now_us_; }
+
+  /// Advances the clock by `us` microseconds.
+  void Advance(uint64_t us) { now_us_ += us; }
+
+  /// Resets to time zero (used between experiment phases).
+  void Reset() { now_us_ = 0; }
+
+ private:
+  uint64_t now_us_ = 0;
+};
+
+/// Scoped measurement of virtual time spent inside a region.
+class SimTimer {
+ public:
+  explicit SimTimer(const SimClock& clock)
+      : clock_(clock), start_us_(clock.now_us()) {}
+
+  /// Virtual microseconds elapsed since construction.
+  uint64_t elapsed_us() const { return clock_.now_us() - start_us_; }
+
+ private:
+  const SimClock& clock_;
+  uint64_t start_us_;
+};
+
+}  // namespace flashdb
+
+#endif  // FLASHDB_COMMON_SIM_CLOCK_H_

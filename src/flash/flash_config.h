@@ -1,0 +1,69 @@
+// Geometry, timing and reliability parameters of the emulated NAND chip.
+// Defaults follow Table 1 of the paper (Samsung K9L8G08U0M 2 GB MLC NAND).
+
+#ifndef FLASHDB_FLASH_FLASH_CONFIG_H_
+#define FLASHDB_FLASH_FLASH_CONFIG_H_
+
+#include <cstdint>
+
+namespace flashdb::flash {
+
+/// Physical layout of the chip.
+struct FlashGeometry {
+  uint32_t num_blocks = 32768;      ///< Nblock
+  uint32_t pages_per_block = 64;    ///< Npage
+  uint32_t data_size = 2048;        ///< Sdata (bytes per page, data area)
+  uint32_t spare_size = 64;         ///< Sspare (bytes per page, spare area)
+
+  uint32_t total_pages() const { return num_blocks * pages_per_block; }
+  uint64_t data_capacity_bytes() const {
+    return static_cast<uint64_t>(total_pages()) * data_size;
+  }
+};
+
+/// Per-operation latencies in microseconds (Table 1).
+struct FlashTiming {
+  uint32_t read_us = 110;    ///< Tread: read one page
+  uint32_t write_us = 1010;  ///< Twrite: program one page (or partial program)
+  uint32_t erase_us = 1500;  ///< Terase: erase one block
+};
+
+/// Full device configuration.
+struct FlashConfig {
+  FlashGeometry geometry;
+  FlashTiming timing;
+
+  /// Maximum number of program operations on a page's spare area between
+  /// erases. The paper (footnote 9) states the spare area "can be repeatedly
+  /// performed up to four times without an erase operation".
+  uint32_t max_spare_programs = 4;
+
+  /// Maximum number of program operations on a page's data area between
+  /// erases. Page-based methods and PDL use exactly one; IPL's log pages rely
+  /// on partial programming of log slots (SLC-style sector programming).
+  uint32_t max_data_programs = 16;
+
+  /// When true, a program that attempts to flip any bit from 0 back to 1 is
+  /// rejected with Status::FlashConstraint (real NAND cannot do this without
+  /// an erase). Always leave on except in targeted tests.
+  bool strict_bit_semantics = true;
+
+  /// When true, the *first* program of a page must not precede an already
+  /// programmed page with a higher index in the same block (NAND sequential
+  /// page-programming rule).
+  bool enforce_sequential_program = true;
+
+  /// Paper-scale chip: 2 GB MLC, 32768 blocks (Table 1).
+  static FlashConfig Paper() { return FlashConfig{}; }
+
+  /// Scaled-down chip for unit tests and fast benches: 32 MB by default.
+  static FlashConfig Small(uint32_t num_blocks = 256) {
+    FlashConfig cfg;
+    cfg.geometry.num_blocks = num_blocks;
+    return cfg;
+  }
+};
+
+}  // namespace flashdb::flash
+
+#endif  // FLASHDB_FLASH_FLASH_CONFIG_H_

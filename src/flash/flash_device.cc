@@ -1,0 +1,219 @@
+#include "flash/flash_device.h"
+
+#include <string>
+
+namespace flashdb::flash {
+
+FlashDevice::FlashDevice(const FlashConfig& config) : config_(config) {
+  const auto& g = config_.geometry;
+  data_.assign(static_cast<size_t>(g.total_pages()) * g.data_size, 0xFF);
+  spare_.assign(static_cast<size_t>(g.total_pages()) * g.spare_size, 0xFF);
+  data_programs_.assign(g.total_pages(), 0);
+  spare_programs_.assign(g.total_pages(), 0);
+  block_frontier_.assign(g.num_blocks, -1);
+  stats_.block_erase_counts.assign(g.num_blocks, 0);
+}
+
+Status FlashDevice::CheckAddr(PhysAddr addr) const {
+  if (addr >= config_.geometry.total_pages()) {
+    return Status::InvalidArgument("physical address out of range: " +
+                                   std::to_string(addr));
+  }
+  return Status::OK();
+}
+
+void FlashDevice::Charge(OpKind kind) {
+  uint64_t us = 0;
+  OpCounters& total = stats_.total;
+  OpCounters& cat = stats_.by_category[static_cast<int>(category_)];
+  switch (kind) {
+    case OpKind::kRead:
+      us = config_.timing.read_us;
+      total.reads++;
+      total.read_us += us;
+      cat.reads++;
+      cat.read_us += us;
+      break;
+    case OpKind::kProgram:
+    case OpKind::kProgramSpare:
+      us = config_.timing.write_us;
+      total.writes++;
+      total.write_us += us;
+      cat.writes++;
+      cat.write_us += us;
+      break;
+    case OpKind::kErase:
+      us = config_.timing.erase_us;
+      total.erases++;
+      total.erase_us += us;
+      cat.erases++;
+      cat.erase_us += us;
+      break;
+  }
+  clock_.Advance(us);
+}
+
+Status FlashDevice::ReadPage(PhysAddr addr, MutBytes data, MutBytes spare) {
+  FLASHDB_RETURN_IF_ERROR(CheckAddr(addr));
+  const auto& g = config_.geometry;
+  if (!data.empty() && data.size() != g.data_size) {
+    return Status::InvalidArgument("data buffer must be exactly one page");
+  }
+  if (!spare.empty() && spare.size() != g.spare_size) {
+    return Status::InvalidArgument("spare buffer must be exactly spare_size");
+  }
+  Charge(OpKind::kRead);
+  if (!data.empty()) {
+    CopyBytes(data, ConstBytes(data_.data() + static_cast<size_t>(addr) * g.data_size,
+                               g.data_size));
+  }
+  if (!spare.empty()) {
+    CopyBytes(spare,
+              ConstBytes(spare_.data() + static_cast<size_t>(addr) * g.spare_size,
+                         g.spare_size));
+  }
+  return Status::OK();
+}
+
+Status FlashDevice::ProgramCells(uint8_t* dst, ConstBytes src, PhysAddr addr,
+                                 const char* area, bool strict) {
+  if (strict && config_.strict_bit_semantics) {
+    for (size_t i = 0; i < src.size(); ++i) {
+      // A program may only clear bits: every bit set in src must already be
+      // set in the cells, i.e. src & ~dst must have no bit that is 1 in src
+      // but 0 in dst.
+      if ((src[i] & ~dst[i]) != 0) {
+        return Status::FlashConstraint(
+            std::string("program attempts 0->1 transition in ") + area +
+            " area of page " + std::to_string(addr));
+      }
+    }
+  }
+  for (size_t i = 0; i < src.size(); ++i) dst[i] &= src[i];
+  return Status::OK();
+}
+
+Status FlashDevice::ProgramImpl(PhysAddr addr, ConstBytes data,
+                                ConstBytes spare, bool strict) {
+  FLASHDB_RETURN_IF_ERROR(CheckAddr(addr));
+  const auto& g = config_.geometry;
+  if (data.empty() && spare.empty()) {
+    return Status::InvalidArgument("nothing to program");
+  }
+  if (!data.empty() && data.size() != g.data_size) {
+    return Status::InvalidArgument("data image must be exactly one page");
+  }
+  if (!spare.empty() && spare.size() != g.spare_size) {
+    return Status::InvalidArgument("spare image must be exactly spare_size");
+  }
+  if (!data.empty() &&
+      data_programs_[addr] >= config_.max_data_programs) {
+    return Status::FlashConstraint("data partial-program budget exhausted at " +
+                                   std::to_string(addr));
+  }
+  if (!spare.empty() &&
+      spare_programs_[addr] >= config_.max_spare_programs) {
+    return Status::FlashConstraint(
+        "spare partial-program budget exhausted at " + std::to_string(addr));
+  }
+  const uint32_t block = BlockOf(addr);
+  const int32_t page = static_cast<int32_t>(PageInBlock(addr));
+  const bool first_program = (data_programs_[addr] == 0 && spare_programs_[addr] == 0);
+  if (config_.enforce_sequential_program && first_program &&
+      page < block_frontier_[block]) {
+    return Status::FlashConstraint(
+        "non-sequential first program: page " + std::to_string(page) +
+        " behind frontier " + std::to_string(block_frontier_[block]) +
+        " in block " + std::to_string(block));
+  }
+
+  if (fault_injector_ != nullptr) {
+    fault_injector_->BeforeMutation(
+        data.empty() ? OpKind::kProgramSpare : OpKind::kProgram, addr);
+  }
+
+  if (!data.empty()) {
+    FLASHDB_RETURN_IF_ERROR(ProgramCells(
+        data_.data() + static_cast<size_t>(addr) * g.data_size, data, addr,
+        "data", strict));
+    data_programs_[addr]++;
+  }
+  if (!spare.empty()) {
+    FLASHDB_RETURN_IF_ERROR(ProgramCells(
+        spare_.data() + static_cast<size_t>(addr) * g.spare_size, spare, addr,
+        "spare", strict));
+    spare_programs_[addr]++;
+  }
+  if (first_program && page > block_frontier_[block]) {
+    block_frontier_[block] = page;
+  }
+  Charge(data.empty() ? OpKind::kProgramSpare : OpKind::kProgram);
+
+  if (fault_injector_ != nullptr) {
+    fault_injector_->AfterMutation(
+        data.empty() ? OpKind::kProgramSpare : OpKind::kProgram, addr);
+  }
+  return Status::OK();
+}
+
+Status FlashDevice::EraseBlock(uint32_t block) {
+  const auto& g = config_.geometry;
+  if (block >= g.num_blocks) {
+    return Status::InvalidArgument("block out of range: " +
+                                   std::to_string(block));
+  }
+  if (fault_injector_ != nullptr) {
+    fault_injector_->BeforeMutation(OpKind::kErase, AddrOf(block, 0));
+  }
+  const PhysAddr first = AddrOf(block, 0);
+  std::fill(data_.begin() + static_cast<size_t>(first) * g.data_size,
+            data_.begin() + static_cast<size_t>(first + g.pages_per_block) *
+                                g.data_size,
+            0xFF);
+  std::fill(spare_.begin() + static_cast<size_t>(first) * g.spare_size,
+            spare_.begin() + static_cast<size_t>(first + g.pages_per_block) *
+                                 g.spare_size,
+            0xFF);
+  for (uint32_t p = 0; p < g.pages_per_block; ++p) {
+    data_programs_[first + p] = 0;
+    spare_programs_[first + p] = 0;
+  }
+  block_frontier_[block] = -1;
+  stats_.block_erase_counts[block]++;
+  Charge(OpKind::kErase);
+  if (fault_injector_ != nullptr) {
+    fault_injector_->AfterMutation(OpKind::kErase, first);
+  }
+  return Status::OK();
+}
+
+bool FlashDevice::IsErased(PhysAddr addr) const {
+  return data_programs_[addr] == 0 && spare_programs_[addr] == 0;
+}
+
+uint32_t FlashDevice::DataProgramCount(PhysAddr addr) const {
+  return data_programs_[addr];
+}
+
+uint32_t FlashDevice::SpareProgramCount(PhysAddr addr) const {
+  return spare_programs_[addr];
+}
+
+void FlashDevice::ResetAccounting() {
+  stats_.Reset();
+  clock_.Reset();
+}
+
+ConstBytes FlashDevice::RawData(PhysAddr addr) const {
+  const auto& g = config_.geometry;
+  return ConstBytes(data_.data() + static_cast<size_t>(addr) * g.data_size,
+                    g.data_size);
+}
+
+ConstBytes FlashDevice::RawSpare(PhysAddr addr) const {
+  const auto& g = config_.geometry;
+  return ConstBytes(spare_.data() + static_cast<size_t>(addr) * g.spare_size,
+                    g.spare_size);
+}
+
+}  // namespace flashdb::flash

@@ -1,0 +1,167 @@
+// In-memory emulator of a NAND flash chip.
+//
+// The emulator enforces the physical programming model of NAND flash:
+//   * reads and programs are page-granular; erases are block-granular;
+//   * programming can only clear bits (1 -> 0); an erase resets a whole block
+//     to all-ones;
+//   * pages within a block must be first-programmed in ascending order;
+//   * a page's data / spare area can only be programmed a limited number of
+//     times between erases (partial programming budget).
+//
+// Every operation charges its datasheet latency (FlashTiming) to a virtual
+// SimClock and updates FlashStats, so "I/O time" in experiments is the exact
+// deterministic sum of operation costs — the same accounting the paper's
+// emulator used.
+
+#ifndef FLASHDB_FLASH_FLASH_DEVICE_H_
+#define FLASHDB_FLASH_FLASH_DEVICE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/sim_clock.h"
+#include "common/status.h"
+#include "flash/fault_injector.h"
+#include "flash/flash_config.h"
+#include "flash/flash_stats.h"
+
+namespace flashdb::flash {
+
+/// Physical page address: a linear page index over the whole chip.
+using PhysAddr = uint32_t;
+
+/// Sentinel for "no physical page".
+inline constexpr PhysAddr kNullAddr = 0xFFFFFFFFu;
+
+/// The emulated chip. Not thread-safe (the storage stack is single-threaded,
+/// like the paper's experiments).
+class FlashDevice {
+ public:
+  explicit FlashDevice(const FlashConfig& config);
+
+  const FlashConfig& config() const { return config_; }
+  const FlashGeometry& geometry() const { return config_.geometry; }
+
+  /// Block index that owns `addr`.
+  uint32_t BlockOf(PhysAddr addr) const {
+    return addr / config_.geometry.pages_per_block;
+  }
+  /// Page index of `addr` within its block.
+  uint32_t PageInBlock(PhysAddr addr) const {
+    return addr % config_.geometry.pages_per_block;
+  }
+  /// Linear address of page `page` in block `block`.
+  PhysAddr AddrOf(uint32_t block, uint32_t page) const {
+    return block * config_.geometry.pages_per_block + page;
+  }
+
+  /// Reads the page's data area (and spare area when `spare` is non-empty)
+  /// into the caller buffers. `data` may be empty for a spare-only read.
+  /// Charges one Tread regardless of which areas are requested.
+  Status ReadPage(PhysAddr addr, MutBytes data, MutBytes spare);
+
+  /// Convenience: spare-area-only read (used by recovery scans).
+  Status ReadSpare(PhysAddr addr, MutBytes spare) {
+    return ReadPage(addr, {}, spare);
+  }
+
+  /// Programs the page's data and spare areas with *fresh-write* intent:
+  /// under strict_bit_semantics it is an error if any bit set to 1 in the
+  /// image is already 0 in the cells (the stored result would silently differ
+  /// from the image). Buffers must be exactly data_size / spare_size long
+  /// (either may be empty to leave the area untouched). Charges one Twrite.
+  Status ProgramPage(PhysAddr addr, ConstBytes data, ConstBytes spare) {
+    return ProgramImpl(addr, data, spare, /*strict=*/true);
+  }
+
+  /// Partial program of the data area with NAND AND-semantics: a 1 bit in the
+  /// image leaves the cell unchanged, a 0 bit clears it. Used by IPL to fill
+  /// log slots of an already-programmed log page. Charges one Twrite and
+  /// consumes one data program slot.
+  Status PartialProgramPage(PhysAddr addr, ConstBytes data) {
+    return ProgramImpl(addr, data, {}, /*strict=*/false);
+  }
+
+  /// Partial program of the spare area only (e.g. setting the obsolete bit);
+  /// AND-semantics like PartialProgramPage. Charges one Twrite, consumes one
+  /// spare program slot.
+  Status ProgramSpare(PhysAddr addr, ConstBytes spare) {
+    return ProgramImpl(addr, {}, spare, /*strict=*/false);
+  }
+
+  /// Erases a whole block (all pages back to 0xFF). Charges one Terase.
+  Status EraseBlock(uint32_t block);
+
+  /// True if the page has never been programmed since its last erase.
+  bool IsErased(PhysAddr addr) const;
+
+  /// Number of data-area programs since the last erase of the page.
+  uint32_t DataProgramCount(PhysAddr addr) const;
+  /// Number of spare-area programs since the last erase of the page.
+  uint32_t SpareProgramCount(PhysAddr addr) const;
+
+  SimClock& clock() { return clock_; }
+  const SimClock& clock() const { return clock_; }
+
+  FlashStats& stats() { return stats_; }
+  const FlashStats& stats() const { return stats_; }
+
+  /// Current accounting category for subsequent operations.
+  OpCategory category() const { return category_; }
+  void set_category(OpCategory c) { category_ = c; }
+
+  /// Installs (or clears, with nullptr) the fault injector. Not owned.
+  void set_fault_injector(FaultInjector* fi) { fault_injector_ = fi; }
+
+  /// Zeroes statistics and the virtual clock (flash contents untouched).
+  void ResetAccounting();
+
+  /// Direct, cost-free access to a page's data area for test assertions.
+  ConstBytes RawData(PhysAddr addr) const;
+  /// Direct, cost-free access to a page's spare area for test assertions.
+  ConstBytes RawSpare(PhysAddr addr) const;
+
+ private:
+  Status CheckAddr(PhysAddr addr) const;
+  Status ProgramImpl(PhysAddr addr, ConstBytes data, ConstBytes spare,
+                     bool strict);
+  /// ANDs `src` into the cell range at `dst`; when `strict`, rejects images
+  /// whose stored result would differ from `src` (lost 1-bits).
+  Status ProgramCells(uint8_t* dst, ConstBytes src, PhysAddr addr,
+                      const char* area, bool strict);
+  void Charge(OpKind kind);
+
+  FlashConfig config_;
+  ByteBuffer data_;                        ///< num pages * data_size
+  ByteBuffer spare_;                       ///< num pages * spare_size
+  std::vector<uint8_t> data_programs_;     ///< per-page data program count
+  std::vector<uint8_t> spare_programs_;    ///< per-page spare program count
+  std::vector<int32_t> block_frontier_;    ///< highest first-programmed page
+  SimClock clock_;
+  FlashStats stats_;
+  OpCategory category_ = OpCategory::kDefault;
+  FaultInjector* fault_injector_ = nullptr;
+};
+
+/// RAII switch of the device accounting category.
+class CategoryScope {
+ public:
+  CategoryScope(FlashDevice* dev, OpCategory c)
+      : dev_(dev), saved_(dev->category()) {
+    dev_->set_category(c);
+  }
+  ~CategoryScope() { dev_->set_category(saved_); }
+
+  CategoryScope(const CategoryScope&) = delete;
+  CategoryScope& operator=(const CategoryScope&) = delete;
+
+ private:
+  FlashDevice* dev_;
+  OpCategory saved_;
+};
+
+}  // namespace flashdb::flash
+
+#endif  // FLASHDB_FLASH_FLASH_DEVICE_H_

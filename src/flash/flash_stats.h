@@ -1,0 +1,82 @@
+// Operation accounting for the flash emulator. Counts and virtual-time totals
+// are kept both globally and per accounting category so experiment drivers can
+// reproduce the paper's stacked breakdowns (read step / write step / garbage
+// collection, Fig. 12).
+
+#ifndef FLASHDB_FLASH_FLASH_STATS_H_
+#define FLASHDB_FLASH_FLASH_STATS_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace flashdb::flash {
+
+/// Accounting category for an operation; set by the current CategoryScope.
+enum class OpCategory : int {
+  kDefault = 0,  ///< Uncategorized device traffic.
+  kReadStep,     ///< The "reading step" of an update operation.
+  kWriteStep,    ///< The "writing step" (reflecting a page into flash).
+  kGc,           ///< Garbage collection / IPL merging traffic.
+  kRecovery,     ///< Crash-recovery scans.
+};
+inline constexpr int kNumOpCategories = 5;
+
+/// Counters for one category (or the total).
+struct OpCounters {
+  uint64_t reads = 0;
+  uint64_t writes = 0;   ///< Full-page programs and partial programs.
+  uint64_t erases = 0;
+  uint64_t read_us = 0;
+  uint64_t write_us = 0;
+  uint64_t erase_us = 0;
+
+  uint64_t total_us() const { return read_us + write_us + erase_us; }
+  uint64_t total_ops() const { return reads + writes + erases; }
+
+  OpCounters& operator+=(const OpCounters& o) {
+    reads += o.reads;
+    writes += o.writes;
+    erases += o.erases;
+    read_us += o.read_us;
+    write_us += o.write_us;
+    erase_us += o.erase_us;
+    return *this;
+  }
+
+  OpCounters operator-(const OpCounters& o) const {
+    OpCounters r;
+    r.reads = reads - o.reads;
+    r.writes = writes - o.writes;
+    r.erases = erases - o.erases;
+    r.read_us = read_us - o.read_us;
+    r.write_us = write_us - o.write_us;
+    r.erase_us = erase_us - o.erase_us;
+    return r;
+  }
+};
+
+/// Snapshot-friendly statistics block owned by the device.
+struct FlashStats {
+  OpCounters total;
+  std::array<OpCounters, kNumOpCategories> by_category;
+  std::vector<uint32_t> block_erase_counts;  ///< Per-block wear (longevity).
+
+  /// Maximum erase count over all blocks (wear hot spot).
+  uint32_t max_block_erases() const {
+    uint32_t m = 0;
+    for (uint32_t e : block_erase_counts) m = e > m ? e : m;
+    return m;
+  }
+
+  /// Resets all counters (geometry-sized vectors keep their size).
+  void Reset() {
+    total = OpCounters{};
+    by_category.fill(OpCounters{});
+    for (auto& e : block_erase_counts) e = 0;
+  }
+};
+
+}  // namespace flashdb::flash
+
+#endif  // FLASHDB_FLASH_FLASH_STATS_H_

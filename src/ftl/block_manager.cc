@@ -1,0 +1,198 @@
+#include "ftl/block_manager.h"
+
+#include <string>
+
+#include "ftl/spare_codec.h"
+
+namespace flashdb::ftl {
+
+BlockManager::BlockManager(flash::FlashDevice* dev, uint32_t gc_reserve_blocks)
+    : dev_(dev), gc_reserve_blocks_(gc_reserve_blocks) {
+  pages_per_block_ = dev_->geometry().pages_per_block;
+  Reset();
+}
+
+void BlockManager::Reset() {
+  const auto& g = dev_->geometry();
+  page_state_.assign(g.total_pages(), PageState::kFree);
+  block_obsolete_.assign(g.num_blocks, 0);
+  block_programmed_.assign(g.num_blocks, 0);
+  free_blocks_.clear();
+  for (uint32_t b = 0; b < g.num_blocks; ++b) free_blocks_.push_back(b);
+  open_block_.fill(-1);
+  next_page_.fill(0);
+}
+
+Status BlockManager::OpenNewBlock(bool for_gc, uint32_t stream) {
+  const uint32_t reserve = for_gc ? 0 : gc_reserve_blocks_;
+  if (free_blocks_.size() <= reserve) {
+    return Status::NoSpace("free blocks (" +
+                           std::to_string(free_blocks_.size()) +
+                           ") at or below reserve (" + std::to_string(reserve) +
+                           ")");
+  }
+  open_block_[stream] = free_blocks_.front();
+  free_blocks_.pop_front();
+  next_page_[stream] = 0;
+  return Status::OK();
+}
+
+Result<flash::PhysAddr> BlockManager::AllocatePage(bool for_gc,
+                                                   uint32_t stream) {
+  if (stream >= kNumStreams) {
+    return Status::InvalidArgument("bad allocation stream");
+  }
+  if (open_block_[stream] < 0 || next_page_[stream] >= pages_per_block_) {
+    FLASHDB_RETURN_IF_ERROR(OpenNewBlock(for_gc, stream));
+  }
+  const flash::PhysAddr addr = dev_->AddrOf(
+      static_cast<uint32_t>(open_block_[stream]), next_page_[stream]);
+  ++next_page_[stream];
+  page_state_[addr] = PageState::kValid;
+  block_programmed_[static_cast<uint32_t>(open_block_[stream])]++;
+  return addr;
+}
+
+void BlockManager::SetValidForRecovery(flash::PhysAddr addr) {
+  page_state_[addr] = PageState::kValid;
+}
+
+void BlockManager::SetObsoleteForRecovery(flash::PhysAddr addr) {
+  page_state_[addr] = PageState::kObsolete;
+}
+
+void BlockManager::FinalizeRecovery() {
+  const auto& g = dev_->geometry();
+  free_blocks_.clear();
+  open_block_.fill(-1);
+  next_page_.fill(0);
+  for (uint32_t b = 0; b < g.num_blocks; ++b) {
+    uint32_t programmed = 0;
+    uint32_t obsolete = 0;
+    for (uint32_t p = 0; p < pages_per_block_; ++p) {
+      const flash::PhysAddr addr = dev_->AddrOf(b, p);
+      switch (page_state_[addr]) {
+        case PageState::kFree:
+          break;
+        case PageState::kValid:
+          ++programmed;
+          break;
+        case PageState::kObsolete:
+          ++programmed;
+          ++obsolete;
+          break;
+      }
+    }
+    block_programmed_[b] = programmed;
+    block_obsolete_[b] = obsolete;
+    if (programmed == 0) {
+      free_blocks_.push_back(b);
+    } else if (programmed < pages_per_block_) {
+      // Treat as closed: mark the unprogrammed tail unusable until erased by
+      // accounting it as programmed (it is reclaimed when the block is
+      // erased, and PickGcVictim still sees it as reclaimable space).
+      block_programmed_[b] = pages_per_block_;
+    }
+  }
+}
+
+Status BlockManager::MarkObsolete(flash::PhysAddr addr) {
+  if (page_state_[addr] != PageState::kValid) {
+    return Status::InvalidArgument("MarkObsolete on non-valid page " +
+                                   std::to_string(addr));
+  }
+  ByteBuffer spare(dev_->geometry().spare_size, 0xFF);
+  EncodeObsoleteMark(spare);
+  FLASHDB_RETURN_IF_ERROR(dev_->ProgramSpare(addr, spare));
+  page_state_[addr] = PageState::kObsolete;
+  block_obsolete_[dev_->BlockOf(addr)]++;
+  return Status::OK();
+}
+
+bool BlockManager::LowOnSpace(uint32_t stream) const {
+  // Replenish the reserve proactively: garbage collection itself may need to
+  // open up to the full reserve of blocks mid-run, so the free count must
+  // never linger below it just because an open block still has room.
+  if (free_blocks_.size() < gc_reserve_blocks_) return true;
+  if (open_block_[stream] >= 0 && next_page_[stream] < pages_per_block_) {
+    return false;
+  }
+  return free_blocks_.size() <= gc_reserve_blocks_;
+}
+
+std::optional<uint32_t> BlockManager::PickGcVictimScored(
+    uint64_t min_score, uint64_t full_page_score,
+    const std::function<uint64_t(flash::PhysAddr)>& valid_score) const {
+  const auto& g = dev_->geometry();
+  std::optional<uint32_t> best;
+  uint64_t best_score = min_score == 0 ? 1 : min_score;
+  for (uint32_t b = 0; b < g.num_blocks; ++b) {
+    if (IsOpenBlock(b)) continue;
+    if (block_programmed_[b] == 0) continue;  // free block
+    uint64_t score = 0;
+    for (uint32_t p = 0; p < pages_per_block_; ++p) {
+      const flash::PhysAddr addr = dev_->AddrOf(b, p);
+      switch (page_state_[addr]) {
+        case PageState::kFree:
+          break;
+        case PageState::kObsolete:
+          score += full_page_score;
+          break;
+        case PageState::kValid:
+          score += valid_score(addr);
+          break;
+      }
+    }
+    if (score >= best_score) {
+      best_score = score + 1;
+      best = b;
+    }
+  }
+  return best;
+}
+
+std::optional<uint32_t> BlockManager::PickGcVictim() const {
+  const auto& g = dev_->geometry();
+  std::optional<uint32_t> best;
+  uint32_t best_score = 0;
+  for (uint32_t b = 0; b < g.num_blocks; ++b) {
+    if (IsOpenBlock(b)) continue;
+    if (block_programmed_[b] == 0) continue;  // free block
+    // Reclaimable = obsolete pages; a block whose pages are all valid yields
+    // nothing and would loop forever, so require at least one.
+    const uint32_t score = block_obsolete_[b];
+    if (score > best_score) {
+      best_score = score;
+      best = b;
+    }
+  }
+  return best;
+}
+
+Status BlockManager::EraseAndFree(uint32_t block) {
+  if (IsOpenBlock(block)) {
+    return Status::InvalidArgument("cannot erase an open block");
+  }
+  FLASHDB_RETURN_IF_ERROR(dev_->EraseBlock(block));
+  for (uint32_t p = 0; p < pages_per_block_; ++p) {
+    page_state_[dev_->AddrOf(block, p)] = PageState::kFree;
+  }
+  block_obsolete_[block] = 0;
+  block_programmed_[block] = 0;
+  free_blocks_.push_back(block);
+  return Status::OK();
+}
+
+uint64_t BlockManager::CountValidPages() const {
+  uint64_t n = 0;
+  for (PageState s : page_state_) n += (s == PageState::kValid) ? 1 : 0;
+  return n;
+}
+
+uint64_t BlockManager::usable_pages() const {
+  const auto& g = dev_->geometry();
+  return static_cast<uint64_t>(g.num_blocks - gc_reserve_blocks_) *
+         pages_per_block_;
+}
+
+}  // namespace flashdb::ftl

@@ -1,0 +1,138 @@
+// Page-granular free-space and block-lifecycle management shared by the
+// out-place methods (OPU and PDL).
+//
+// The manager keeps an in-RAM mirror of every physical page's state
+// (free / valid / obsolete), allocates pages sequentially within an "open"
+// block (NAND programming order), selects greedy garbage-collection victims,
+// and performs the obsolete-marking spare program on behalf of callers.
+// A configurable reserve of free blocks guarantees garbage collection can
+// always relocate a victim's valid pages.
+
+#ifndef FLASHDB_FTL_BLOCK_MANAGER_H_
+#define FLASHDB_FTL_BLOCK_MANAGER_H_
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "flash/flash_device.h"
+
+namespace flashdb::ftl {
+
+/// In-RAM view of a physical page's lifecycle.
+enum class PageState : uint8_t {
+  kFree = 0,     ///< Erased, available for programming.
+  kValid = 1,    ///< Holds live data.
+  kObsolete = 2, ///< Holds dead data; reclaimable by erasing the block.
+};
+
+/// See file comment.
+class BlockManager {
+ public:
+  /// `gc_reserve_blocks` free blocks are withheld from normal allocation so
+  /// garbage collection can always make progress.
+  BlockManager(flash::FlashDevice* dev, uint32_t gc_reserve_blocks);
+
+  /// Resets all state to "everything free" without touching the device.
+  /// Call after formatting (the caller erases blocks itself if needed).
+  void Reset();
+
+  /// Allocation streams: callers may segregate page kinds (e.g. PDL base
+  /// pages vs differential pages) into different open blocks so blocks stay
+  /// homogeneous and garbage collection victims carry less cold data.
+  static constexpr uint32_t kNumStreams = 2;
+
+  /// Allocates the next physical page of `stream`. Pages come from the
+  /// stream's open block in ascending order; a fresh block is opened from
+  /// the free list when needed. With for_gc=false, fails with NoSpace once
+  /// only the reserve is left (caller should then run garbage collection and
+  /// retry). With for_gc=true the reserve may be consumed.
+  Result<flash::PhysAddr> AllocatePage(bool for_gc, uint32_t stream = 0);
+
+  /// Marks a page valid (used when replaying state during recovery).
+  void SetValidForRecovery(flash::PhysAddr addr);
+  /// Marks a page obsolete in RAM only (recovery replay; no device write).
+  void SetObsoleteForRecovery(flash::PhysAddr addr);
+  /// Recomputes block occupancy after recovery replay. Partially-programmed
+  /// blocks are treated as closed; their unprogrammed pages are reclaimed
+  /// only when the block is erased.
+  void FinalizeRecovery();
+
+  /// Programs the obsolete mark into the page's spare area (one write op)
+  /// and transitions the RAM state. No-op with an error if already free.
+  Status MarkObsolete(flash::PhysAddr addr);
+
+  /// True when a normal allocation from `stream` would fail and GC should
+  /// run (the stream's open block is exhausted and only the reserve is left).
+  bool LowOnSpace(uint32_t stream = 0) const;
+
+  /// Picks the closed block with the most reclaimable pages (obsolete plus
+  /// unprogrammed-but-unavailable). Returns nullopt when no closed block has
+  /// a single reclaimable page. Never returns the open block.
+  std::optional<uint32_t> PickGcVictim() const;
+
+  /// Byte-scored victim selection for stores where valid pages may still be
+  /// partially reclaimable (PDL differential pages): an obsolete page scores
+  /// `full_page_score`, a valid page scores `valid_score(addr)`. Returns the
+  /// closed block with the highest total score, or nullopt when every block
+  /// scores below `min_score`.
+  std::optional<uint32_t> PickGcVictimScored(
+      uint64_t min_score, uint64_t full_page_score,
+      const std::function<uint64_t(flash::PhysAddr)>& valid_score) const;
+
+  /// Erases `block` on the device and returns it to the free list. All its
+  /// pages must already be obsolete or relocated by the caller.
+  Status EraseAndFree(uint32_t block);
+
+  /// Stops filling every open block, making them eligible as GC victims.
+  /// Their unprogrammed tails (if any) are reclaimed when erased. Used when
+  /// the open blocks hold the only reclaimable space left.
+  void CloseOpenBlocks() {
+    for (auto& b : open_block_) b = -1;
+  }
+
+  PageState state(flash::PhysAddr addr) const { return page_state_[addr]; }
+  uint32_t free_blocks() const { return static_cast<uint32_t>(free_blocks_.size()); }
+  uint32_t gc_reserve_blocks() const { return gc_reserve_blocks_; }
+
+  /// Number of pages in state kValid (diagnostics / tests).
+  uint64_t CountValidPages() const;
+
+  /// Pages per block of the underlying device.
+  uint32_t pages_per_block() const { return pages_per_block_; }
+
+  /// Total pages the store may fill before GC stops reclaiming anything:
+  /// capacity minus the permanent reserve (diagnostics).
+  uint64_t usable_pages() const;
+
+ private:
+  Status OpenNewBlock(bool for_gc, uint32_t stream);
+
+  flash::FlashDevice* dev_;
+  uint32_t gc_reserve_blocks_;
+  uint32_t pages_per_block_;
+  std::vector<PageState> page_state_;
+  std::vector<uint32_t> block_obsolete_;  ///< Obsolete-page count per block.
+  std::vector<uint32_t> block_programmed_;///< Allocated-page count per block.
+  std::deque<uint32_t> free_blocks_;
+  /// Per-stream block currently being filled (-1 = none).
+  std::array<int64_t, kNumStreams> open_block_{};
+  /// Per-stream next page index within the open block.
+  std::array<uint32_t, kNumStreams> next_page_{};
+
+  bool IsOpenBlock(uint32_t b) const {
+    for (int64_t ob : open_block_) {
+      if (ob == static_cast<int64_t>(b)) return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace flashdb::ftl
+
+#endif  // FLASHDB_FTL_BLOCK_MANAGER_H_

@@ -1,0 +1,34 @@
+// Monotonic logical timestamps stamped into base pages and differentials so
+// crash recovery (paper Fig. 11) can arbitrate between versions that co-exist
+// after an ill-timed power loss.
+
+#ifndef FLASHDB_FTL_LOGICAL_CLOCK_H_
+#define FLASHDB_FTL_LOGICAL_CLOCK_H_
+
+#include <cstdint>
+
+namespace flashdb::ftl {
+
+/// Strictly increasing counter. Timestamp 0 is reserved for "unknown".
+class LogicalClock {
+ public:
+  /// Returns the next timestamp (starts at 1).
+  uint64_t Next() { return ++last_; }
+
+  /// Current high-water mark.
+  uint64_t last() const { return last_; }
+
+  /// Raises the clock to at least `seen` (used while replaying flash state).
+  void Observe(uint64_t seen) {
+    if (seen > last_) last_ = seen;
+  }
+
+  void Reset() { last_ = 0; }
+
+ private:
+  uint64_t last_ = 0;
+};
+
+}  // namespace flashdb::ftl
+
+#endif  // FLASHDB_FTL_LOGICAL_CLOCK_H_

@@ -1,0 +1,91 @@
+// PageStore: the page-update-method abstraction.
+//
+// This is the paper's "flash memory driver" boundary (Fig. 10). A DBMS (or
+// the experiment driver) manipulates *logical pages* identified by a physical
+// page ID (pid, the paper's database-unique page identifier); a PageStore
+// implementation decides how logical pages are laid out on the emulated NAND
+// chip. Four implementations exist:
+//   * PdlStore  (src/pdl)          -- the paper's contribution
+//   * OpuStore  (src/methods/opu)  -- page-based, out-place update
+//   * IpuStore  (src/methods/ipu)  -- page-based, in-place update
+//   * IplStore  (src/methods/ipl)  -- in-page logging (Lee & Moon)
+//
+// Loosely-coupled methods (PDL, OPU, IPU) ignore OnUpdate and act only on
+// WriteBack; the tightly-coupled IPL consumes the per-update logs the storage
+// system must surface to it.
+
+#ifndef FLASHDB_FTL_PAGE_STORE_H_
+#define FLASHDB_FTL_PAGE_STORE_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "flash/flash_device.h"
+
+namespace flashdb {
+
+/// Logical page identifier (the paper's "physical page ID": a database-wide
+/// unique page number, independent of where the page lives on flash).
+using PageId = uint32_t;
+
+/// One update command applied to a logical page: `data` replaces the bytes at
+/// [offset, offset + data.size()). This is what log-based methods persist.
+struct UpdateLog {
+  uint32_t offset = 0;
+  ByteBuffer data;
+};
+
+/// Interface implemented by every page-update method.
+class PageStore {
+ public:
+  virtual ~PageStore() = default;
+
+  /// Method name for reports ("PDL(256B)", "OPU", ...).
+  virtual std::string_view name() const = 0;
+
+  /// Initializes the store for `num_logical_pages` logical pages, writing an
+  /// initial image for each. `initial` may be empty => zero-filled pages;
+  /// otherwise it is called with (pid, page_buffer) to fill initial content.
+  using PageInitializer = void (*)(PageId pid, MutBytes page, void* arg);
+  virtual Status Format(uint32_t num_logical_pages, PageInitializer initial,
+                        void* initial_arg) = 0;
+
+  /// Recreates logical page `pid` into `out` (exactly data_size bytes).
+  virtual Status ReadPage(PageId pid, MutBytes out) = 0;
+
+  /// Notification that the in-memory copy of `pid` was updated; `page_after`
+  /// is the page image after the update and `log` the change itself.
+  /// Loosely-coupled methods ignore this (they see only WriteBack).
+  virtual Status OnUpdate(PageId pid, ConstBytes page_after,
+                          const UpdateLog& log) {
+    (void)pid;
+    (void)page_after;
+    (void)log;
+    return Status::OK();
+  }
+
+  /// Reflects the up-to-date image of `pid` into flash memory (called when a
+  /// dirty page leaves the DBMS buffer).
+  virtual Status WriteBack(PageId pid, ConstBytes page) = 0;
+
+  /// Write-through: forces buffered differentials / update logs onto flash so
+  /// every acknowledged WriteBack survives power loss.
+  virtual Status Flush() = 0;
+
+  /// Rebuilds all in-memory tables by scanning flash after a crash. The
+  /// store must previously have been Format()ed on this device (possibly by
+  /// another, now-dead instance).
+  virtual Status Recover() = 0;
+
+  /// Number of logical pages the store was formatted with.
+  virtual uint32_t num_logical_pages() const = 0;
+
+  /// Underlying device (for stats / clock inspection by harnesses).
+  virtual flash::FlashDevice* device() = 0;
+};
+
+}  // namespace flashdb
+
+#endif  // FLASHDB_FTL_PAGE_STORE_H_

@@ -1,0 +1,75 @@
+#include "ftl/spare_codec.h"
+
+#include <cassert>
+
+#include "common/coding.h"
+#include "common/crc32.h"
+
+namespace flashdb::ftl {
+
+namespace {
+constexpr uint16_t kMagic = 0x5044;
+
+uint32_t SpareCrc(ConstBytes spare) {
+  // CRC over magic+type (bytes 0..2) and pid+timestamp (bytes 4..15),
+  // skipping the obsolete marker byte at offset 3.
+  uint32_t crc = Crc32c(spare.subspan(0, 3));
+  crc = Crc32c(spare.subspan(4, 12), crc);
+  return crc;
+}
+}  // namespace
+
+void EncodeSpare(MutBytes spare, PageType type, uint32_t pid,
+                 uint64_t timestamp) {
+  assert(spare.size() >= kSpareEncodedSize);
+  EncodeFixed16(spare.data(), kMagic);
+  spare[2] = static_cast<uint8_t>(type);
+  spare[3] = 0xFF;  // valid (not obsolete)
+  EncodeFixed32(spare.data() + 4, pid);
+  EncodeFixed64(spare.data() + 8, timestamp);
+  EncodeFixed32(spare.data() + 16, SpareCrc(spare));
+}
+
+SpareInfo DecodeSpare(ConstBytes spare) {
+  assert(spare.size() >= kSpareEncodedSize);
+  SpareInfo info;
+  if (DecodeFixed16(spare.data()) != kMagic) {
+    info.type = PageType::kFree;
+    info.programmed = false;
+    return info;
+  }
+  info.programmed = true;
+  switch (spare[2]) {
+    case static_cast<uint8_t>(PageType::kBase):
+      info.type = PageType::kBase;
+      break;
+    case static_cast<uint8_t>(PageType::kDiff):
+      info.type = PageType::kDiff;
+      break;
+    case static_cast<uint8_t>(PageType::kData):
+      info.type = PageType::kData;
+      break;
+    case static_cast<uint8_t>(PageType::kLog):
+      info.type = PageType::kLog;
+      break;
+    case static_cast<uint8_t>(PageType::kOrig):
+      info.type = PageType::kOrig;
+      break;
+    default:
+      info.type = PageType::kInvalid;
+      break;
+  }
+  info.obsolete = (spare[3] != 0xFF);
+  info.pid = DecodeFixed32(spare.data() + 4);
+  info.timestamp = DecodeFixed64(spare.data() + 8);
+  info.crc_ok = (DecodeFixed32(spare.data() + 16) == SpareCrc(spare));
+  return info;
+}
+
+void EncodeObsoleteMark(MutBytes spare) {
+  assert(spare.size() >= kSpareEncodedSize);
+  std::fill(spare.begin(), spare.end(), 0xFF);
+  spare[3] = 0x00;
+}
+
+}  // namespace flashdb::ftl

@@ -1,0 +1,62 @@
+// Encoding of the per-page spare area (64 bytes, Table 1).
+//
+// Layout (offsets in bytes):
+//   0..1   magic 0x5044 ("PD")        -- distinguishes programmed from erased
+//   2      page type                  -- base / differential / log / raw data
+//   3      obsolete marker            -- 0xFF valid, 0x00 obsolete; cleared by
+//                                        a later partial program (footnote 9)
+//   4..7   physical page ID (pid)     -- logical page the contents belong to
+//   8..15  creation timestamp         -- logical clock, for Fig. 11 recovery
+//   16..19 CRC-32C over bytes {0..2, 4..15}
+//
+// The obsolete marker is deliberately excluded from the CRC because it is
+// programmed *after* the page is written, by clearing bits only.
+
+#ifndef FLASHDB_FTL_SPARE_CODEC_H_
+#define FLASHDB_FTL_SPARE_CODEC_H_
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace flashdb::ftl {
+
+/// On-flash page roles.
+enum class PageType : uint8_t {
+  kFree = 0xFF,  ///< Never programmed (erased spare).
+  kBase = 0xB4,  ///< PDL base page (also used for OPU/IPU data pages' kin).
+  kDiff = 0xD2,  ///< PDL differential page.
+  kData = 0xA6,  ///< Page-based methods' data page.
+  kLog = 0x96,   ///< IPL log page.
+  kOrig = 0x86,  ///< IPL original page.
+  kInvalid = 0x00,
+};
+
+/// Decoded view of a spare area.
+struct SpareInfo {
+  PageType type = PageType::kFree;
+  bool obsolete = false;
+  uint32_t pid = 0;
+  uint64_t timestamp = 0;
+  bool crc_ok = false;    ///< Only meaningful when type != kFree.
+  bool programmed = false;  ///< Magic found (page not erased).
+};
+
+/// Minimum spare size these helpers require.
+inline constexpr uint32_t kSpareEncodedSize = 20;
+
+/// Fills `spare` (>= kSpareEncodedSize, normally 64 bytes preset to 0xFF)
+/// with an initial-program image.
+void EncodeSpare(MutBytes spare, PageType type, uint32_t pid,
+                 uint64_t timestamp);
+
+/// Parses a spare image. Erased spare decodes to type kFree.
+SpareInfo DecodeSpare(ConstBytes spare);
+
+/// Produces the partial-program image that marks a page obsolete: all bits 1
+/// except the obsolete marker byte, so ANDing leaves everything else intact.
+void EncodeObsoleteMark(MutBytes spare);
+
+}  // namespace flashdb::ftl
+
+#endif  // FLASHDB_FTL_SPARE_CODEC_H_

@@ -1,0 +1,34 @@
+// Minimal --key=value flag parsing for bench and example binaries.
+
+#ifndef FLASHDB_HARNESS_CLI_H_
+#define FLASHDB_HARNESS_CLI_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace flashdb::harness {
+
+/// Parsed command line: --key=value and bare --key (value "1") flags.
+class Flags {
+ public:
+  Flags(int argc, char** argv);
+
+  bool Has(const std::string& key) const { return kv_.count(key) != 0; }
+  std::string GetString(const std::string& key, std::string def) const;
+  int64_t GetInt(const std::string& key, int64_t def) const;
+  double GetDouble(const std::string& key, double def) const;
+  bool GetBool(const std::string& key, bool def) const;
+
+  /// The non-flag positional arguments, in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> kv_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace flashdb::harness
+
+#endif  // FLASHDB_HARNESS_CLI_H_

@@ -1,0 +1,46 @@
+#include "harness/experiment.h"
+
+namespace flashdb::harness {
+
+ExperimentEnv ExperimentEnv::FromFlags(const Flags& flags) {
+  ExperimentEnv env;
+  env.flash_cfg = flash::FlashConfig::Small(
+      static_cast<uint32_t>(flags.GetInt("blocks", 128)));
+  env.flash_cfg.geometry.data_size =
+      static_cast<uint32_t>(flags.GetInt("page-size", 2048));
+  env.flash_cfg.timing.read_us =
+      static_cast<uint32_t>(flags.GetInt("tread", 110));
+  env.flash_cfg.timing.write_us =
+      static_cast<uint32_t>(flags.GetInt("twrite", 1010));
+  env.flash_cfg.timing.erase_us =
+      static_cast<uint32_t>(flags.GetInt("terase", 1500));
+  env.utilization = flags.GetDouble("util", 0.5);
+  env.warmup_erases_per_block = flags.GetDouble("warmup-epb", 10.0);
+  env.warmup_max_ops =
+      static_cast<uint64_t>(flags.GetInt("warmup-max", 0));
+  env.measure_ops = static_cast<uint64_t>(flags.GetInt("ops", 4000));
+  env.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  return env;
+}
+
+Result<PointResult> RunWorkloadPoint(const ExperimentEnv& env,
+                                     const methods::MethodSpec& spec,
+                                     const workload::WorkloadParams& params) {
+  flash::FlashDevice dev(env.flash_cfg);
+  std::unique_ptr<PageStore> store = methods::CreateStore(&dev, spec);
+  workload::WorkloadParams wp = params;
+  wp.seed = env.seed;
+  workload::UpdateDriver driver(store.get(), wp);
+  FLASHDB_RETURN_IF_ERROR(driver.LoadDatabase(env.num_db_pages()));
+  const uint64_t warmup_cap = env.warmup_max_ops != 0
+                                  ? env.warmup_max_ops
+                                  : 20ULL * env.num_db_pages();
+  FLASHDB_RETURN_IF_ERROR(
+      driver.Warmup(env.warmup_erases_per_block, warmup_cap));
+  PointResult result;
+  result.method = std::string(store->name());
+  FLASHDB_RETURN_IF_ERROR(driver.Run(env.measure_ops, &result.stats));
+  return result;
+}
+
+}  // namespace flashdb::harness

@@ -1,0 +1,34 @@
+// Aligned-column table output for the experiment harnesses, mirroring the
+// rows/series of the paper's figures.
+
+#ifndef FLASHDB_HARNESS_TABLE_PRINTER_H_
+#define FLASHDB_HARNESS_TABLE_PRINTER_H_
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace flashdb::harness {
+
+/// Collects rows and prints them with aligned columns (and optionally CSV).
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  /// Formats a double with `prec` decimals.
+  static std::string Num(double v, int prec = 1);
+
+  void Print(std::ostream& os) const;
+  void PrintCsv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace flashdb::harness
+
+#endif  // FLASHDB_HARNESS_TABLE_PRINTER_H_

@@ -1,0 +1,496 @@
+#include "methods/ipl_store.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+#include "common/coding.h"
+
+namespace flashdb::methods {
+
+using flash::PhysAddr;
+
+namespace {
+/// Slot header: owning pid (u32) + record count (u16).
+constexpr uint32_t kSlotHeaderSize = 6;
+/// Per-record header: offset (u16) + length (u16).
+constexpr uint32_t kRecordHeaderSize = 4;
+constexpr uint32_t kEmptySlotPid = 0xFFFFFFFFu;
+}  // namespace
+
+IplStore::IplStore(flash::FlashDevice* dev, const IplConfig& config)
+    : dev_(dev),
+      config_(config),
+      data_size_(dev->geometry().data_size),
+      spare_size_(dev->geometry().spare_size) {
+  slot_size_ = config_.log_buffer_bytes != 0 ? config_.log_buffer_bytes
+                                             : data_size_ / 16;
+  if (slot_size_ < kSlotHeaderSize + kRecordHeaderSize + 1) {
+    slot_size_ = kSlotHeaderSize + kRecordHeaderSize + 1;
+  }
+  if (slot_size_ > data_size_) slot_size_ = data_size_;
+  slots_per_page_ = data_size_ / slot_size_;
+  const uint32_t ppb = dev->geometry().pages_per_block;
+  log_pages_per_block_ = config_.log_bytes_per_block / data_size_;
+  if (log_pages_per_block_ == 0) log_pages_per_block_ = 1;
+  if (log_pages_per_block_ >= ppb) log_pages_per_block_ = ppb - 1;
+  orig_per_block_ = ppb - log_pages_per_block_;
+  slots_per_block_ = log_pages_per_block_ * slots_per_page_;
+  max_record_payload_ = slot_size_ - kSlotHeaderSize - kRecordHeaderSize;
+  name_ = "IPL(" + std::to_string(config_.log_bytes_per_block / 1024) + "KB)";
+}
+
+uint32_t IplStore::LivePagesIn(uint32_t g) const {
+  const uint32_t first = g * orig_per_block_;
+  return std::min(orig_per_block_, num_pages_ - first);
+}
+
+Status IplStore::Format(uint32_t num_logical_pages, PageInitializer initial,
+                        void* initial_arg) {
+  const auto& g = dev_->geometry();
+  num_groups_ = (num_logical_pages + orig_per_block_ - 1) / orig_per_block_;
+  if (num_groups_ + 1 > g.num_blocks) {
+    return Status::NoSpace("IPL needs one block per " +
+                           std::to_string(orig_per_block_) +
+                           " logical pages plus one spare block");
+  }
+  for (uint32_t b = 0; b < g.num_blocks; ++b) {
+    bool dirty = false;
+    for (uint32_t p = 0; p < g.pages_per_block && !dirty; ++p) {
+      dirty = !dev_->IsErased(dev_->AddrOf(b, p));
+    }
+    if (dirty) FLASHDB_RETURN_IF_ERROR(dev_->EraseBlock(b));
+  }
+  clock_.Reset();
+  num_pages_ = num_logical_pages;
+  block_map_.resize(num_groups_);
+  next_slot_.assign(num_groups_, 0);
+  pid_slots_.assign(num_pages_, {});
+  pending_.assign(num_pages_, {});
+  free_blocks_.clear();
+  counters_ = IplCounters{};
+
+  ByteBuffer page(data_size_, 0);
+  ByteBuffer spare(spare_size_, 0xFF);
+  for (uint32_t grp = 0; grp < num_groups_; ++grp) {
+    block_map_[grp] = grp;
+    const uint32_t live = std::min(orig_per_block_,
+                                   num_pages_ - grp * orig_per_block_);
+    for (uint32_t i = 0; i < live; ++i) {
+      const PageId pid = grp * orig_per_block_ + i;
+      std::fill(page.begin(), page.end(), 0);
+      if (initial != nullptr) initial(pid, page, initial_arg);
+      std::fill(spare.begin(), spare.end(), 0xFF);
+      ftl::EncodeSpare(spare, ftl::PageType::kOrig, pid, clock_.Next());
+      FLASHDB_RETURN_IF_ERROR(
+          dev_->ProgramPage(dev_->AddrOf(grp, i), page, spare));
+    }
+  }
+  for (uint32_t b = num_groups_; b < g.num_blocks; ++b) {
+    free_blocks_.push_back(b);
+  }
+  formatted_ = true;
+  return Status::OK();
+}
+
+Status IplStore::ReadPage(PageId pid, MutBytes out) {
+  if (!formatted_) return Status::InvalidArgument("store not formatted");
+  if (pid >= num_pages_) {
+    return Status::NotFound("pid out of range: " + std::to_string(pid));
+  }
+  if (out.size() != data_size_) {
+    return Status::InvalidArgument("output buffer must be one page");
+  }
+  const uint32_t grp = LogicalBlockOf(pid);
+  const uint32_t block = block_map_[grp];
+  const PhysAddr orig = dev_->AddrOf(block, pid % orig_per_block_);
+  // Read the original page...
+  FLASHDB_RETURN_IF_ERROR(dev_->ReadPage(orig, out, {}));
+  // ...then only the log pages of the same block holding this page's logs.
+  const auto& slots = pid_slots_[pid];
+  ByteBuffer log_page(data_size_);
+  int32_t loaded_page = -1;
+  for (uint16_t slot : slots) {
+    const uint32_t lp = LogPageOfIndex(slot);
+    if (static_cast<int32_t>(lp) != loaded_page) {
+      const PhysAddr addr = dev_->AddrOf(block, orig_per_block_ + lp);
+      FLASHDB_RETURN_IF_ERROR(dev_->ReadPage(addr, log_page, {}));
+      loaded_page = static_cast<int32_t>(lp);
+    }
+    const uint32_t s = SlotOfIndex(slot);
+    bool belongs = false;
+    FLASHDB_RETURN_IF_ERROR(
+        ApplySlot(ConstBytes(log_page.data() + s * slot_size_, slot_size_),
+                  pid, out, &belongs));
+    if (!belongs) {
+      return Status::Corruption("slot index table points at foreign slot");
+    }
+  }
+  // Finally the logs still pending in memory.
+  return ApplyPending(pid, out);
+}
+
+Status IplStore::ApplySlot(ConstBytes slot_bytes, PageId pid, MutBytes page,
+                           bool* belongs) {
+  *belongs = false;
+  BufferReader r(slot_bytes);
+  const uint32_t owner = r.GetU32();
+  if (owner != pid) return Status::OK();
+  *belongs = true;
+  const uint16_t count = r.GetU16();
+  for (uint16_t i = 0; i < count; ++i) {
+    const uint16_t off = r.GetU16();
+    const uint16_t len = r.GetU16();
+    ConstBytes data = r.GetBytes(len);
+    if (r.failed() || static_cast<size_t>(off) + len > page.size()) {
+      return Status::Corruption("malformed IPL log record");
+    }
+    std::memcpy(page.data() + off, data.data(), len);
+  }
+  return Status::OK();
+}
+
+Status IplStore::ApplyPending(PageId pid, MutBytes page) const {
+  const PendingLogs& pl = pending_[pid];
+  BufferReader r(pl.bytes);
+  for (uint16_t i = 0; i < pl.count; ++i) {
+    const uint16_t off = r.GetU16();
+    const uint16_t len = r.GetU16();
+    ConstBytes data = r.GetBytes(len);
+    if (r.failed() || static_cast<size_t>(off) + len > page.size()) {
+      return Status::Corruption("malformed pending IPL record");
+    }
+    std::memcpy(page.data() + off, data.data(), len);
+  }
+  return Status::OK();
+}
+
+Status IplStore::OnUpdate(PageId pid, ConstBytes page_after,
+                          const UpdateLog& log) {
+  (void)page_after;
+  if (!formatted_) return Status::InvalidArgument("store not formatted");
+  if (pid >= num_pages_) {
+    return Status::NotFound("pid out of range: " + std::to_string(pid));
+  }
+  if (log.offset + log.data.size() > data_size_) {
+    return Status::InvalidArgument("update log beyond page bounds");
+  }
+  // Chunk oversized logs so each record fits an empty slot.
+  size_t pos = 0;
+  const size_t n = log.data.size();
+  if (n > max_record_payload_) counters_.chunked_logs++;
+  do {
+    const size_t chunk = std::min<size_t>(n - pos, max_record_payload_);
+    FLASHDB_RETURN_IF_ERROR(
+        AppendRecord(pid, log.offset + static_cast<uint32_t>(pos),
+                     ConstBytes(log.data.data() + pos, chunk)));
+    pos += chunk;
+  } while (pos < n);
+  return Status::OK();
+}
+
+Status IplStore::AppendRecord(PageId pid, uint32_t offset, ConstBytes data) {
+  PendingLogs& pl = pending_[pid];
+  const size_t rec = kRecordHeaderSize + data.size();
+  const size_t capacity = slot_size_ - kSlotHeaderSize;
+  if (pl.bytes.size() + rec > capacity) {
+    // "When this buffer is full, it is written into [the log region]."
+    FLASHDB_RETURN_IF_ERROR(FlushPending(pid));
+  }
+  BufferWriter w(&pl.bytes);
+  w.PutU16(static_cast<uint16_t>(offset));
+  w.PutU16(static_cast<uint16_t>(data.size()));
+  w.PutBytes(data);
+  pl.count++;
+  return Status::OK();
+}
+
+Status IplStore::FlushPending(PageId pid) {
+  PendingLogs& pl = pending_[pid];
+  if (pl.count == 0) return Status::OK();
+  const uint32_t grp = LogicalBlockOf(pid);
+  if (next_slot_[grp] >= slots_per_block_) {
+    // No free log slot: merge originals with logs into a fresh block.
+    FLASHDB_RETURN_IF_ERROR(MergeBlock(grp));
+  }
+  const uint32_t slot = next_slot_[grp]++;
+  const uint32_t lp = LogPageOfIndex(slot);
+  const uint32_t s = SlotOfIndex(slot);
+  const uint32_t block = block_map_[grp];
+  const PhysAddr addr = dev_->AddrOf(block, orig_per_block_ + lp);
+
+  // Partial program: all-0xFF image except the slot's bytes.
+  ByteBuffer image(data_size_, 0xFF);
+  uint8_t* base = image.data() + s * slot_size_;
+  EncodeFixed32(base, pid);
+  EncodeFixed16(base + 4, pl.count);
+  std::memcpy(base + kSlotHeaderSize, pl.bytes.data(), pl.bytes.size());
+  // Unused tail of the slot must stay 0xFF? No: it must parse as "record list
+  // exhausted", which the count field already guarantees. Leave it erased so
+  // later slots in the same page remain programmable.
+  if (s == 0 && dev_->IsErased(addr)) {
+    ByteBuffer spare(spare_size_, 0xFF);
+    ftl::EncodeSpare(spare, ftl::PageType::kLog, kEmptySlotPid - 1,
+                     clock_.Next());
+    FLASHDB_RETURN_IF_ERROR(dev_->ProgramPage(addr, image, spare));
+  } else {
+    // Later slots partial-program the already-written log page (1 bits leave
+    // the earlier slots' cells untouched).
+    FLASHDB_RETURN_IF_ERROR(dev_->PartialProgramPage(addr, image));
+  }
+  pid_slots_[pid].push_back(static_cast<uint16_t>(slot));
+  pl.bytes.clear();
+  pl.count = 0;
+  counters_.slot_writes++;
+  return Status::OK();
+}
+
+Status IplStore::WriteBack(PageId pid, ConstBytes page) {
+  (void)page;
+  if (!formatted_) return Status::InvalidArgument("store not formatted");
+  if (pid >= num_pages_) {
+    return Status::NotFound("pid out of range: " + std::to_string(pid));
+  }
+  // Log-based: reflecting a page means persisting its pending update logs.
+  return FlushPending(pid);
+}
+
+Status IplStore::Flush() {
+  if (!formatted_) return Status::InvalidArgument("store not formatted");
+  for (PageId pid = 0; pid < num_pages_; ++pid) {
+    if (pending_[pid].count != 0) FLASHDB_RETURN_IF_ERROR(FlushPending(pid));
+  }
+  return Status::OK();
+}
+
+Status IplStore::MergeBlock(uint32_t grp) {
+  flash::CategoryScope cat(dev_, flash::OpCategory::kGc);
+  if (free_blocks_.empty()) {
+    return Status::NoSpace("IPL merge has no free block");
+  }
+  counters_.merges++;
+  const uint32_t old_block = block_map_[grp];
+  const uint32_t new_block = free_blocks_.front();
+  free_blocks_.pop_front();
+  const uint32_t live = LivePagesIn(grp);
+
+  // Read the used log pages once and bucket records per pid, in slot order.
+  const uint32_t used_slots = next_slot_[grp];
+  const uint32_t used_log_pages =
+      (used_slots + slots_per_page_ - 1) / slots_per_page_;
+  std::unordered_map<PageId, ByteBuffer> logs;  // concatenated records
+  std::unordered_map<PageId, uint32_t> log_counts;
+  ByteBuffer log_page(data_size_);
+  for (uint32_t lp = 0; lp < used_log_pages; ++lp) {
+    const PhysAddr addr = dev_->AddrOf(old_block, orig_per_block_ + lp);
+    FLASHDB_RETURN_IF_ERROR(dev_->ReadPage(addr, log_page, {}));
+    for (uint32_t s = 0; s < slots_per_page_; ++s) {
+      const uint32_t slot = lp * slots_per_page_ + s;
+      if (slot >= used_slots) break;
+      ConstBytes sb(log_page.data() + s * slot_size_, slot_size_);
+      BufferReader r(sb);
+      const uint32_t owner = r.GetU32();
+      if (owner == kEmptySlotPid) continue;
+      const uint16_t count = r.GetU16();
+      ByteBuffer& dst = logs[owner];
+      const size_t start = r.position();
+      size_t consumed = 0;
+      for (uint16_t i = 0; i < count; ++i) {
+        r.GetU16();
+        const uint16_t len = r.GetU16();
+        r.GetBytes(len);
+        if (r.failed()) {
+          return Status::Corruption("malformed slot during merge");
+        }
+        consumed = r.position() - start;
+      }
+      dst.insert(dst.end(), sb.begin() + start, sb.begin() + start + consumed);
+      log_counts[owner] += count;
+    }
+  }
+
+  // Rebuild each live original page and program it into the new block.
+  ByteBuffer page(data_size_);
+  ByteBuffer spare(spare_size_, 0xFF);
+  const uint64_t merge_ts = clock_.Next();
+  for (uint32_t i = 0; i < live; ++i) {
+    const PageId pid = grp * orig_per_block_ + i;
+    FLASHDB_RETURN_IF_ERROR(
+        dev_->ReadPage(dev_->AddrOf(old_block, i), page, {}));
+    auto it = logs.find(pid);
+    if (it != logs.end()) {
+      BufferReader r(it->second);
+      const uint32_t count = log_counts[pid];
+      for (uint32_t k = 0; k < count; ++k) {
+        const uint16_t off = r.GetU16();
+        const uint16_t len = r.GetU16();
+        ConstBytes data = r.GetBytes(len);
+        if (r.failed() || static_cast<size_t>(off) + len > page.size()) {
+          return Status::Corruption("malformed merge record");
+        }
+        std::memcpy(page.data() + off, data.data(), len);
+      }
+    }
+    std::fill(spare.begin(), spare.end(), 0xFF);
+    ftl::EncodeSpare(spare, ftl::PageType::kOrig, pid, merge_ts);
+    FLASHDB_RETURN_IF_ERROR(
+        dev_->ProgramPage(dev_->AddrOf(new_block, i), page, spare));
+    pid_slots_[pid].clear();
+  }
+  // The old block is subsequently erased and garbage-collected.
+  FLASHDB_RETURN_IF_ERROR(dev_->EraseBlock(old_block));
+  free_blocks_.push_back(old_block);
+  block_map_[grp] = new_block;
+  next_slot_[grp] = 0;
+  return Status::OK();
+}
+
+uint32_t IplStore::LogPagesOf(PageId pid) const {
+  uint32_t n = 0;
+  int32_t last = -1;
+  for (uint16_t slot : pid_slots_[pid]) {
+    const int32_t lp = static_cast<int32_t>(LogPageOfIndex(slot));
+    if (lp != last) {
+      ++n;
+      last = lp;
+    }
+  }
+  return n;
+}
+
+Status IplStore::Recover() {
+  flash::CategoryScope cat(dev_, flash::OpCategory::kRecovery);
+  const auto& g = dev_->geometry();
+  clock_.Reset();
+  // Pass 1: inspect every block's original pages (spare reads) to find, per
+  // logical block, the complete candidate with the highest timestamp.
+  struct Candidate {
+    uint32_t block = 0;
+    uint64_t ts = 0;
+    bool valid = false;
+  };
+  std::unordered_map<uint32_t, Candidate> winner;  // logical block -> choice
+  std::vector<uint32_t> losers;
+  ByteBuffer spare(spare_size_);
+  uint32_t max_pid = 0;
+  bool any = false;
+
+  for (uint32_t b = 0; b < g.num_blocks; ++b) {
+    if (dev_->IsErased(dev_->AddrOf(b, 0))) continue;  // free block
+    FLASHDB_RETURN_IF_ERROR(dev_->ReadSpare(dev_->AddrOf(b, 0), spare));
+    ftl::SpareInfo first = ftl::DecodeSpare(spare);
+    if (!first.programmed || first.type != ftl::PageType::kOrig ||
+        !first.crc_ok) {
+      losers.push_back(b);  // foreign or torn block
+      continue;
+    }
+    const uint32_t grp = first.pid / orig_per_block_;
+    uint64_t ts_max = 0;
+    uint32_t programmed = 0;
+    bool consistent = (first.pid % orig_per_block_ == 0);
+    for (uint32_t i = 0; i < orig_per_block_ && consistent; ++i) {
+      const PhysAddr addr = dev_->AddrOf(b, i);
+      if (dev_->IsErased(addr)) break;
+      FLASHDB_RETURN_IF_ERROR(dev_->ReadSpare(addr, spare));
+      const ftl::SpareInfo info = ftl::DecodeSpare(spare);
+      if (!info.programmed) break;
+      if (info.type != ftl::PageType::kOrig || !info.crc_ok ||
+          info.pid != grp * orig_per_block_ + i) {
+        consistent = false;
+        break;
+      }
+      ++programmed;
+      ts_max = std::max(ts_max, info.timestamp);
+      if (!any || info.pid > max_pid) max_pid = info.pid;
+      any = true;
+    }
+    if (!consistent) {
+      losers.push_back(b);
+      continue;
+    }
+    clock_.Observe(ts_max);
+    Candidate& cur = winner[grp];
+    // Completeness is judged after num_pages_ is known; keep both candidates'
+    // info by preferring higher (programmed, ts).
+    Candidate cand{b, ts_max, true};
+    auto better = [&](const Candidate& x, const Candidate& y) {
+      return x.ts > y.ts;
+    };
+    if (!cur.valid) {
+      cur = cand;
+    } else {
+      // Prefer the one with more programmed originals only when the newer is
+      // an incomplete merge target; approximate by checking programmed count
+      // lazily below. A merge target has strictly newer ts; it wins only if
+      // it programmed at least as many pages as the old block.
+      uint32_t cur_prog = 0;
+      for (uint32_t i = 0; i < orig_per_block_; ++i) {
+        if (!dev_->IsErased(dev_->AddrOf(cur.block, i))) ++cur_prog;
+      }
+      if (programmed >= cur_prog && better(cand, cur)) {
+        losers.push_back(cur.block);
+        cur = cand;
+      } else if (programmed >= cur_prog && better(cur, cand)) {
+        losers.push_back(b);
+      } else if (programmed < cur_prog) {
+        losers.push_back(b);  // incomplete merge target
+      } else {
+        losers.push_back(cur.block);
+        cur = cand;
+      }
+    }
+  }
+
+  num_pages_ = any ? max_pid + 1 : 0;
+  num_groups_ = (num_pages_ + orig_per_block_ - 1) / orig_per_block_;
+  block_map_.assign(num_groups_, 0);
+  next_slot_.assign(num_groups_, 0);
+  pid_slots_.assign(num_pages_, {});
+  pending_.assign(num_pages_, {});
+  free_blocks_.clear();
+
+  std::vector<bool> used(g.num_blocks, false);
+  for (auto& [grp, cand] : winner) {
+    if (grp >= num_groups_) continue;
+    block_map_[grp] = cand.block;
+    used[cand.block] = true;
+  }
+  // Erase leftover merge debris so those blocks are reusable.
+  for (uint32_t b : losers) {
+    FLASHDB_RETURN_IF_ERROR(dev_->EraseBlock(b));
+  }
+  for (uint32_t b = 0; b < g.num_blocks; ++b) {
+    if (!used[b] && dev_->IsErased(dev_->AddrOf(b, 0))) {
+      free_blocks_.push_back(b);
+    }
+  }
+
+  // Pass 2: rebuild the slot tables from each winner's log region.
+  ByteBuffer log_page(data_size_);
+  for (uint32_t grp = 0; grp < num_groups_; ++grp) {
+    const uint32_t block = block_map_[grp];
+    uint32_t slot = 0;
+    bool done = false;
+    for (uint32_t lp = 0; lp < log_pages_per_block_ && !done; ++lp) {
+      const PhysAddr addr = dev_->AddrOf(block, orig_per_block_ + lp);
+      if (dev_->IsErased(addr)) break;
+      FLASHDB_RETURN_IF_ERROR(dev_->ReadPage(addr, log_page, {}));
+      for (uint32_t s = 0; s < slots_per_page_; ++s, ++slot) {
+        ConstBytes sb(log_page.data() + s * slot_size_, slot_size_);
+        const uint32_t owner = DecodeFixed32(sb.data());
+        if (owner == kEmptySlotPid) {
+          done = true;
+          break;
+        }
+        if (owner < num_pages_) {
+          pid_slots_[owner].push_back(static_cast<uint16_t>(slot));
+        }
+      }
+    }
+    next_slot_[grp] = static_cast<uint16_t>(slot);
+  }
+  formatted_ = true;
+  return Status::OK();
+}
+
+}  // namespace flashdb::methods

@@ -1,0 +1,121 @@
+#include "methods/ipu_store.h"
+
+#include <algorithm>
+#include <string>
+
+namespace flashdb::methods {
+
+using flash::PhysAddr;
+
+IpuStore::IpuStore(flash::FlashDevice* dev)
+    : dev_(dev),
+      data_size_(dev->geometry().data_size),
+      spare_size_(dev->geometry().spare_size) {}
+
+Status IpuStore::Format(uint32_t num_logical_pages, PageInitializer initial,
+                        void* initial_arg) {
+  const auto& g = dev_->geometry();
+  if (num_logical_pages > g.total_pages()) {
+    return Status::NoSpace("IPU requires one physical page per logical page");
+  }
+  for (uint32_t b = 0; b < g.num_blocks; ++b) {
+    bool dirty = false;
+    for (uint32_t p = 0; p < g.pages_per_block && !dirty; ++p) {
+      dirty = !dev_->IsErased(dev_->AddrOf(b, p));
+    }
+    if (dirty) FLASHDB_RETURN_IF_ERROR(dev_->EraseBlock(b));
+  }
+  clock_.Reset();
+  num_pages_ = num_logical_pages;
+  ByteBuffer page(data_size_, 0);
+  ByteBuffer spare(spare_size_, 0xFF);
+  for (PageId pid = 0; pid < num_logical_pages; ++pid) {
+    std::fill(page.begin(), page.end(), 0);
+    if (initial != nullptr) initial(pid, page, initial_arg);
+    std::fill(spare.begin(), spare.end(), 0xFF);
+    ftl::EncodeSpare(spare, ftl::PageType::kData, pid, clock_.Next());
+    FLASHDB_RETURN_IF_ERROR(dev_->ProgramPage(pid, page, spare));
+  }
+  formatted_ = true;
+  return Status::OK();
+}
+
+Status IpuStore::ReadPage(PageId pid, MutBytes out) {
+  if (!formatted_) return Status::InvalidArgument("store not formatted");
+  if (pid >= num_pages_) {
+    return Status::NotFound("pid out of range: " + std::to_string(pid));
+  }
+  if (out.size() != data_size_) {
+    return Status::InvalidArgument("output buffer must be one page");
+  }
+  return dev_->ReadPage(pid, out, {});
+}
+
+Status IpuStore::WriteBack(PageId pid, ConstBytes page) {
+  if (!formatted_) return Status::InvalidArgument("store not formatted");
+  if (pid >= num_pages_) {
+    return Status::NotFound("pid out of range: " + std::to_string(pid));
+  }
+  if (page.size() != data_size_) {
+    return Status::InvalidArgument("page image must be one page");
+  }
+  const auto& g = dev_->geometry();
+  const uint32_t block = dev_->BlockOf(pid);
+  const uint32_t in_block = dev_->PageInBlock(pid);
+  const PhysAddr first = dev_->AddrOf(block, 0);
+  // Only pages that hold logical data need preserving.
+  const uint32_t live_pages =
+      std::min(g.pages_per_block,
+               num_pages_ > first ? num_pages_ - first : 0u);
+
+  // Step 1: read every other live page of the block.
+  std::vector<ByteBuffer> saved_data(live_pages);
+  std::vector<ByteBuffer> saved_spare(live_pages);
+  for (uint32_t p = 0; p < live_pages; ++p) {
+    if (p == in_block) continue;
+    saved_data[p].resize(data_size_);
+    saved_spare[p].resize(spare_size_);
+    FLASHDB_RETURN_IF_ERROR(
+        dev_->ReadPage(first + p, saved_data[p], saved_spare[p]));
+  }
+  // Step 2: erase the block.
+  FLASHDB_RETURN_IF_ERROR(dev_->EraseBlock(block));
+  // Steps 3+4: program all live pages back in ascending (NAND) order, with
+  // the updated image in its fixed slot.
+  ByteBuffer spare(spare_size_, 0xFF);
+  for (uint32_t p = 0; p < live_pages; ++p) {
+    if (p == in_block) {
+      std::fill(spare.begin(), spare.end(), 0xFF);
+      ftl::EncodeSpare(spare, ftl::PageType::kData, pid, clock_.Next());
+      FLASHDB_RETURN_IF_ERROR(dev_->ProgramPage(pid, page, spare));
+    } else {
+      FLASHDB_RETURN_IF_ERROR(
+          dev_->ProgramPage(first + p, saved_data[p], saved_spare[p]));
+    }
+  }
+  return Status::OK();
+}
+
+Status IpuStore::Recover() {
+  // The mapping is the identity; only the page count must be re-derived.
+  flash::CategoryScope cat(dev_, flash::OpCategory::kRecovery);
+  const uint32_t total = dev_->geometry().total_pages();
+  ByteBuffer spare(spare_size_);
+  uint32_t max_pid = 0;
+  bool any = false;
+  for (PhysAddr addr = 0; addr < total; ++addr) {
+    FLASHDB_RETURN_IF_ERROR(dev_->ReadSpare(addr, spare));
+    const ftl::SpareInfo info = ftl::DecodeSpare(spare);
+    if (!info.programmed || info.type != ftl::PageType::kData || !info.crc_ok) {
+      continue;
+    }
+    clock_.Observe(info.timestamp);
+    if (!any || info.pid > max_pid) max_pid = info.pid;
+    any = true;
+  }
+  num_pages_ = any ? max_pid + 1 : 0;
+  formatted_ = true;
+  return Status::OK();
+}
+
+}  // namespace flashdb::methods

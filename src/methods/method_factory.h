@@ -1,0 +1,42 @@
+// Factory for page-update methods, keyed by the names used throughout the
+// paper's figures: "PDL(256B)", "PDL(2048B)", "OPU", "IPU", "IPL(18KB)",
+// "IPL(64KB)".
+
+#ifndef FLASHDB_METHODS_METHOD_FACTORY_H_
+#define FLASHDB_METHODS_METHOD_FACTORY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "ftl/page_store.h"
+
+namespace flashdb::methods {
+
+/// Method family selector.
+enum class MethodKind { kPdl, kOpu, kIpu, kIpl };
+
+/// Parsed method specification.
+struct MethodSpec {
+  MethodKind kind = MethodKind::kPdl;
+  /// PDL: Max_Differential_Size in bytes; IPL: log region bytes per block.
+  uint32_t param = 0;
+
+  std::string ToString() const;
+};
+
+/// Parses "PDL(256B)", "PDL(2KB)", "OPU", "IPU", "IPL(18KB)", ... Sizes
+/// accept B/KB suffixes.
+Result<MethodSpec> ParseMethodSpec(const std::string& name);
+
+/// Instantiates a page store over `dev` for `spec`.
+std::unique_ptr<PageStore> CreateStore(flash::FlashDevice* dev,
+                                       const MethodSpec& spec);
+
+/// The six configurations evaluated in the paper's Experiment 1.
+std::vector<MethodSpec> PaperMethodSet();
+
+}  // namespace flashdb::methods
+
+#endif  // FLASHDB_METHODS_METHOD_FACTORY_H_

@@ -1,0 +1,174 @@
+#include "methods/opu_store.h"
+
+#include <algorithm>
+#include <string>
+
+namespace flashdb::methods {
+
+using flash::kNullAddr;
+using flash::PhysAddr;
+
+OpuStore::OpuStore(flash::FlashDevice* dev, const OpuConfig& config)
+    : dev_(dev),
+      config_(config),
+      data_size_(dev->geometry().data_size),
+      spare_size_(dev->geometry().spare_size),
+      // Clamp the reserve on tiny chips (see PdlStore::EffectiveReserve).
+      bm_(dev, std::min(config.gc_reserve_blocks,
+                        std::max(2u, dev->geometry().num_blocks / 8))) {}
+
+Status OpuStore::Format(uint32_t num_logical_pages, PageInitializer initial,
+                        void* initial_arg) {
+  const auto& g = dev_->geometry();
+  for (uint32_t b = 0; b < g.num_blocks; ++b) {
+    bool dirty = false;
+    for (uint32_t p = 0; p < g.pages_per_block && !dirty; ++p) {
+      dirty = !dev_->IsErased(dev_->AddrOf(b, p));
+    }
+    if (dirty) FLASHDB_RETURN_IF_ERROR(dev_->EraseBlock(b));
+  }
+  bm_.Reset();
+  clock_.Reset();
+  num_pages_ = num_logical_pages;
+  map_.assign(num_logical_pages, kNullAddr);
+
+  ByteBuffer page(data_size_, 0);
+  ByteBuffer spare(spare_size_, 0xFF);
+  for (PageId pid = 0; pid < num_logical_pages; ++pid) {
+    std::fill(page.begin(), page.end(), 0);
+    if (initial != nullptr) initial(pid, page, initial_arg);
+    FLASHDB_ASSIGN_OR_RETURN(PhysAddr q, bm_.AllocatePage(false));
+    std::fill(spare.begin(), spare.end(), 0xFF);
+    ftl::EncodeSpare(spare, ftl::PageType::kData, pid, clock_.Next());
+    FLASHDB_RETURN_IF_ERROR(dev_->ProgramPage(q, page, spare));
+    map_[pid] = q;
+  }
+  formatted_ = true;
+  return Status::OK();
+}
+
+Status OpuStore::ReadPage(PageId pid, MutBytes out) {
+  if (!formatted_) return Status::InvalidArgument("store not formatted");
+  if (pid >= num_pages_) {
+    return Status::NotFound("pid out of range: " + std::to_string(pid));
+  }
+  if (out.size() != data_size_) {
+    return Status::InvalidArgument("output buffer must be one page");
+  }
+  return dev_->ReadPage(map_[pid], out, {});
+}
+
+Status OpuStore::WriteBack(PageId pid, ConstBytes page) {
+  if (!formatted_) return Status::InvalidArgument("store not formatted");
+  if (pid >= num_pages_) {
+    return Status::NotFound("pid out of range: " + std::to_string(pid));
+  }
+  if (page.size() != data_size_) {
+    return Status::InvalidArgument("page image must be one page");
+  }
+  // Program the up-to-date page into a new physical page first, then set the
+  // old copy obsolete (crash between the two leaves duplicates, arbitrated by
+  // timestamp during recovery).
+  FLASHDB_ASSIGN_OR_RETURN(PhysAddr q, AllocatePage(false));
+  ByteBuffer spare(spare_size_, 0xFF);
+  ftl::EncodeSpare(spare, ftl::PageType::kData, pid, clock_.Next());
+  FLASHDB_RETURN_IF_ERROR(dev_->ProgramPage(q, page, spare));
+  const PhysAddr old = map_[pid];  // resolve after GC may have moved it
+  FLASHDB_RETURN_IF_ERROR(bm_.MarkObsolete(old));
+  map_[pid] = q;
+  return Status::OK();
+}
+
+Result<PhysAddr> OpuStore::AllocatePage(bool for_gc) {
+  while (true) {
+    Result<PhysAddr> r = bm_.AllocatePage(for_gc);
+    if (r.ok() || for_gc || !r.status().IsNoSpace()) return r;
+    FLASHDB_RETURN_IF_ERROR(RunGcOnce());
+  }
+}
+
+Status OpuStore::RunGcOnce() {
+  flash::CategoryScope cat(dev_, flash::OpCategory::kGc);
+  std::optional<uint32_t> victim = bm_.PickGcVictim();
+  if (!victim.has_value()) {
+    // All reclaimable space may sit in the open block; close it and retry.
+    bm_.CloseOpenBlocks();
+    victim = bm_.PickGcVictim();
+  }
+  if (!victim.has_value()) {
+    return Status::NoSpace("garbage collection found no reclaimable block");
+  }
+  ++gc_runs_;
+  const uint32_t block = *victim;
+  const uint32_t ppb = dev_->geometry().pages_per_block;
+  ByteBuffer data(data_size_);
+  ByteBuffer spare(spare_size_);
+  for (uint32_t p = 0; p < ppb; ++p) {
+    const PhysAddr addr = dev_->AddrOf(block, p);
+    if (bm_.state(addr) != ftl::PageState::kValid) continue;
+    FLASHDB_RETURN_IF_ERROR(dev_->ReadPage(addr, data, spare));
+    const ftl::SpareInfo info = ftl::DecodeSpare(spare);
+    if (info.type != ftl::PageType::kData || info.pid >= num_pages_ ||
+        map_[info.pid] != addr) {
+      continue;  // stale duplicate; dropped by the erase
+    }
+    FLASHDB_ASSIGN_OR_RETURN(PhysAddr q, bm_.AllocatePage(true));
+    ByteBuffer new_spare(spare_size_, 0xFF);
+    ftl::EncodeSpare(new_spare, ftl::PageType::kData, info.pid,
+                     info.timestamp);
+    FLASHDB_RETURN_IF_ERROR(dev_->ProgramPage(q, data, new_spare));
+    map_[info.pid] = q;
+  }
+  return bm_.EraseAndFree(block);
+}
+
+Status OpuStore::Recover() {
+  flash::CategoryScope cat(dev_, flash::OpCategory::kRecovery);
+  const auto& g = dev_->geometry();
+  const uint32_t total = g.total_pages();
+  bm_.Reset();
+  clock_.Reset();
+  map_.assign(total, kNullAddr);
+  std::vector<uint64_t> best_ts(total, 0);
+  ByteBuffer spare(spare_size_);
+  ByteBuffer obsolete_mark(spare_size_);
+  ftl::EncodeObsoleteMark(obsolete_mark);
+  uint32_t max_pid = 0;
+  bool any_pid = false;
+  for (PhysAddr addr = 0; addr < total; ++addr) {
+    FLASHDB_RETURN_IF_ERROR(dev_->ReadSpare(addr, spare));
+    const ftl::SpareInfo info = ftl::DecodeSpare(spare);
+    if (!info.programmed) continue;
+    if (info.obsolete || !info.crc_ok ||
+        info.type != ftl::PageType::kData || info.pid >= total) {
+      bm_.SetObsoleteForRecovery(addr);
+      if (!info.obsolete) {
+        FLASHDB_RETURN_IF_ERROR(dev_->ProgramSpare(addr, obsolete_mark));
+      }
+      continue;
+    }
+    clock_.Observe(info.timestamp);
+    const PageId pid = info.pid;
+    if (info.timestamp > best_ts[pid]) {
+      if (map_[pid] != kNullAddr) {
+        FLASHDB_RETURN_IF_ERROR(dev_->ProgramSpare(map_[pid], obsolete_mark));
+        bm_.SetObsoleteForRecovery(map_[pid]);
+      }
+      map_[pid] = addr;
+      best_ts[pid] = info.timestamp;
+      bm_.SetValidForRecovery(addr);
+      if (!any_pid || pid > max_pid) max_pid = pid;
+      any_pid = true;
+    } else {
+      FLASHDB_RETURN_IF_ERROR(dev_->ProgramSpare(addr, obsolete_mark));
+      bm_.SetObsoleteForRecovery(addr);
+    }
+  }
+  bm_.FinalizeRecovery();
+  num_pages_ = any_pid ? max_pid + 1 : 0;
+  map_.resize(num_pages_);
+  formatted_ = true;
+  return Status::OK();
+}
+
+}  // namespace flashdb::methods

@@ -1,0 +1,525 @@
+#include "pdl/pdl_store.h"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+
+namespace flashdb::pdl {
+
+using flash::kNullAddr;
+using flash::PhysAddr;
+
+namespace {
+/// Tiny chips cannot afford the full reserve; clamp it so at least one
+/// quarter of the chip stays allocatable (GC transient demand scales down
+/// with lighter workloads on small chips).
+uint32_t EffectiveReserve(uint32_t configured, uint32_t num_blocks) {
+  const uint32_t cap = std::max(2u, num_blocks / 8);
+  return std::min(configured, cap);
+}
+}  // namespace
+
+PdlStore::PdlStore(flash::FlashDevice* dev, const PdlConfig& config)
+    : dev_(dev),
+      config_(config),
+      data_size_(dev->geometry().data_size),
+      spare_size_(dev->geometry().spare_size),
+      bm_(dev, EffectiveReserve(config.gc_reserve_blocks,
+                                dev->geometry().num_blocks)),
+      buffer_(dev->geometry().data_size) {
+  // A single differential record must fit in one differential page.
+  if (config_.max_differential_size > data_size_) {
+    config_.max_differential_size = data_size_;
+  }
+  if (config_.gc_merge_threshold == 0 ||
+      config_.gc_merge_threshold > data_size_) {
+    config_.gc_merge_threshold = data_size_ / 4;
+  }
+  name_ = "PDL(" + std::to_string(config_.max_differential_size) + "B)";
+}
+
+Status PdlStore::Format(uint32_t num_logical_pages, PageInitializer initial,
+                        void* initial_arg) {
+  const auto& g = dev_->geometry();
+  // Erase any previously programmed blocks so the chip starts clean.
+  for (uint32_t b = 0; b < g.num_blocks; ++b) {
+    bool dirty = false;
+    for (uint32_t p = 0; p < g.pages_per_block && !dirty; ++p) {
+      dirty = !dev_->IsErased(dev_->AddrOf(b, p));
+    }
+    if (dirty) FLASHDB_RETURN_IF_ERROR(dev_->EraseBlock(b));
+  }
+  bm_.Reset();
+  clock_.Reset();
+  buffer_.Clear();
+  num_pages_ = num_logical_pages;
+  base_.assign(num_logical_pages, kNullAddr);
+  diff_.assign(num_logical_pages, kNullAddr);
+  vdct_.assign(g.total_pages(), 0);
+  diff_live_bytes_.assign(g.total_pages(), 0);
+  flushed_diff_size_.assign(num_logical_pages, 0);
+  counters_ = PdlCounters{};
+
+  ByteBuffer page(data_size_, 0);
+  ByteBuffer spare(spare_size_, 0xFF);
+  for (PageId pid = 0; pid < num_logical_pages; ++pid) {
+    std::fill(page.begin(), page.end(), 0);
+    if (initial != nullptr) initial(pid, page, initial_arg);
+    FLASHDB_ASSIGN_OR_RETURN(PhysAddr q, bm_.AllocatePage(false, kBaseStream));
+    std::fill(spare.begin(), spare.end(), 0xFF);
+    ftl::EncodeSpare(spare, ftl::PageType::kBase, pid, clock_.Next());
+    FLASHDB_RETURN_IF_ERROR(dev_->ProgramPage(q, page, spare));
+    base_[pid] = q;
+  }
+  formatted_ = true;
+  return Status::OK();
+}
+
+Status PdlStore::ReadPage(PageId pid, MutBytes out) {
+  if (!formatted_) return Status::InvalidArgument("store not formatted");
+  if (pid >= num_pages_) {
+    return Status::NotFound("pid out of range: " + std::to_string(pid));
+  }
+  if (out.size() != data_size_) {
+    return Status::InvalidArgument("output buffer must be one page");
+  }
+  // Step 1: read the base page.
+  FLASHDB_RETURN_IF_ERROR(dev_->ReadPage(base_[pid], out, {}));
+  // Step 2: find the differential -- the write buffer shadows flash.
+  if (const Differential* d = buffer_.Find(pid)) {
+    return d->ApplyTo(out);  // Step 3: merge.
+  }
+  const PhysAddr dp = diff_[pid];
+  if (dp == kNullAddr) return Status::OK();  // no differential page
+  Differential d;
+  bool found = false;
+  FLASHDB_RETURN_IF_ERROR(FindDifferentialInPage(dp, pid, &d, &found));
+  if (!found) {
+    return Status::Corruption("PPMT points at differential page " +
+                              std::to_string(dp) + " lacking a record for pid " +
+                              std::to_string(pid));
+  }
+  return d.ApplyTo(out);  // Step 3: merge.
+}
+
+Status PdlStore::FindDifferentialInPage(PhysAddr dp, PageId pid,
+                                        Differential* out, bool* found) {
+  *found = false;
+  ByteBuffer data(data_size_);
+  FLASHDB_RETURN_IF_ERROR(dev_->ReadPage(dp, data, {}));
+  BufferReader reader(data);
+  Differential d;
+  Status parse_status;
+  while (Differential::ParseNext(&reader, &d, &parse_status)) {
+    if (d.pid() == pid) {
+      *out = std::move(d);
+      *found = true;
+      return Status::OK();
+    }
+  }
+  return parse_status;
+}
+
+Status PdlStore::WriteBack(PageId pid, ConstBytes page) {
+  if (!formatted_) return Status::InvalidArgument("store not formatted");
+  if (pid >= num_pages_) {
+    return Status::NotFound("pid out of range: " + std::to_string(pid));
+  }
+  if (page.size() != data_size_) {
+    return Status::InvalidArgument("page image must be one page");
+  }
+  // Step 1: read the base page.
+  ByteBuffer base_image(data_size_);
+  FLASHDB_RETURN_IF_ERROR(dev_->ReadPage(base_[pid], base_image, {}));
+  // Step 2: create the differential.
+  Differential diff = ComputeDifferential(base_image, page, pid, clock_.Next(),
+                                          config_.diff_coalesce_gap);
+  counters_.diff_bytes_written += diff.EncodedSize();
+  // Step 3: write the differential into the differential write buffer.
+  buffer_.Remove(pid);
+  if (buffer_.Fits(diff)) {
+    // Case 1: fits in the buffer's free space.
+    buffer_.Insert(std::move(diff));
+    counters_.diffs_buffered++;
+    return Status::OK();
+  }
+  if (diff.EncodedSize() <= config_.max_differential_size) {
+    // Case 2: flush the buffer, then insert.
+    FLASHDB_RETURN_IF_ERROR(FlushBuffer(false));
+    // GC triggered by the flush may have re-added a (stale, now superseded)
+    // compacted differential for this pid; drop it before inserting.
+    buffer_.Remove(pid);
+    buffer_.Insert(std::move(diff));
+    counters_.diffs_buffered++;
+    return Status::OK();
+  }
+  // Case 3: differential too large -- write the page as a new base page.
+  return WriteNewBasePage(pid, page, false);
+}
+
+Status PdlStore::Flush() {
+  if (!formatted_) return Status::InvalidArgument("store not formatted");
+  return FlushBuffer(false);
+}
+
+Status PdlStore::FlushBuffer(bool for_gc) {
+  if (!for_gc) {
+    while (bm_.LowOnSpace(kDiffStream)) {
+      Status gc = RunGcOnce();
+      if (gc.IsNoSpace()) break;  // nothing reclaimable yet; allocation may
+                                  // still succeed from the open block
+      FLASHDB_RETURN_IF_ERROR(gc);
+    }
+  }
+  if (buffer_.empty()) return Status::OK();
+  FLASHDB_ASSIGN_OR_RETURN(PhysAddr q, bm_.AllocatePage(for_gc, kDiffStream));
+  // Step 1: write the buffer's contents as a new differential page.
+  ByteBuffer image = buffer_.SerializePage(data_size_);
+  ByteBuffer spare(spare_size_, 0xFF);
+  ftl::EncodeSpare(spare, ftl::PageType::kDiff, kPaddingPid - 1, clock_.Next());
+  FLASHDB_RETURN_IF_ERROR(dev_->ProgramPage(q, image, spare));
+  // Step 2: update the mapping table and the valid-differential counts.
+  for (const Differential& d : buffer_.entries()) {
+    const PhysAddr old_dp = diff_[d.pid()];
+    if (old_dp != kNullAddr) {
+      diff_live_bytes_[old_dp] -= flushed_diff_size_[d.pid()];
+      FLASHDB_RETURN_IF_ERROR(DecreaseValidDifferentialCount(old_dp));
+    }
+    diff_[d.pid()] = q;
+    vdct_[q]++;
+    const uint32_t size = static_cast<uint32_t>(d.EncodedSize());
+    diff_live_bytes_[q] += size;
+    flushed_diff_size_[d.pid()] = size;
+  }
+  buffer_.Clear();
+  counters_.buffer_flushes++;
+  return Status::OK();
+}
+
+Status PdlStore::DecreaseValidDifferentialCount(PhysAddr dp) {
+  if (vdct_[dp] == 0) {
+    return Status::Corruption("VDCT underflow at page " + std::to_string(dp));
+  }
+  if (--vdct_[dp] == 0) {
+    // No valid differential remains: make it available for garbage collection.
+    FLASHDB_RETURN_IF_ERROR(bm_.MarkObsolete(dp));
+  }
+  return Status::OK();
+}
+
+Status PdlStore::WriteNewBasePage(PageId pid, ConstBytes page, bool for_gc) {
+  if (!for_gc) {
+    while (bm_.LowOnSpace(kBaseStream)) {
+      Status gc = RunGcOnce();
+      if (gc.IsNoSpace()) break;
+      FLASHDB_RETURN_IF_ERROR(gc);
+    }
+  }
+  FLASHDB_ASSIGN_OR_RETURN(PhysAddr q, bm_.AllocatePage(for_gc, kBaseStream));
+  // Step 1: write the page itself as a new base page.
+  ByteBuffer spare(spare_size_, 0xFF);
+  ftl::EncodeSpare(spare, ftl::PageType::kBase, pid, clock_.Next());
+  FLASHDB_RETURN_IF_ERROR(dev_->ProgramPage(q, page, spare));
+  // Step 2: update tables. Resolve the old locations only now: the GC run
+  // above may have relocated them.
+  const PhysAddr old_bp = base_[pid];
+  FLASHDB_RETURN_IF_ERROR(bm_.MarkObsolete(old_bp));
+  const PhysAddr old_dp = diff_[pid];
+  if (old_dp != kNullAddr) {
+    diff_live_bytes_[old_dp] -= flushed_diff_size_[pid];
+    flushed_diff_size_[pid] = 0;
+    FLASHDB_RETURN_IF_ERROR(DecreaseValidDifferentialCount(old_dp));
+    diff_[pid] = kNullAddr;
+  }
+  base_[pid] = q;
+  counters_.new_base_pages++;
+  return Status::OK();
+}
+
+Status PdlStore::RunGcOnce() {
+  flash::CategoryScope cat(dev_, flash::OpCategory::kGc);
+  // Byte-scored victim selection: obsolete pages reclaim a whole page;
+  // valid differential pages reclaim their dead fraction via compaction;
+  // valid base pages reclaim nothing (they must be relocated).
+  auto score_valid = [this](PhysAddr addr) -> uint64_t {
+    if (vdct_[addr] == 0) return 0;  // base page (or unflushed state)
+    const uint32_t live = diff_live_bytes_[addr];
+    return live >= data_size_ ? 0 : data_size_ - live;
+  };
+  std::optional<uint32_t> victim = bm_.PickGcVictimScored(
+      /*min_score=*/data_size_, /*full_page_score=*/data_size_, score_valid);
+  if (!victim.has_value()) {
+    // The reclaimable space may all sit in the open block (common when the
+    // rest of the chip is packed with valid base pages): close it so it
+    // becomes a legal victim and retry.
+    bm_.CloseOpenBlocks();
+#ifdef FLASHDB_GC_DEBUG
+    std::fprintf(stderr, "gc fallback: closed open blocks (free=%u)\n",
+                 bm_.free_blocks());
+#endif
+    victim = bm_.PickGcVictimScored(data_size_, data_size_, score_valid);
+  }
+  if (!victim.has_value()) {
+    return Status::NoSpace("garbage collection found no reclaimable block");
+  }
+  counters_.gc_runs++;
+#ifdef FLASHDB_GC_DEBUG
+  {
+    uint64_t live_total = 0, vic_live = 0;
+    uint32_t vic_valid = 0, vic_obs = 0, vic_diffpages = 0;
+    const uint32_t ppb_dbg = dev_->geometry().pages_per_block;
+    for (uint32_t a = 0; a < dev_->geometry().total_pages(); ++a) {
+      live_total += diff_live_bytes_[a];
+    }
+    for (uint32_t pg = 0; pg < ppb_dbg; ++pg) {
+      const PhysAddr a = dev_->AddrOf(*victim, pg);
+      if (bm_.state(a) == ftl::PageState::kValid) { vic_valid++;
+        if (vdct_[a] > 0) { vic_diffpages++; vic_live += diff_live_bytes_[a]; }
+      } else if (bm_.state(a) == ftl::PageState::kObsolete) vic_obs++;
+    }
+    std::fprintf(stderr,
+        "gc#%llu victim=%u free=%u live_diff_total=%lluK vic(valid=%u obs=%u diffp=%u liveB=%llu)\n",
+        (unsigned long long)counters_.gc_runs, *victim, bm_.free_blocks(),
+        (unsigned long long)(live_total >> 10), vic_valid, vic_obs,
+        vic_diffpages, (unsigned long long)vic_live);
+  }
+#endif
+  const uint32_t block = *victim;
+  const uint32_t ppb = dev_->geometry().pages_per_block;
+  ByteBuffer data(data_size_);
+  ByteBuffer spare(spare_size_);
+  // Live differentials of the victim are compacted into fresh differential
+  // pages written directly (not through the one-page write buffer, whose
+  // premature flushes would fragment unrelated pending differentials).
+  std::vector<Differential> compacted;
+  // GC must emit fewer pages than the erase will reclaim, or the free list
+  // drains. Track the pages this run has produced (relocated bases, merge
+  // output, compaction output estimate) and stop merging -- the only
+  // discretionary output -- once the budget is nearly spent.
+  uint32_t output_pages = 0;
+  size_t compacted_bytes = 0;
+  auto output_estimate = [&]() {
+    return output_pages +
+           static_cast<uint32_t>((compacted_bytes + data_size_ - 1) /
+                                 data_size_);
+  };
+  for (uint32_t p = 0; p < ppb; ++p) {
+    const PhysAddr addr = dev_->AddrOf(block, p);
+    if (bm_.state(addr) != ftl::PageState::kValid) continue;
+    FLASHDB_RETURN_IF_ERROR(dev_->ReadPage(addr, data, spare));
+    const ftl::SpareInfo info = ftl::DecodeSpare(spare);
+    if (info.type == ftl::PageType::kBase) {
+      const PageId pid = info.pid;
+      if (pid >= num_pages_ || base_[pid] != addr) continue;  // stale copy
+      // Relocate, keeping the original timestamp so the page's differential
+      // (if any) still post-dates its base during crash recovery.
+      FLASHDB_ASSIGN_OR_RETURN(PhysAddr q, bm_.AllocatePage(true, kBaseStream));
+      ByteBuffer new_spare(spare_size_, 0xFF);
+      ftl::EncodeSpare(new_spare, ftl::PageType::kBase, pid, info.timestamp);
+      FLASHDB_RETURN_IF_ERROR(dev_->ProgramPage(q, data, new_spare));
+      base_[pid] = q;
+      counters_.gc_bases_moved++;
+      ++output_pages;
+    } else if (info.type == ftl::PageType::kDiff) {
+      // Collect the valid differentials; dead records vanish with the erase.
+      BufferReader reader(data);
+      Differential d;
+      Status parse_status;
+      while (Differential::ParseNext(&reader, &d, &parse_status)) {
+        if (d.pid() >= num_pages_ || diff_[d.pid()] != addr) continue;
+        // The record leaves this page either way.
+        vdct_[addr]--;
+        diff_live_bytes_[addr] -= flushed_diff_size_[d.pid()];
+        flushed_diff_size_[d.pid()] = 0;
+        diff_[d.pid()] = kNullAddr;
+        if (buffer_.Contains(d.pid())) continue;  // newer version in memory
+        // Merging pays off only for big differentials: it trades d bytes of
+        // compaction output for a full page write, but permanently removes
+        // d live bytes and obsoletes the old base. Small differentials are
+        // always cheaper to compact.
+        // Merge only while this run's output stays safely below what the
+        // erase will reclaim (merging is the only discretionary output).
+        if (d.EncodedSize() >= config_.gc_merge_threshold &&
+            output_estimate() + 2 < ppb - 4) {
+          ++output_pages;
+          // Merge the differential into a fresh base page: shrinks the live
+          // footprint (base + differential -> one page) and guarantees GC
+          // makes global progress even when the chip is nearly full of live
+          // data.
+          const PageId pid = d.pid();
+          ByteBuffer merged(data_size_);
+          FLASHDB_RETURN_IF_ERROR(dev_->ReadPage(base_[pid], merged, {}));
+          FLASHDB_RETURN_IF_ERROR(d.ApplyTo(merged));
+          FLASHDB_ASSIGN_OR_RETURN(PhysAddr q,
+                                   bm_.AllocatePage(true, kBaseStream));
+          ByteBuffer bspare(spare_size_, 0xFF);
+          ftl::EncodeSpare(bspare, ftl::PageType::kBase, pid, clock_.Next());
+          FLASHDB_RETURN_IF_ERROR(dev_->ProgramPage(q, merged, bspare));
+          const PhysAddr old_bp = base_[pid];
+          // Skip the obsolete mark when the old base sits in this victim:
+          // the erase below reclaims it anyway.
+          if (dev_->BlockOf(old_bp) != block &&
+              bm_.state(old_bp) == ftl::PageState::kValid) {
+            FLASHDB_RETURN_IF_ERROR(bm_.MarkObsolete(old_bp));
+          }
+          base_[pid] = q;
+          counters_.gc_diffs_merged++;
+          continue;
+        }
+        compacted_bytes += d.EncodedSize();
+        compacted.push_back(std::move(d));
+        d = Differential();
+        counters_.gc_diffs_compacted++;
+      }
+      FLASHDB_RETURN_IF_ERROR(parse_status);
+    }
+    // Unknown valid page types are dropped with the erase below.
+  }
+  // Write the compacted differentials, densely packed, before destroying
+  // their old home (durability: they exist nowhere else).
+  size_t i = 0;
+  while (i < compacted.size()) {
+    ByteBuffer image;
+    image.reserve(data_size_);
+    const size_t first = i;
+    while (i < compacted.size() &&
+           image.size() + compacted[i].EncodedSize() <= data_size_) {
+      compacted[i].AppendTo(&image);
+      ++i;
+    }
+    image.resize(data_size_, 0xFF);
+    FLASHDB_ASSIGN_OR_RETURN(PhysAddr q, bm_.AllocatePage(true, kDiffStream));
+    ByteBuffer dspare(spare_size_, 0xFF);
+    ftl::EncodeSpare(dspare, ftl::PageType::kDiff, kPaddingPid - 1,
+                     clock_.Next());
+    FLASHDB_RETURN_IF_ERROR(dev_->ProgramPage(q, image, dspare));
+    for (size_t k = first; k < i; ++k) {
+      const PageId pid = compacted[k].pid();
+      diff_[pid] = q;
+      vdct_[q]++;
+      const uint32_t size = static_cast<uint32_t>(compacted[k].EncodedSize());
+      diff_live_bytes_[q] += size;
+      flushed_diff_size_[pid] = size;
+    }
+  }
+  for (uint32_t p = 0; p < ppb; ++p) {
+    vdct_[dev_->AddrOf(block, p)] = 0;
+    diff_live_bytes_[dev_->AddrOf(block, p)] = 0;
+  }
+  return bm_.EraseAndFree(block);
+}
+
+Status PdlStore::Recover() {
+  flash::CategoryScope cat(dev_, flash::OpCategory::kRecovery);
+  const auto& g = dev_->geometry();
+  const uint32_t total = g.total_pages();
+  bm_.Reset();
+  clock_.Reset();
+  buffer_.Clear();
+  base_.assign(total, kNullAddr);
+  diff_.assign(total, kNullAddr);
+  vdct_.assign(total, 0);
+  diff_live_bytes_.assign(total, 0);
+  flushed_diff_size_.assign(total, 0);
+  std::vector<uint64_t> base_ts(total, 0);
+  std::vector<uint64_t> diff_ts(total, 0);
+  ByteBuffer spare(spare_size_);
+  ByteBuffer data(data_size_);
+  ByteBuffer obsolete_mark(spare_size_);
+  ftl::EncodeObsoleteMark(obsolete_mark);
+
+  auto obsolete_on_flash = [&](PhysAddr a) -> Status {
+    FLASHDB_RETURN_IF_ERROR(dev_->ProgramSpare(a, obsolete_mark));
+    bm_.SetObsoleteForRecovery(a);
+    return Status::OK();
+  };
+  auto recovery_decrease = [&](PhysAddr dp) -> Status {
+    if (vdct_[dp] == 0) {
+      return Status::Corruption("recovery VDCT underflow at " +
+                                std::to_string(dp));
+    }
+    if (--vdct_[dp] == 0) FLASHDB_RETURN_IF_ERROR(obsolete_on_flash(dp));
+    return Status::OK();
+  };
+
+  uint32_t max_pid = 0;
+  bool any_pid = false;
+  for (PhysAddr addr = 0; addr < total; ++addr) {
+    FLASHDB_RETURN_IF_ERROR(dev_->ReadSpare(addr, spare));
+    const ftl::SpareInfo info = ftl::DecodeSpare(spare);
+    if (!info.programmed) continue;  // free page
+    if (info.obsolete || !info.crc_ok) {
+      bm_.SetObsoleteForRecovery(addr);
+      continue;
+    }
+    clock_.Observe(info.timestamp);
+    if (info.type == ftl::PageType::kBase) {
+      // Case 1: r is a base page.
+      const PageId pid = info.pid;
+      if (pid >= total) {
+        FLASHDB_RETURN_IF_ERROR(obsolete_on_flash(addr));
+        continue;
+      }
+      if (info.timestamp > base_ts[pid]) {
+        if (base_[pid] != kNullAddr) {
+          FLASHDB_RETURN_IF_ERROR(obsolete_on_flash(base_[pid]));
+        }
+        base_[pid] = addr;
+        base_ts[pid] = info.timestamp;
+        bm_.SetValidForRecovery(addr);
+        if (diff_[pid] != kNullAddr && info.timestamp > diff_ts[pid]) {
+          diff_live_bytes_[diff_[pid]] -= flushed_diff_size_[pid];
+          flushed_diff_size_[pid] = 0;
+          FLASHDB_RETURN_IF_ERROR(recovery_decrease(diff_[pid]));
+          diff_[pid] = kNullAddr;
+          diff_ts[pid] = 0;
+        }
+        if (!any_pid || pid > max_pid) max_pid = pid;
+        any_pid = true;
+      } else {
+        FLASHDB_RETURN_IF_ERROR(obsolete_on_flash(addr));
+      }
+    } else if (info.type == ftl::PageType::kDiff) {
+      // Case 2: r is a differential page -- inspect each differential.
+      FLASHDB_RETURN_IF_ERROR(dev_->ReadPage(addr, data, {}));
+      BufferReader reader(data);
+      Differential d;
+      Status parse_status;
+      while (Differential::ParseNext(&reader, &d, &parse_status)) {
+        if (d.pid() >= total) continue;
+        clock_.Observe(d.timestamp());
+        if (d.timestamp() > base_ts[d.pid()] &&
+            d.timestamp() > diff_ts[d.pid()]) {
+          if (diff_[d.pid()] != kNullAddr) {
+            diff_live_bytes_[diff_[d.pid()]] -= flushed_diff_size_[d.pid()];
+            FLASHDB_RETURN_IF_ERROR(recovery_decrease(diff_[d.pid()]));
+          }
+          diff_[d.pid()] = addr;
+          diff_ts[d.pid()] = d.timestamp();
+          vdct_[addr]++;
+          const uint32_t size = static_cast<uint32_t>(d.EncodedSize());
+          diff_live_bytes_[addr] += size;
+          flushed_diff_size_[d.pid()] = size;
+        }
+      }
+      FLASHDB_RETURN_IF_ERROR(parse_status);
+      if (vdct_[addr] == 0) {
+        FLASHDB_RETURN_IF_ERROR(obsolete_on_flash(addr));
+      } else {
+        bm_.SetValidForRecovery(addr);
+      }
+    } else {
+      // Foreign or invalid type: unusable, reclaim via GC.
+      FLASHDB_RETURN_IF_ERROR(obsolete_on_flash(addr));
+    }
+  }
+  bm_.FinalizeRecovery();
+  num_pages_ = any_pid ? max_pid + 1 : 0;
+  base_.resize(num_pages_);
+  diff_.resize(num_pages_);
+  flushed_diff_size_.resize(num_pages_);
+  formatted_ = true;
+  return Status::OK();
+}
+
+}  // namespace flashdb::pdl

@@ -1,0 +1,138 @@
+// PdlStore: page-differential logging (the paper's contribution, Section 4).
+//
+// A logical page is stored as a *base page* plus (at most) one differential
+// inside a *differential page*; differentials of many logical pages share a
+// differential page. The store implements:
+//   * PDL_Writing  (Fig. 7/8)  -> WriteBack()
+//   * PDL_Reading  (Fig. 9)    -> ReadPage()
+//   * PDL_RecoveringfromCrash (Fig. 11) -> Recover()
+// plus garbage collection with differential compaction (Section 4.1) and the
+// Max_Differential_Size policy (footnote 8: when a differential exceeds it,
+// the page itself is rewritten as a fresh base page — Case 3).
+
+#ifndef FLASHDB_PDL_PDL_STORE_H_
+#define FLASHDB_PDL_PDL_STORE_H_
+
+#include <string>
+#include <vector>
+
+#include "ftl/block_manager.h"
+#include "ftl/logical_clock.h"
+#include "ftl/page_store.h"
+#include "ftl/spare_codec.h"
+#include "pdl/diff_write_buffer.h"
+#include "pdl/differential.h"
+
+namespace flashdb::pdl {
+
+/// Tuning knobs for PDL.
+struct PdlConfig {
+  /// Max_Differential_Size: differentials larger than this are discarded and
+  /// the whole page is written as a new base page (Case 3 of Fig. 7).
+  /// The paper evaluates 256 bytes and 2048 bytes (one page).
+  uint32_t max_differential_size = 256;
+
+  /// Free blocks withheld so garbage collection can always relocate a
+  /// victim's live data (including differential compaction output).
+  uint32_t gc_reserve_blocks = 4;
+
+  /// Gap-coalescing threshold of the differential computation.
+  uint32_t diff_coalesce_gap = static_cast<uint32_t>(kExtentHeaderSize);
+
+  /// During garbage collection, a live differential at least this large is
+  /// *merged* into its base page (one fresh base page replaces base +
+  /// differential) instead of being compacted into a new differential page.
+  /// This bounds the live footprint: without it, near-page-size differentials
+  /// can push total live data (bases + differentials) past the chip capacity
+  /// and garbage collection livelocks. 0 = data_size / 2.
+  uint32_t gc_merge_threshold = 0;
+};
+
+/// Aggregate PDL-internal event counters (observability / ablation benches).
+struct PdlCounters {
+  uint64_t diffs_buffered = 0;       ///< Case 1+2 insertions.
+  uint64_t buffer_flushes = 0;       ///< Differential pages written.
+  uint64_t new_base_pages = 0;       ///< Case 3 occurrences.
+  uint64_t gc_runs = 0;
+  uint64_t gc_bases_moved = 0;
+  uint64_t gc_diffs_compacted = 0;
+  uint64_t gc_diffs_merged = 0;  ///< Differentials folded into fresh bases.
+  uint64_t diff_bytes_written = 0;   ///< Sum of serialized differential sizes.
+};
+
+/// See file comment.
+class PdlStore : public PageStore {
+ public:
+  PdlStore(flash::FlashDevice* dev, const PdlConfig& config);
+
+  std::string_view name() const override { return name_; }
+  Status Format(uint32_t num_logical_pages, PageInitializer initial,
+                void* initial_arg) override;
+  Status ReadPage(PageId pid, MutBytes out) override;
+  Status WriteBack(PageId pid, ConstBytes page) override;
+  Status Flush() override;
+  Status Recover() override;
+  uint32_t num_logical_pages() const override { return num_pages_; }
+  flash::FlashDevice* device() override { return dev_; }
+
+  const PdlConfig& config() const { return config_; }
+  const PdlCounters& counters() const { return counters_; }
+
+  /// Physical location of pid's base page (tests / diagnostics).
+  flash::PhysAddr base_addr(PageId pid) const { return base_[pid]; }
+  /// Physical location of pid's differential page, or kNullAddr.
+  flash::PhysAddr diff_addr(PageId pid) const { return diff_[pid]; }
+  /// Valid-differential count of a differential page (tests).
+  uint32_t vdct(flash::PhysAddr addr) const { return vdct_[addr]; }
+  /// Bytes currently pending in the differential write buffer (tests).
+  size_t buffered_bytes() const { return buffer_.used_bytes(); }
+
+ private:
+  /// Allocation streams: keeping base pages and differential pages in
+  /// separate open blocks keeps blocks homogeneous, which makes GC victims
+  /// cheaper (differential blocks decay almost completely before they are
+  /// collected, instead of dragging cold base pages along).
+  static constexpr uint32_t kBaseStream = 0;
+  static constexpr uint32_t kDiffStream = 1;
+
+  /// Writes the buffer out as a new differential page and updates the
+  /// mapping / count tables (procedure writingDifferentialWriteBuffer).
+  Status FlushBuffer(bool for_gc);
+  /// Writes `page` as a fresh base page (procedure writingNewBasePage).
+  Status WriteNewBasePage(PageId pid, ConstBytes page, bool for_gc);
+  /// Decrements the valid-differential count of `dp`; marks it obsolete on
+  /// flash when it reaches zero (procedure decreaseValidDifferentialCount).
+  Status DecreaseValidDifferentialCount(flash::PhysAddr dp);
+  /// Reclaims one victim block (relocate bases, compact differentials).
+  Status RunGcOnce();
+  /// Reads pid's differential from flash page `dp` into `*out`.
+  /// Sets found=false when the page holds no record for pid.
+  Status FindDifferentialInPage(flash::PhysAddr dp, PageId pid,
+                                Differential* out, bool* found);
+
+  flash::FlashDevice* dev_;
+  PdlConfig config_;
+  std::string name_;
+  uint32_t num_pages_ = 0;
+  uint32_t data_size_;
+  uint32_t spare_size_;
+
+  ftl::BlockManager bm_;
+  ftl::LogicalClock clock_;
+  DiffWriteBuffer buffer_;
+  std::vector<flash::PhysAddr> base_;  ///< PPMT: pid -> base page address.
+  std::vector<flash::PhysAddr> diff_;  ///< PPMT: pid -> differential page.
+  std::vector<uint32_t> vdct_;         ///< Per-physical-page valid-diff count.
+  /// Live differential bytes per differential page; steers byte-scored GC
+  /// victim selection (a page full of superseded records is mostly dead even
+  /// though its obsolete bit is unset until the count reaches zero).
+  std::vector<uint32_t> diff_live_bytes_;
+  /// Size of pid's last flushed differential (0 when none on flash).
+  std::vector<uint32_t> flushed_diff_size_;
+  PdlCounters counters_;
+  bool formatted_ = false;
+};
+
+}  // namespace flashdb::pdl
+
+#endif  // FLASHDB_PDL_PDL_STORE_H_

@@ -1,0 +1,154 @@
+#include "storage/buffer_pool.h"
+
+#include <cstring>
+#include <string>
+
+namespace flashdb::storage {
+
+BufferPool::BufferPool(PageStore* store, uint32_t num_frames)
+    : store_(store),
+      num_frames_(num_frames == 0 ? 1 : num_frames),
+      data_size_(store->device()->geometry().data_size) {
+  frames_.resize(num_frames_);
+  for (uint32_t i = 0; i < num_frames_; ++i) {
+    frames_[i].data.resize(data_size_);
+    free_frames_.push_back(num_frames_ - 1 - i);
+  }
+  snapshot_.resize(data_size_);
+}
+
+Result<uint32_t> BufferPool::Evict() {
+  for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+    Frame& f = frames_[*it];
+    if (f.pins != 0) continue;
+    const uint32_t idx = *it;
+    if (f.dirty) {
+      FLASHDB_RETURN_IF_ERROR(store_->WriteBack(f.pid, f.data));
+      stats_.dirty_writebacks++;
+      f.dirty = false;
+    }
+    lru_.erase(it);
+    f.in_lru = false;
+    table_.erase(f.pid);
+    stats_.evictions++;
+    return idx;
+  }
+  return Status::Busy("all buffer frames are pinned");
+}
+
+Result<uint32_t> BufferPool::Pin(PageId pid) {
+  auto it = table_.find(pid);
+  if (it != table_.end()) {
+    stats_.hits++;
+    Frame& f = frames_[it->second];
+    if (f.in_lru) {
+      lru_.erase(f.lru_pos);
+      f.in_lru = false;
+    }
+    f.pins++;
+    return it->second;
+  }
+  stats_.misses++;
+  uint32_t idx;
+  if (!free_frames_.empty()) {
+    idx = free_frames_.back();
+    free_frames_.pop_back();
+  } else {
+    FLASHDB_ASSIGN_OR_RETURN(idx, Evict());
+  }
+  Frame& f = frames_[idx];
+  FLASHDB_RETURN_IF_ERROR(store_->ReadPage(pid, f.data));
+  f.pid = pid;
+  f.dirty = false;
+  f.pins = 1;
+  f.in_lru = false;
+  table_[pid] = idx;
+  return idx;
+}
+
+void BufferPool::Unpin(uint32_t frame_idx) {
+  Frame& f = frames_[frame_idx];
+  if (f.pins > 0) f.pins--;
+  if (f.pins == 0 && !f.in_lru) {
+    lru_.push_back(frame_idx);
+    f.lru_pos = std::prev(lru_.end());
+    f.in_lru = true;
+  }
+}
+
+Status BufferPool::ReadPage(PageId pid,
+                            const std::function<Status(ConstBytes)>& fn) {
+  FLASHDB_ASSIGN_OR_RETURN(uint32_t idx, Pin(pid));
+  Status st = fn(frames_[idx].data);
+  Unpin(idx);
+  return st;
+}
+
+Status BufferPool::WithPage(PageId pid,
+                            const std::function<Status(MutBytes)>& fn) {
+  FLASHDB_ASSIGN_OR_RETURN(uint32_t idx, Pin(pid));
+  Frame& f = frames_[idx];
+  std::memcpy(snapshot_.data(), f.data.data(), data_size_);
+  Status st = fn(f.data);
+  if (!st.ok()) {
+    // Roll the frame back so a failed mutation leaves no trace.
+    std::memcpy(f.data.data(), snapshot_.data(), data_size_);
+    Unpin(idx);
+    return st;
+  }
+  // Minimal changed range -> update log for tightly-coupled methods.
+  uint32_t lo = 0;
+  while (lo < data_size_ && snapshot_[lo] == f.data[lo]) ++lo;
+  if (lo < data_size_) {
+    uint32_t hi = data_size_;
+    while (hi > lo && snapshot_[hi - 1] == f.data[hi - 1]) --hi;
+    UpdateLog log;
+    log.offset = lo;
+    log.data.assign(f.data.begin() + lo, f.data.begin() + hi);
+    st = store_->OnUpdate(pid, f.data, log);
+    f.dirty = true;
+  }
+  Unpin(idx);
+  return st;
+}
+
+Status BufferPool::FlushPage(PageId pid) {
+  auto it = table_.find(pid);
+  if (it == table_.end()) return Status::OK();
+  Frame& f = frames_[it->second];
+  if (f.dirty) {
+    FLASHDB_RETURN_IF_ERROR(store_->WriteBack(f.pid, f.data));
+    stats_.dirty_writebacks++;
+    f.dirty = false;
+  }
+  return Status::OK();
+}
+
+Status BufferPool::FlushAll() {
+  for (Frame& f : frames_) {
+    if (f.pins == 0 && f.dirty && table_.count(f.pid)) {
+      FLASHDB_RETURN_IF_ERROR(store_->WriteBack(f.pid, f.data));
+      stats_.dirty_writebacks++;
+      f.dirty = false;
+    }
+  }
+  return store_->Flush();
+}
+
+Status BufferPool::Reset() {
+  for (Frame& f : frames_) {
+    if (f.pins != 0) return Status::Busy("frame pinned during Reset");
+  }
+  FLASHDB_RETURN_IF_ERROR(FlushAll());
+  table_.clear();
+  lru_.clear();
+  free_frames_.clear();
+  for (uint32_t i = 0; i < num_frames_; ++i) {
+    frames_[i].dirty = false;
+    frames_[i].in_lru = false;
+    free_frames_.push_back(num_frames_ - 1 - i);
+  }
+  return Status::OK();
+}
+
+}  // namespace flashdb::storage

@@ -1,0 +1,93 @@
+// DBMS buffer manager over a PageStore (Exp. 7 substrate).
+//
+// Fixed number of frames, LRU replacement, pin counting, dirty tracking.
+// Mutations go through WithPage(), which snapshots the frame, lets the caller
+// mutate it, and then reports the minimal changed byte range to the store via
+// OnUpdate -- this is the "storage management module" hook that tightly-
+// coupled methods (IPL) require, and that loosely-coupled methods ignore.
+// Dirty pages are reflected into flash with WriteBack when evicted or
+// flushed, exactly like a disk-based DBMS swapping pages out of its buffer.
+
+#ifndef FLASHDB_STORAGE_BUFFER_POOL_H_
+#define FLASHDB_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "ftl/page_store.h"
+
+namespace flashdb::storage {
+
+/// Buffer pool statistics.
+struct BufferPoolStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t dirty_writebacks = 0;
+
+  double hit_rate() const {
+    const uint64_t t = hits + misses;
+    return t == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(t);
+  }
+};
+
+/// See file comment. Single-threaded.
+class BufferPool {
+ public:
+  BufferPool(PageStore* store, uint32_t num_frames);
+
+  /// Runs `fn` with read access to page `pid` (pinned for the duration).
+  Status ReadPage(PageId pid, const std::function<Status(ConstBytes)>& fn);
+
+  /// Runs `fn` with write access to page `pid`. After `fn` returns OK the
+  /// minimal changed byte range is reported to the store (OnUpdate) and the
+  /// frame is marked dirty.
+  Status WithPage(PageId pid, const std::function<Status(MutBytes)>& fn);
+
+  /// Writes back every dirty frame and flushes the store (write-through).
+  Status FlushAll();
+
+  /// Writes back `pid` if dirty (stays cached).
+  Status FlushPage(PageId pid);
+
+  /// Drops every frame (must all be unpinned); dirty frames are written back.
+  Status Reset();
+
+  const BufferPoolStats& stats() const { return stats_; }
+  uint32_t num_frames() const { return num_frames_; }
+  PageStore* store() { return store_; }
+
+ private:
+  struct Frame {
+    PageId pid = 0;
+    bool dirty = false;
+    uint32_t pins = 0;
+    ByteBuffer data;
+    std::list<uint32_t>::iterator lru_pos;  ///< Valid when pins == 0.
+    bool in_lru = false;
+  };
+
+  /// Returns the frame index holding pid, faulting it in as needed; pins it.
+  Result<uint32_t> Pin(PageId pid);
+  void Unpin(uint32_t frame_idx);
+  /// Finds a victim frame (LRU, unpinned), writing it back when dirty.
+  Result<uint32_t> Evict();
+
+  PageStore* store_;
+  uint32_t num_frames_;
+  uint32_t data_size_;
+  std::vector<Frame> frames_;
+  std::vector<uint32_t> free_frames_;
+  std::unordered_map<PageId, uint32_t> table_;  ///< pid -> frame index.
+  std::list<uint32_t> lru_;                     ///< Front = least recent.
+  BufferPoolStats stats_;
+  ByteBuffer snapshot_;  ///< Scratch for WithPage diffing.
+};
+
+}  // namespace flashdb::storage
+
+#endif  // FLASHDB_STORAGE_BUFFER_POOL_H_

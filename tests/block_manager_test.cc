@@ -1,0 +1,157 @@
+// Unit tests for the BlockManager (allocation, GC victims, reserve).
+
+#include <gtest/gtest.h>
+
+#include "ftl/block_manager.h"
+#include "ftl/spare_codec.h"
+
+namespace flashdb::ftl {
+namespace {
+
+using flash::FlashConfig;
+using flash::FlashDevice;
+using flash::PhysAddr;
+
+class BlockManagerTest : public ::testing::Test {
+ protected:
+  BlockManagerTest()
+      : dev_(FlashConfig::Small(4)), bm_(&dev_, /*gc_reserve_blocks=*/1) {}
+
+  Status ProgramAt(PhysAddr addr) {
+    ByteBuffer data(dev_.geometry().data_size, 0x00);
+    return dev_.ProgramPage(addr, data, {});
+  }
+
+  FlashDevice dev_;
+  BlockManager bm_;
+};
+
+TEST_F(BlockManagerTest, SequentialAllocation) {
+  for (uint32_t i = 0; i < dev_.geometry().pages_per_block + 3; ++i) {
+    Result<PhysAddr> r = bm_.AllocatePage(false);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(*r, i);  // linear order across blocks
+    EXPECT_EQ(bm_.state(*r), PageState::kValid);
+  }
+}
+
+TEST_F(BlockManagerTest, ReserveBlocksAreWithheld) {
+  const uint32_t usable_blocks =
+      dev_.geometry().num_blocks - bm_.gc_reserve_blocks();
+  const uint32_t usable_pages =
+      usable_blocks * dev_.geometry().pages_per_block;
+  for (uint32_t i = 0; i < usable_pages; ++i) {
+    ASSERT_TRUE(bm_.AllocatePage(false).ok()) << i;
+  }
+  Result<PhysAddr> r = bm_.AllocatePage(false);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNoSpace());
+  // GC-mode allocation may dip into the reserve.
+  EXPECT_TRUE(bm_.AllocatePage(true).ok());
+}
+
+TEST_F(BlockManagerTest, MarkObsoleteWritesSpareAndCounts) {
+  Result<PhysAddr> r = bm_.AllocatePage(false);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(ProgramAt(*r).ok());
+  const uint64_t writes_before = dev_.stats().total.writes;
+  ASSERT_TRUE(bm_.MarkObsolete(*r).ok());
+  EXPECT_EQ(dev_.stats().total.writes, writes_before + 1);
+  EXPECT_EQ(bm_.state(*r), PageState::kObsolete);
+  // Double marking is a caller bug.
+  EXPECT_FALSE(bm_.MarkObsolete(*r).ok());
+}
+
+TEST_F(BlockManagerTest, PickGcVictimPrefersMostObsolete) {
+  const uint32_t ppb = dev_.geometry().pages_per_block;
+  // Fill two blocks; make block 0 mostly obsolete, block 1 slightly.
+  for (uint32_t i = 0; i < 2 * ppb; ++i) {
+    Result<PhysAddr> r = bm_.AllocatePage(false);
+    ASSERT_TRUE(r.ok());
+    ASSERT_TRUE(ProgramAt(*r).ok());
+  }
+  for (uint32_t p = 0; p < 10; ++p) ASSERT_TRUE(bm_.MarkObsolete(p).ok());
+  ASSERT_TRUE(bm_.MarkObsolete(ppb + 1).ok());
+  auto victim = bm_.PickGcVictim();
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(*victim, 0u);
+}
+
+TEST_F(BlockManagerTest, NoVictimWhenNothingObsolete) {
+  for (uint32_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(bm_.AllocatePage(false).ok());
+  }
+  EXPECT_FALSE(bm_.PickGcVictim().has_value());
+}
+
+TEST_F(BlockManagerTest, VictimNeverTheOpenBlock) {
+  // Allocate half a block and obsolete everything in it; the open block must
+  // still not be chosen.
+  for (uint32_t i = 0; i < 10; ++i) {
+    Result<PhysAddr> r = bm_.AllocatePage(false);
+    ASSERT_TRUE(r.ok());
+    ASSERT_TRUE(ProgramAt(*r).ok());
+    ASSERT_TRUE(bm_.MarkObsolete(*r).ok());
+  }
+  EXPECT_FALSE(bm_.PickGcVictim().has_value());
+}
+
+TEST_F(BlockManagerTest, EraseAndFreeRecyclesBlock) {
+  const uint32_t ppb = dev_.geometry().pages_per_block;
+  for (uint32_t i = 0; i < ppb; ++i) {
+    Result<PhysAddr> r = bm_.AllocatePage(false);
+    ASSERT_TRUE(r.ok());
+    ASSERT_TRUE(ProgramAt(*r).ok());
+    ASSERT_TRUE(bm_.MarkObsolete(*r).ok());
+  }
+  // Open a second block so block 0 is closed.
+  ASSERT_TRUE(bm_.AllocatePage(false).ok());
+  const uint32_t free_before = bm_.free_blocks();
+  ASSERT_TRUE(bm_.EraseAndFree(0).ok());
+  EXPECT_EQ(bm_.free_blocks(), free_before + 1);
+  for (uint32_t p = 0; p < ppb; ++p) {
+    EXPECT_EQ(bm_.state(p), PageState::kFree);
+  }
+}
+
+TEST_F(BlockManagerTest, LowOnSpaceSignals) {
+  EXPECT_FALSE(bm_.LowOnSpace());
+  const uint32_t usable_blocks =
+      dev_.geometry().num_blocks - bm_.gc_reserve_blocks();
+  for (uint32_t i = 0; i < usable_blocks * dev_.geometry().pages_per_block;
+       ++i) {
+    ASSERT_TRUE(bm_.AllocatePage(false).ok());
+  }
+  EXPECT_TRUE(bm_.LowOnSpace());
+}
+
+TEST_F(BlockManagerTest, RecoveryReplayRebuildsCounts) {
+  const uint32_t ppb = dev_.geometry().pages_per_block;
+  bm_.Reset();
+  // Simulate a scan: block 0 fully programmed (half obsolete), block 1
+  // partially programmed, blocks 2..3 free.
+  for (uint32_t p = 0; p < ppb; ++p) {
+    if (p % 2 == 0) {
+      bm_.SetValidForRecovery(p);
+    } else {
+      bm_.SetObsoleteForRecovery(p);
+    }
+  }
+  for (uint32_t p = 0; p < 5; ++p) bm_.SetValidForRecovery(ppb + p);
+  bm_.FinalizeRecovery();
+  EXPECT_EQ(bm_.free_blocks(), 2u);
+  EXPECT_EQ(bm_.CountValidPages(), ppb / 2 + 5);
+  // The half-obsolete block should be the GC victim.
+  auto victim = bm_.PickGcVictim();
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(*victim, 0u);
+}
+
+TEST_F(BlockManagerTest, UsablePagesAccounting) {
+  const auto& g = dev_.geometry();
+  EXPECT_EQ(bm_.usable_pages(),
+            static_cast<uint64_t>(g.num_blocks - 1) * g.pages_per_block);
+}
+
+}  // namespace
+}  // namespace flashdb::ftl

@@ -1,0 +1,112 @@
+// Unit tests for the one-page differential write buffer.
+
+#include <gtest/gtest.h>
+
+#include "pdl/diff_write_buffer.h"
+
+namespace flashdb::pdl {
+namespace {
+
+Differential MakeDiff(PageId pid, uint64_t ts, size_t payload) {
+  Differential d(pid, ts);
+  ByteBuffer data(payload, static_cast<uint8_t>(pid));
+  d.AddExtent(0, data);
+  return d;
+}
+
+TEST(DiffWriteBufferTest, InsertFindRemove) {
+  DiffWriteBuffer buf(2048);
+  EXPECT_TRUE(buf.empty());
+  buf.Insert(MakeDiff(1, 10, 100));
+  buf.Insert(MakeDiff(2, 11, 50));
+  EXPECT_EQ(buf.size(), 2u);
+  EXPECT_TRUE(buf.Contains(1));
+  ASSERT_NE(buf.Find(1), nullptr);
+  EXPECT_EQ(buf.Find(1)->timestamp(), 10u);
+  EXPECT_EQ(buf.Find(3), nullptr);
+  buf.Remove(1);
+  EXPECT_FALSE(buf.Contains(1));
+  EXPECT_TRUE(buf.Contains(2));
+  EXPECT_EQ(buf.size(), 1u);
+}
+
+TEST(DiffWriteBufferTest, UsedBytesTracksEncodedSizes) {
+  DiffWriteBuffer buf(2048);
+  Differential d1 = MakeDiff(1, 1, 100);
+  Differential d2 = MakeDiff(2, 2, 200);
+  const size_t s1 = d1.EncodedSize();
+  const size_t s2 = d2.EncodedSize();
+  buf.Insert(std::move(d1));
+  buf.Insert(std::move(d2));
+  EXPECT_EQ(buf.used_bytes(), s1 + s2);
+  EXPECT_EQ(buf.free_bytes(), 2048 - s1 - s2);
+  buf.Remove(1);
+  EXPECT_EQ(buf.used_bytes(), s2);
+}
+
+TEST(DiffWriteBufferTest, FitsRespectsCapacity) {
+  DiffWriteBuffer buf(256);
+  EXPECT_TRUE(buf.Fits(MakeDiff(1, 1, 100)));
+  EXPECT_FALSE(buf.Fits(MakeDiff(1, 1, 300)));
+  buf.Insert(MakeDiff(1, 1, 100));
+  EXPECT_FALSE(buf.Fits(MakeDiff(2, 2, 150)));
+}
+
+TEST(DiffWriteBufferTest, RemoveMiddleKeepsIndexConsistent) {
+  DiffWriteBuffer buf(4096);
+  for (PageId pid = 0; pid < 5; ++pid) buf.Insert(MakeDiff(pid, pid, 50));
+  buf.Remove(2);  // middle removal swaps the last entry into its place
+  for (PageId pid : {0u, 1u, 3u, 4u}) {
+    ASSERT_NE(buf.Find(pid), nullptr) << pid;
+    EXPECT_EQ(buf.Find(pid)->pid(), pid);
+  }
+  EXPECT_EQ(buf.Find(2), nullptr);
+}
+
+TEST(DiffWriteBufferTest, RemoveAbsentIsNoop) {
+  DiffWriteBuffer buf(2048);
+  buf.Insert(MakeDiff(1, 1, 10));
+  buf.Remove(99);
+  EXPECT_EQ(buf.size(), 1u);
+}
+
+TEST(DiffWriteBufferTest, SerializePageRoundTrips) {
+  DiffWriteBuffer buf(2048);
+  buf.Insert(MakeDiff(10, 100, 30));
+  buf.Insert(MakeDiff(20, 200, 40));
+  ByteBuffer page = buf.SerializePage(2048);
+  ASSERT_EQ(page.size(), 2048u);
+
+  BufferReader reader(page);
+  Differential d;
+  Status st;
+  int n = 0;
+  while (Differential::ParseNext(&reader, &d, &st)) {
+    EXPECT_TRUE(d.pid() == 10 || d.pid() == 20);
+    ++n;
+  }
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(n, 2);
+  // Padding after the records is erased bytes.
+  EXPECT_EQ(page.back(), 0xFF);
+}
+
+TEST(DiffWriteBufferTest, ClearEmptiesEverything) {
+  DiffWriteBuffer buf(2048);
+  buf.Insert(MakeDiff(1, 1, 10));
+  buf.Clear();
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(buf.used_bytes(), 0u);
+  EXPECT_FALSE(buf.Contains(1));
+}
+
+TEST(DiffWriteBufferTest, EntriesPreserveInsertionOrder) {
+  DiffWriteBuffer buf(4096);
+  for (PageId pid = 0; pid < 4; ++pid) buf.Insert(MakeDiff(pid, pid, 8));
+  const auto& entries = buf.entries();
+  ASSERT_EQ(entries.size(), 4u);
+  for (PageId pid = 0; pid < 4; ++pid) EXPECT_EQ(entries[pid].pid(), pid);
+}
+
+}  // namespace
+}  // namespace flashdb::pdl

@@ -1,0 +1,254 @@
+// Unit tests for the NAND flash emulator: bit semantics, erase, sequential
+// programming, partial-program budgets, timing/statistics, fault injection.
+
+#include <gtest/gtest.h>
+
+#include "flash/fault_injector.h"
+#include "flash/flash_device.h"
+
+namespace flashdb::flash {
+namespace {
+
+FlashConfig TinyConfig() {
+  FlashConfig cfg = FlashConfig::Small(4);  // 4 blocks x 64 pages
+  return cfg;
+}
+
+class FlashDeviceTest : public ::testing::Test {
+ protected:
+  FlashDeviceTest() : dev_(TinyConfig()) {}
+
+  ByteBuffer Page(uint8_t fill) const {
+    return ByteBuffer(dev_.geometry().data_size, fill);
+  }
+  ByteBuffer Spare(uint8_t fill) const {
+    return ByteBuffer(dev_.geometry().spare_size, fill);
+  }
+
+  FlashDevice dev_;
+};
+
+TEST_F(FlashDeviceTest, FreshChipReadsAllOnes) {
+  ByteBuffer data = Page(0);
+  ByteBuffer spare = Spare(0);
+  ASSERT_TRUE(dev_.ReadPage(0, data, spare).ok());
+  for (uint8_t b : data) EXPECT_EQ(b, 0xFF);
+  for (uint8_t b : spare) EXPECT_EQ(b, 0xFF);
+}
+
+TEST_F(FlashDeviceTest, ProgramThenReadBack) {
+  ByteBuffer data = Page(0xAB);
+  ByteBuffer spare = Spare(0x5A);
+  ASSERT_TRUE(dev_.ProgramPage(3, data, spare).ok());
+  ByteBuffer rdata = Page(0);
+  ByteBuffer rspare = Spare(0);
+  ASSERT_TRUE(dev_.ReadPage(3, rdata, rspare).ok());
+  EXPECT_TRUE(BytesEqual(rdata, data));
+  EXPECT_TRUE(BytesEqual(rspare, spare));
+}
+
+TEST_F(FlashDeviceTest, ProgramCannotFlipZeroToOne) {
+  ASSERT_TRUE(dev_.ProgramPage(0, Page(0x0F), {}).ok());
+  // 0xF0 would need 0->1 transitions on the low nibble bits already cleared.
+  Status s = dev_.ProgramPage(0, Page(0xFF), {});
+  EXPECT_TRUE(s.IsFlashConstraint());
+}
+
+TEST_F(FlashDeviceTest, RepeatedProgramAndsBits) {
+  ASSERT_TRUE(dev_.ProgramPage(0, Page(0xF3), {}).ok());
+  ASSERT_TRUE(dev_.ProgramPage(0, Page(0x33), {}).ok());  // only clears bits
+  ByteBuffer rdata = Page(0);
+  ASSERT_TRUE(dev_.ReadPage(0, rdata, {}).ok());
+  for (uint8_t b : rdata) EXPECT_EQ(b, 0x33);
+}
+
+TEST_F(FlashDeviceTest, EraseResetsBlockToOnes) {
+  ASSERT_TRUE(dev_.ProgramPage(0, Page(0x00), {}).ok());
+  ASSERT_TRUE(dev_.EraseBlock(0).ok());
+  ByteBuffer rdata = Page(0);
+  ASSERT_TRUE(dev_.ReadPage(0, rdata, {}).ok());
+  for (uint8_t b : rdata) EXPECT_EQ(b, 0xFF);
+  EXPECT_TRUE(dev_.IsErased(0));
+  EXPECT_EQ(dev_.stats().block_erase_counts[0], 1u);
+}
+
+TEST_F(FlashDeviceTest, SequentialProgrammingEnforced) {
+  ASSERT_TRUE(dev_.ProgramPage(5, Page(0xAA), {}).ok());
+  // First-programming page 3 after page 5 violates NAND order.
+  Status s = dev_.ProgramPage(3, Page(0xAA), {});
+  EXPECT_TRUE(s.IsFlashConstraint());
+  // But re-programming page 5 (partial program) remains legal.
+  EXPECT_TRUE(dev_.ProgramPage(5, Page(0xAA), {}).ok());
+  // And later pages are fine.
+  EXPECT_TRUE(dev_.ProgramPage(6, Page(0xAA), {}).ok());
+}
+
+TEST_F(FlashDeviceTest, SequentialRuleIsPerBlock) {
+  ASSERT_TRUE(dev_.ProgramPage(5, Page(0xAA), {}).ok());
+  const PhysAddr other_block = dev_.AddrOf(1, 0);
+  EXPECT_TRUE(dev_.ProgramPage(other_block, Page(0xAA), {}).ok());
+}
+
+TEST_F(FlashDeviceTest, SpareProgramBudget) {
+  ByteBuffer spare = Spare(0xFF);
+  for (uint32_t i = 0; i < dev_.config().max_spare_programs; ++i) {
+    spare[i] = 0x00;  // clear a different byte each time
+    ASSERT_TRUE(dev_.ProgramSpare(7, spare).ok()) << i;
+  }
+  Status s = dev_.ProgramSpare(7, spare);
+  EXPECT_TRUE(s.IsFlashConstraint());
+  // An erase restores the budget.
+  ASSERT_TRUE(dev_.EraseBlock(0).ok());
+  EXPECT_TRUE(dev_.ProgramSpare(dev_.AddrOf(0, 7), Spare(0x0F)).ok());
+}
+
+TEST_F(FlashDeviceTest, DataProgramBudget) {
+  FlashConfig cfg = TinyConfig();
+  cfg.max_data_programs = 2;
+  FlashDevice dev(cfg);
+  ByteBuffer data(dev.geometry().data_size, 0xFF);
+  data[0] = 0xFE;
+  ASSERT_TRUE(dev.ProgramPage(0, data, {}).ok());
+  data[1] = 0xFE;
+  ASSERT_TRUE(dev.PartialProgramPage(0, data).ok());
+  EXPECT_TRUE(dev.PartialProgramPage(0, data).IsFlashConstraint());
+  EXPECT_EQ(dev.DataProgramCount(0), 2u);
+}
+
+TEST_F(FlashDeviceTest, PartialProgramKeepsOneBitsUntouched) {
+  // Program slot-style: first image fills bytes 0..3, second fills 4..7 with
+  // 0xFF ("keep") elsewhere; both regions must coexist afterwards.
+  ByteBuffer img1 = Page(0xFF);
+  for (int i = 0; i < 4; ++i) img1[i] = 0x11;
+  ASSERT_TRUE(dev_.ProgramPage(0, img1, {}).ok());
+  ByteBuffer img2 = Page(0xFF);
+  for (int i = 4; i < 8; ++i) img2[i] = 0x22;
+  ASSERT_TRUE(dev_.PartialProgramPage(0, img2).ok());
+  ByteBuffer rdata = Page(0);
+  ASSERT_TRUE(dev_.ReadPage(0, rdata, {}).ok());
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(rdata[i], 0x11);
+  for (int i = 4; i < 8; ++i) EXPECT_EQ(rdata[i], 0x22);
+  EXPECT_EQ(rdata[9], 0xFF);
+}
+
+TEST_F(FlashDeviceTest, TimingChargesVirtualClock) {
+  const auto& t = dev_.config().timing;
+  ASSERT_TRUE(dev_.ProgramPage(0, Page(0xAA), {}).ok());
+  ByteBuffer rdata = Page(0);
+  ASSERT_TRUE(dev_.ReadPage(0, rdata, {}).ok());
+  ASSERT_TRUE(dev_.EraseBlock(0).ok());
+  EXPECT_EQ(dev_.clock().now_us(),
+            static_cast<uint64_t>(t.read_us) + t.write_us + t.erase_us);
+  EXPECT_EQ(dev_.stats().total.reads, 1u);
+  EXPECT_EQ(dev_.stats().total.writes, 1u);
+  EXPECT_EQ(dev_.stats().total.erases, 1u);
+}
+
+TEST_F(FlashDeviceTest, CategoryAccounting) {
+  {
+    CategoryScope scope(&dev_, OpCategory::kReadStep);
+    ByteBuffer rdata = Page(0);
+    ASSERT_TRUE(dev_.ReadPage(0, rdata, {}).ok());
+  }
+  {
+    CategoryScope scope(&dev_, OpCategory::kWriteStep);
+    ASSERT_TRUE(dev_.ProgramPage(0, Page(0xAA), {}).ok());
+    {
+      CategoryScope inner(&dev_, OpCategory::kGc);
+      ASSERT_TRUE(dev_.EraseBlock(1).ok());
+    }
+    // Category restored after the inner scope.
+    ASSERT_TRUE(dev_.ProgramPage(1, Page(0xAA), {}).ok());
+  }
+  const auto& cats = dev_.stats().by_category;
+  EXPECT_EQ(cats[static_cast<int>(OpCategory::kReadStep)].reads, 1u);
+  EXPECT_EQ(cats[static_cast<int>(OpCategory::kWriteStep)].writes, 2u);
+  EXPECT_EQ(cats[static_cast<int>(OpCategory::kGc)].erases, 1u);
+  EXPECT_EQ(cats[static_cast<int>(OpCategory::kDefault)].total_ops(), 0u);
+}
+
+TEST_F(FlashDeviceTest, OutOfRangeAddressesRejected) {
+  const uint32_t total = dev_.geometry().total_pages();
+  ByteBuffer rdata = Page(0);
+  EXPECT_FALSE(dev_.ReadPage(total, rdata, {}).ok());
+  EXPECT_FALSE(dev_.ProgramPage(total, Page(0), {}).ok());
+  EXPECT_FALSE(dev_.EraseBlock(dev_.geometry().num_blocks).ok());
+}
+
+TEST_F(FlashDeviceTest, BufferSizeValidation) {
+  ByteBuffer small(16);
+  EXPECT_FALSE(dev_.ReadPage(0, small, {}).ok());
+  EXPECT_FALSE(dev_.ProgramPage(0, small, {}).ok());
+  EXPECT_FALSE(dev_.ProgramPage(0, {}, {}).ok());
+}
+
+TEST_F(FlashDeviceTest, ResetAccountingKeepsContents) {
+  ASSERT_TRUE(dev_.ProgramPage(0, Page(0x12), {}).ok());
+  dev_.ResetAccounting();
+  EXPECT_EQ(dev_.clock().now_us(), 0u);
+  EXPECT_EQ(dev_.stats().total.writes, 0u);
+  ByteBuffer rdata = Page(0);
+  ASSERT_TRUE(dev_.ReadPage(0, rdata, {}).ok());
+  for (uint8_t b : rdata) EXPECT_EQ(b, 0x12);
+}
+
+TEST_F(FlashDeviceTest, AddressArithmetic) {
+  const auto& g = dev_.geometry();
+  EXPECT_EQ(dev_.BlockOf(0), 0u);
+  EXPECT_EQ(dev_.BlockOf(g.pages_per_block), 1u);
+  EXPECT_EQ(dev_.PageInBlock(g.pages_per_block + 3), 3u);
+  EXPECT_EQ(dev_.AddrOf(2, 5), 2 * g.pages_per_block + 5);
+}
+
+TEST(FaultInjectorTest, CutBeforeApplySuppressesProgram) {
+  FlashDevice dev(TinyConfig());
+  CountdownFaultInjector fi(1, /*cut_after_apply=*/false);
+  dev.set_fault_injector(&fi);
+  ByteBuffer page(dev.geometry().data_size, 0xAA);
+  ASSERT_TRUE(dev.ProgramPage(0, page, {}).ok());  // survives op #1
+  EXPECT_THROW(dev.ProgramPage(1, page, {}), PowerLossError);
+  dev.set_fault_injector(nullptr);
+  EXPECT_TRUE(dev.IsErased(1));  // the op was never applied
+}
+
+TEST(FaultInjectorTest, CutAfterApplyKeepsProgram) {
+  FlashDevice dev(TinyConfig());
+  CountdownFaultInjector fi(0, /*cut_after_apply=*/true);
+  dev.set_fault_injector(&fi);
+  ByteBuffer page(dev.geometry().data_size, 0xAA);
+  EXPECT_THROW(dev.ProgramPage(0, page, {}), PowerLossError);
+  dev.set_fault_injector(nullptr);
+  EXPECT_FALSE(dev.IsErased(0));
+  ByteBuffer rdata(dev.geometry().data_size);
+  ASSERT_TRUE(dev.ReadPage(0, rdata, {}).ok());
+  EXPECT_TRUE(BytesEqual(rdata, page));
+}
+
+TEST(FaultInjectorTest, ReadsDoNotConsumeCountdown) {
+  FlashDevice dev(TinyConfig());
+  CountdownFaultInjector fi(1, /*cut_after_apply=*/false);
+  dev.set_fault_injector(&fi);
+  ByteBuffer page(dev.geometry().data_size, 0xAA);
+  ByteBuffer rdata(dev.geometry().data_size);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(dev.ReadPage(0, rdata, {}).ok());
+  }
+  ASSERT_TRUE(dev.ProgramPage(0, page, {}).ok());
+  EXPECT_THROW(dev.EraseBlock(0), PowerLossError);
+}
+
+TEST(FlashConfigTest, PaperDefaultsMatchTable1) {
+  FlashConfig cfg = FlashConfig::Paper();
+  EXPECT_EQ(cfg.geometry.num_blocks, 32768u);
+  EXPECT_EQ(cfg.geometry.pages_per_block, 64u);
+  EXPECT_EQ(cfg.geometry.data_size, 2048u);
+  EXPECT_EQ(cfg.geometry.spare_size, 64u);
+  EXPECT_EQ(cfg.timing.read_us, 110u);
+  EXPECT_EQ(cfg.timing.write_us, 1010u);
+  EXPECT_EQ(cfg.timing.erase_us, 1500u);
+  // 2 GB data capacity.
+  EXPECT_EQ(cfg.geometry.data_capacity_bytes(), 4294967296ULL);
+}
+
+}  // namespace
+}  // namespace flashdb::flash

@@ -1,0 +1,139 @@
+// Geometry property sweep: every method must behave correctly across page
+// sizes and block shapes (the paper also evaluates 8 KB logical pages), and
+// the allocator streams must respect NAND ordering in all of them.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "common/random.h"
+#include "ftl/block_manager.h"
+#include "methods/method_factory.h"
+
+namespace flashdb {
+namespace {
+
+using flash::FlashConfig;
+using flash::FlashDevice;
+
+struct SeedArg {
+  uint64_t seed;
+};
+void SeededImage(PageId pid, MutBytes page, void* arg) {
+  Random r(static_cast<SeedArg*>(arg)->seed ^ (pid * 0xD1B54A32D192ED03ULL));
+  r.Fill(page);
+}
+
+struct Geometry {
+  uint32_t blocks;
+  uint32_t pages_per_block;
+  uint32_t data_size;
+};
+
+class GeometrySweepTest
+    : public ::testing::TestWithParam<std::tuple<std::string, int>> {};
+
+TEST_P(GeometrySweepTest, ReadWriteVerifyAcrossGeometries) {
+  const auto& [method, geom_idx] = GetParam();
+  static const Geometry kGeometries[] = {
+      {16, 64, 2048},   // paper default shape
+      {64, 16, 8192},   // 8 KB logical pages (Fig. 13b), 128 KB blocks
+      {32, 32, 4096},   // intermediate
+  };
+  const Geometry& g = kGeometries[geom_idx];
+  FlashConfig cfg;
+  cfg.geometry.num_blocks = g.blocks;
+  cfg.geometry.pages_per_block = g.pages_per_block;
+  cfg.geometry.data_size = g.data_size;
+  FlashDevice dev(cfg);
+
+  auto spec = methods::ParseMethodSpec(method);
+  ASSERT_TRUE(spec.ok());
+  auto store = methods::CreateStore(&dev, *spec);
+  const uint32_t pages = cfg.geometry.total_pages() * 2 / 5;
+  SeedArg arg{77};
+  ASSERT_TRUE(store->Format(pages, &SeededImage, &arg).ok());
+
+  std::vector<ByteBuffer> shadow(pages);
+  for (PageId pid = 0; pid < pages; ++pid) {
+    shadow[pid].resize(g.data_size);
+    SeededImage(pid, shadow[pid], &arg);
+  }
+  Random r(geom_idx * 100 + 5);
+  ByteBuffer buf(g.data_size);
+  for (int op = 0; op < 400; ++op) {
+    const PageId pid = static_cast<PageId>(r.Uniform(pages));
+    ASSERT_TRUE(store->ReadPage(pid, buf).ok()) << op;
+    ASSERT_TRUE(BytesEqual(buf, shadow[pid])) << method << " op " << op;
+    const uint32_t len = 1 + static_cast<uint32_t>(r.Uniform(200));
+    const uint32_t off = static_cast<uint32_t>(r.Uniform(buf.size() - len));
+    UpdateLog log;
+    log.offset = off;
+    log.data.resize(len);
+    r.Fill(log.data);
+    std::memcpy(buf.data() + off, log.data.data(), len);
+    ASSERT_TRUE(store->OnUpdate(pid, buf, log).ok());
+    ASSERT_TRUE(store->WriteBack(pid, buf).ok()) << method << " op " << op;
+    shadow[pid] = buf;
+  }
+  for (PageId pid = 0; pid < pages; ++pid) {
+    ASSERT_TRUE(store->ReadPage(pid, buf).ok());
+    ASSERT_TRUE(BytesEqual(buf, shadow[pid])) << method << " pid " << pid;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MethodsXGeometries, GeometrySweepTest,
+    ::testing::Combine(::testing::Values("PDL(256B)", "PDL(2KB)", "OPU",
+                                         "IPL(18KB)", "IPL(64KB)"),
+                       ::testing::Values(0, 1, 2)),
+    [](const ::testing::TestParamInfo<std::tuple<std::string, int>>& info) {
+      std::string name = std::get<0>(info.param);
+      for (char& c : name) {
+        if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name + "_geom" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(BlockManagerStreamsTest, StreamsUseDisjointOpenBlocks) {
+  FlashDevice dev(FlashConfig::Small(8));
+  ftl::BlockManager bm(&dev, 1);
+  auto a = bm.AllocatePage(false, 0);
+  auto b = bm.AllocatePage(false, 1);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(dev.BlockOf(*a), dev.BlockOf(*b));
+  // Each stream fills its own block sequentially.
+  auto a2 = bm.AllocatePage(false, 0);
+  auto b2 = bm.AllocatePage(false, 1);
+  EXPECT_EQ(dev.BlockOf(*a2), dev.BlockOf(*a));
+  EXPECT_EQ(dev.BlockOf(*b2), dev.BlockOf(*b));
+  EXPECT_EQ(dev.PageInBlock(*a2), dev.PageInBlock(*a) + 1);
+}
+
+TEST(BlockManagerStreamsTest, InvalidStreamRejected) {
+  FlashDevice dev(FlashConfig::Small(4));
+  ftl::BlockManager bm(&dev, 1);
+  EXPECT_FALSE(bm.AllocatePage(false, ftl::BlockManager::kNumStreams).ok());
+}
+
+TEST(BlockManagerStreamsTest, CloseOpenBlocksMakesThemVictims) {
+  FlashDevice dev(FlashConfig::Small(4));
+  ftl::BlockManager bm(&dev, 1);
+  ByteBuffer page(dev.geometry().data_size, 0x00);
+  for (int i = 0; i < 8; ++i) {
+    auto a = bm.AllocatePage(false, 0);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(dev.ProgramPage(*a, page, {}).ok());
+    ASSERT_TRUE(bm.MarkObsolete(*a).ok());
+  }
+  EXPECT_FALSE(bm.PickGcVictim().has_value());  // open block excluded
+  bm.CloseOpenBlocks();
+  auto victim = bm.PickGcVictim();
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(*victim, 0u);
+}
+
+}  // namespace
+}  // namespace flashdb

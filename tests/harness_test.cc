@@ -1,0 +1,109 @@
+// Tests for the experiment harness: flag parsing, table printing, and an
+// end-to-end workload point.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "harness/experiment.h"
+#include "harness/table_printer.h"
+
+namespace flashdb::harness {
+namespace {
+
+TEST(FlagsTest, ParsesKeyValueAndBareFlags) {
+  const char* argv[] = {"prog", "--ops=123", "--util=0.25", "--verbose",
+                        "positional", "--name=PDL(256B)"};
+  Flags flags(6, const_cast<char**>(argv));
+  EXPECT_EQ(flags.GetInt("ops", 0), 123);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("util", 0), 0.25);
+  EXPECT_TRUE(flags.GetBool("verbose", false));
+  EXPECT_FALSE(flags.GetBool("quiet", false));
+  EXPECT_EQ(flags.GetString("name", ""), "PDL(256B)");
+  EXPECT_EQ(flags.GetString("missing", "def"), "def");
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "positional");
+}
+
+TEST(FlagsTest, BoolParsing) {
+  const char* argv[] = {"prog", "--a=0", "--b=false", "--c=true", "--d=1"};
+  Flags flags(5, const_cast<char**>(argv));
+  EXPECT_FALSE(flags.GetBool("a", true));
+  EXPECT_FALSE(flags.GetBool("b", true));
+  EXPECT_TRUE(flags.GetBool("c", false));
+  EXPECT_TRUE(flags.GetBool("d", false));
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"method", "us/op"});
+  t.AddRow({"OPU", "2130.0"});
+  t.AddRow({"PDL(256B)", "620.5"});
+  std::ostringstream os;
+  t.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("method"), std::string::npos);
+  EXPECT_NE(out.find("PDL(256B)"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TablePrinterTest, CsvOutput) {
+  TablePrinter t({"a", "b"});
+  t.AddRow({"1", "2"});
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TablePrinterTest, NumFormatting) {
+  EXPECT_EQ(TablePrinter::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Num(1000.0, 0), "1000");
+}
+
+TEST(ExperimentEnvTest, DefaultsAndOverrides) {
+  const char* argv[] = {"prog", "--blocks=64", "--ops=500", "--tread=50"};
+  Flags flags(4, const_cast<char**>(argv));
+  ExperimentEnv env = ExperimentEnv::FromFlags(flags);
+  EXPECT_EQ(env.flash_cfg.geometry.num_blocks, 64u);
+  EXPECT_EQ(env.measure_ops, 500u);
+  EXPECT_EQ(env.flash_cfg.timing.read_us, 50u);
+  EXPECT_EQ(env.num_db_pages(), (64u * 64u - 2u * 64u) / 2u);
+}
+
+TEST(ExperimentTest, RunWorkloadPointEndToEnd) {
+  ExperimentEnv env;
+  env.flash_cfg = flash::FlashConfig::Small(16);
+  env.warmup_erases_per_block = 0.5;
+  env.warmup_max_ops = 2000;
+  env.measure_ops = 200;
+  workload::WorkloadParams params;
+  params.pct_changed_by_one_op = 2.0;
+
+  auto spec = methods::ParseMethodSpec("PDL(256B)");
+  ASSERT_TRUE(spec.ok());
+  auto result = RunWorkloadPoint(env, *spec, params);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->method, "PDL(256B)");
+  EXPECT_EQ(result->stats.operations, 200u);
+  EXPECT_GT(result->stats.overall_us_per_op(), 0.0);
+}
+
+TEST(ExperimentTest, ShapeCheckPdlBeatsOpuOnSmallUpdates) {
+  // A compact end-to-end sanity check of the paper's headline claim at
+  // %Changed=2, N=1: PDL(256B) must beat OPU on overall update cost.
+  ExperimentEnv env;
+  env.flash_cfg = flash::FlashConfig::Small(32);
+  env.warmup_erases_per_block = 1.0;
+  env.warmup_max_ops = 20000;
+  env.measure_ops = 1000;
+  workload::WorkloadParams params;
+
+  auto pdl = RunWorkloadPoint(env, *methods::ParseMethodSpec("PDL(256B)"),
+                              params);
+  auto opu = RunWorkloadPoint(env, *methods::ParseMethodSpec("OPU"), params);
+  ASSERT_TRUE(pdl.ok()) << pdl.status().ToString();
+  ASSERT_TRUE(opu.ok()) << opu.status().ToString();
+  EXPECT_LT(pdl->stats.overall_us_per_op(), opu->stats.overall_us_per_op());
+}
+
+}  // namespace
+}  // namespace flashdb::harness

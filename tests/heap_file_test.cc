@@ -1,0 +1,166 @@
+// Unit tests for the heap file.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/coding.h"
+#include "common/random.h"
+#include "methods/opu_store.h"
+#include "storage/heap_file.h"
+
+namespace flashdb::storage {
+namespace {
+
+using flash::FlashConfig;
+using flash::FlashDevice;
+
+class HeapFileTest : public ::testing::Test {
+ protected:
+  HeapFileTest()
+      : dev_(FlashConfig::Small(8)),
+        store_(&dev_),
+        pool_(&store_, 8) {
+    EXPECT_TRUE(store_.Format(120, nullptr, nullptr).ok());
+  }
+
+  FlashDevice dev_;
+  methods::OpuStore store_;
+  BufferPool pool_;
+};
+
+TEST_F(HeapFileTest, InsertGetRoundTrip) {
+  HeapFile hf(&pool_, 0, 10);
+  ASSERT_TRUE(hf.Create().ok());
+  ByteBuffer rec = {1, 2, 3, 4};
+  auto rid = hf.Insert(rec);
+  ASSERT_TRUE(rid.ok());
+  ByteBuffer out;
+  ASSERT_TRUE(hf.Get(*rid, &out).ok());
+  EXPECT_TRUE(BytesEqual(out, rec));
+}
+
+TEST_F(HeapFileTest, UpdateAndDelete) {
+  HeapFile hf(&pool_, 0, 10);
+  ASSERT_TRUE(hf.Create().ok());
+  auto rid = hf.Insert(ByteBuffer(32, 0xAA));
+  ASSERT_TRUE(rid.ok());
+  ASSERT_TRUE(hf.Update(*rid, ByteBuffer(48, 0xBB)).ok());
+  ByteBuffer out;
+  ASSERT_TRUE(hf.Get(*rid, &out).ok());
+  EXPECT_EQ(out.size(), 48u);
+  EXPECT_EQ(out[0], 0xBB);
+  ASSERT_TRUE(hf.Delete(*rid).ok());
+  EXPECT_TRUE(hf.Get(*rid, &out).IsNotFound());
+}
+
+TEST_F(HeapFileTest, SpillsAcrossPages) {
+  HeapFile hf(&pool_, 0, 10);
+  ASSERT_TRUE(hf.Create().ok());
+  std::vector<Rid> rids;
+  ByteBuffer rec(500, 0x5C);  // ~4 per page
+  for (int i = 0; i < 30; ++i) {
+    auto rid = hf.Insert(rec);
+    ASSERT_TRUE(rid.ok()) << i;
+    rids.push_back(*rid);
+  }
+  std::set<PageId> pages;
+  for (const Rid& r : rids) pages.insert(r.page);
+  EXPECT_GT(pages.size(), 5u);
+  auto count = hf.CountRecords();
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 30u);
+}
+
+TEST_F(HeapFileTest, FullFileReportsNoSpace) {
+  HeapFile hf(&pool_, 0, 2);
+  ASSERT_TRUE(hf.Create().ok());
+  ByteBuffer rec(500, 0x01);
+  int inserted = 0;
+  while (true) {
+    auto rid = hf.Insert(rec);
+    if (!rid.ok()) {
+      EXPECT_TRUE(rid.status().IsNoSpace());
+      break;
+    }
+    ++inserted;
+  }
+  EXPECT_GE(inserted, 6);
+  EXPECT_LE(inserted, 8);
+}
+
+TEST_F(HeapFileTest, ScanVisitsEveryLiveRecord) {
+  HeapFile hf(&pool_, 0, 10);
+  ASSERT_TRUE(hf.Create().ok());
+  std::map<uint64_t, Rid> by_key;
+  for (uint32_t i = 0; i < 50; ++i) {
+    ByteBuffer rec(8);
+    EncodeFixed64(rec.data(), i);
+    auto rid = hf.Insert(rec);
+    ASSERT_TRUE(rid.ok());
+    by_key[i] = *rid;
+  }
+  // Delete a few.
+  ASSERT_TRUE(hf.Delete(by_key[10]).ok());
+  ASSERT_TRUE(hf.Delete(by_key[20]).ok());
+  std::set<uint64_t> seen;
+  ASSERT_TRUE(hf.Scan([&](const Rid&, ConstBytes rec) {
+                  seen.insert(DecodeFixed64(rec.data()));
+                  return Status::OK();
+                })
+                  .ok());
+  EXPECT_EQ(seen.size(), 48u);
+  EXPECT_EQ(seen.count(10), 0u);
+  EXPECT_EQ(seen.count(21), 1u);
+}
+
+TEST_F(HeapFileTest, ScanEarlyStop) {
+  HeapFile hf(&pool_, 0, 10);
+  ASSERT_TRUE(hf.Create().ok());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(hf.Insert(ByteBuffer(16, 1)).ok());
+  }
+  int visited = 0;
+  ASSERT_TRUE(hf.Scan([&](const Rid&, ConstBytes) {
+                  if (++visited == 5) return Status::NotFound("stop");
+                  return Status::OK();
+                })
+                  .ok());
+  EXPECT_EQ(visited, 5);
+}
+
+TEST_F(HeapFileTest, OpenRebuildsFreeSpaceMap) {
+  {
+    HeapFile hf(&pool_, 0, 10);
+    ASSERT_TRUE(hf.Create().ok());
+    for (int i = 0; i < 12; ++i) {
+      ASSERT_TRUE(hf.Insert(ByteBuffer(600, 0x2D)).ok());
+    }
+    ASSERT_TRUE(pool_.FlushAll().ok());
+  }
+  HeapFile reopened(&pool_, 0, 10);
+  ASSERT_TRUE(reopened.Open().ok());
+  auto count = reopened.CountRecords();
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 12u);
+  // Inserts continue to work against the rebuilt map.
+  ASSERT_TRUE(reopened.Insert(ByteBuffer(600, 0x3D)).ok());
+}
+
+TEST_F(HeapFileTest, RejectsForeignRids) {
+  HeapFile hf(&pool_, 5, 10);
+  ASSERT_TRUE(hf.Create().ok());
+  ByteBuffer out;
+  EXPECT_FALSE(hf.Get(Rid{0, 0}, &out).ok());
+  EXPECT_FALSE(hf.Update(Rid{20, 0}, out).ok());
+  EXPECT_FALSE(hf.Delete(Rid{20, 0}).ok());
+}
+
+TEST_F(HeapFileTest, RidEncodingRoundTrips) {
+  Rid rid{123456, 789};
+  Rid back = Rid::Decode(rid.Encode());
+  EXPECT_EQ(back, rid);
+}
+
+}  // namespace
+}  // namespace flashdb::storage

@@ -1,0 +1,82 @@
+// Unit tests for method spec parsing and store construction.
+
+#include <gtest/gtest.h>
+
+#include "flash/flash_device.h"
+#include "methods/method_factory.h"
+
+namespace flashdb::methods {
+namespace {
+
+TEST(MethodFactoryTest, ParsesSimpleNames) {
+  auto opu = ParseMethodSpec("OPU");
+  ASSERT_TRUE(opu.ok());
+  EXPECT_EQ(opu->kind, MethodKind::kOpu);
+  auto ipu = ParseMethodSpec("ipu");  // case-insensitive
+  ASSERT_TRUE(ipu.ok());
+  EXPECT_EQ(ipu->kind, MethodKind::kIpu);
+}
+
+TEST(MethodFactoryTest, ParsesParameterizedNames) {
+  auto pdl = ParseMethodSpec("PDL(256B)");
+  ASSERT_TRUE(pdl.ok());
+  EXPECT_EQ(pdl->kind, MethodKind::kPdl);
+  EXPECT_EQ(pdl->param, 256u);
+
+  auto pdl2k = ParseMethodSpec("PDL(2KB)");
+  ASSERT_TRUE(pdl2k.ok());
+  EXPECT_EQ(pdl2k->param, 2048u);
+
+  auto ipl = ParseMethodSpec("IPL(18KB)");
+  ASSERT_TRUE(ipl.ok());
+  EXPECT_EQ(ipl->kind, MethodKind::kIpl);
+  EXPECT_EQ(ipl->param, 18 * 1024u);
+
+  auto bare = ParseMethodSpec("PDL(512)");
+  ASSERT_TRUE(bare.ok());
+  EXPECT_EQ(bare->param, 512u);
+}
+
+TEST(MethodFactoryTest, RejectsMalformedSpecs) {
+  EXPECT_FALSE(ParseMethodSpec("").ok());
+  EXPECT_FALSE(ParseMethodSpec("PDL").ok());
+  EXPECT_FALSE(ParseMethodSpec("PDL()").ok());
+  EXPECT_FALSE(ParseMethodSpec("PDL(xB)").ok());
+  EXPECT_FALSE(ParseMethodSpec("FOO(1KB)").ok());
+  EXPECT_FALSE(ParseMethodSpec("PDL(0B)").ok());
+}
+
+TEST(MethodFactoryTest, ToStringRoundTrips) {
+  for (const char* name :
+       {"PDL(256B)", "PDL(2048B)", "OPU", "IPU", "IPL(18KB)", "IPL(64KB)"}) {
+    auto spec = ParseMethodSpec(name);
+    ASSERT_TRUE(spec.ok()) << name;
+    EXPECT_EQ(spec->ToString(), name);
+  }
+}
+
+TEST(MethodFactoryTest, CreatesWorkingStores) {
+  flash::FlashDevice dev(flash::FlashConfig::Small(8));
+  for (const MethodSpec& spec : PaperMethodSet()) {
+    std::unique_ptr<PageStore> store = CreateStore(&dev, spec);
+    ASSERT_NE(store, nullptr) << spec.ToString();
+    ASSERT_TRUE(store->Format(10, nullptr, nullptr).ok()) << spec.ToString();
+    ByteBuffer page(dev.geometry().data_size, 0);
+    ASSERT_TRUE(store->ReadPage(0, page).ok()) << spec.ToString();
+    for (uint8_t b : page) ASSERT_EQ(b, 0);  // zero-initialized
+  }
+}
+
+TEST(MethodFactoryTest, PaperMethodSetMatchesExperiment1) {
+  auto set = PaperMethodSet();
+  ASSERT_EQ(set.size(), 6u);
+  EXPECT_EQ(set[0].ToString(), "IPL(18KB)");
+  EXPECT_EQ(set[1].ToString(), "IPL(64KB)");
+  EXPECT_EQ(set[2].ToString(), "PDL(2048B)");
+  EXPECT_EQ(set[3].ToString(), "PDL(256B)");
+  EXPECT_EQ(set[4].ToString(), "OPU");
+  EXPECT_EQ(set[5].ToString(), "IPU");
+}
+
+}  // namespace
+}  // namespace flashdb::methods

@@ -1,0 +1,231 @@
+// Tests for PDL_RecoveringfromCrash (paper Fig. 11): rebuilding the physical
+// page mapping table and the valid differential count table by scanning
+// flash, timestamp arbitration between duplicate versions, and idempotence
+// under repeated recovery.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/random.h"
+#include "pdl/pdl_store.h"
+
+namespace flashdb::pdl {
+namespace {
+
+using flash::FlashConfig;
+using flash::FlashDevice;
+using flash::kNullAddr;
+
+struct SeedArg {
+  uint64_t seed;
+};
+void SeededImage(PageId pid, MutBytes page, void* arg) {
+  Random r(static_cast<SeedArg*>(arg)->seed ^ (pid * 2654435761u));
+  r.Fill(page);
+}
+
+class PdlRecoveryTest : public ::testing::Test {
+ protected:
+  PdlRecoveryTest() : dev_(FlashConfig::Small(16)) {}
+
+  std::unique_ptr<PdlStore> MakeFormatted(uint32_t pages,
+                                          uint32_t max_diff = 256) {
+    PdlConfig cfg;
+    cfg.max_differential_size = max_diff;
+    auto s = std::make_unique<PdlStore>(&dev_, cfg);
+    SeedArg arg{42};
+    EXPECT_TRUE(s->Format(pages, &SeededImage, &arg).ok());
+    return s;
+  }
+
+  /// A fresh store instance over the same chip, simulating a reboot.
+  std::unique_ptr<PdlStore> Reboot(uint32_t max_diff = 256) {
+    PdlConfig cfg;
+    cfg.max_differential_size = max_diff;
+    auto s = std::make_unique<PdlStore>(&dev_, cfg);
+    EXPECT_TRUE(s->Recover().ok());
+    return s;
+  }
+
+  ByteBuffer Read(PdlStore& s, PageId pid) {
+    ByteBuffer out(dev_.geometry().data_size);
+    EXPECT_TRUE(s.ReadPage(pid, out).ok());
+    return out;
+  }
+
+  FlashDevice dev_;
+};
+
+TEST_F(PdlRecoveryTest, RecoverFreshlyFormattedStore) {
+  auto s = MakeFormatted(30);
+  ByteBuffer before = Read(*s, 12);
+  auto r = Reboot();
+  EXPECT_EQ(r->num_logical_pages(), 30u);
+  EXPECT_TRUE(BytesEqual(Read(*r, 12), before));
+}
+
+TEST_F(PdlRecoveryTest, RecoverFlushedDifferentials) {
+  auto s = MakeFormatted(30);
+  std::map<PageId, ByteBuffer> expected;
+  for (PageId pid : {1u, 5u, 9u}) {
+    ByteBuffer page = Read(*s, pid);
+    page[pid * 3] ^= 0x7E;
+    ASSERT_TRUE(s->WriteBack(pid, page).ok());
+    expected[pid] = page;
+  }
+  ASSERT_TRUE(s->Flush().ok());
+  auto r = Reboot();
+  for (const auto& [pid, page] : expected) {
+    EXPECT_TRUE(BytesEqual(Read(*r, pid), page)) << pid;
+    EXPECT_NE(r->diff_addr(pid), kNullAddr);
+  }
+  // VDCT rebuilt: all three differentials live in the same flushed page.
+  EXPECT_EQ(r->vdct(r->diff_addr(1)), 3u);
+}
+
+TEST_F(PdlRecoveryTest, UnflushedBufferIsLostByDesign) {
+  auto s = MakeFormatted(30);
+  ByteBuffer orig = Read(*s, 4);
+  ByteBuffer page = orig;
+  page[0] ^= 0xFF;
+  ASSERT_TRUE(s->WriteBack(4, page).ok());  // buffered only, no Flush
+  auto r = Reboot();
+  // Like a file system that loses its in-memory file buffer: the page
+  // reverts to its last durable state.
+  EXPECT_TRUE(BytesEqual(Read(*r, 4), orig));
+}
+
+TEST_F(PdlRecoveryTest, RecoverNewBasePages) {
+  auto s = MakeFormatted(30);
+  ByteBuffer page = Read(*s, 20);
+  for (size_t i = 0; i < page.size(); i += 2) page[i] ^= 0xFF;
+  ASSERT_TRUE(s->WriteBack(20, page).ok());  // case 3: new base page
+  auto r = Reboot();
+  EXPECT_TRUE(BytesEqual(Read(*r, 20), page));
+  EXPECT_EQ(r->diff_addr(20), kNullAddr);
+}
+
+TEST_F(PdlRecoveryTest, DuplicateBasePagesArbitratedByTimestamp) {
+  auto s = MakeFormatted(30);
+  // Rewrite the base twice; each leaves an obsolete predecessor. Then also
+  // fabricate the pre-crash situation where the old base was NOT yet marked
+  // obsolete: clear the obsolete mark cannot be done on flash, so instead we
+  // simulate the crash by checking the recovery picks the highest timestamp
+  // among what exists.
+  ByteBuffer v1 = Read(*s, 3);
+  for (size_t i = 0; i < v1.size(); i += 2) v1[i] ^= 0x0F;
+  ASSERT_TRUE(s->WriteBack(3, v1).ok());
+  ByteBuffer v2 = v1;
+  for (size_t i = 1; i < v2.size(); i += 2) v2[i] ^= 0xF0;
+  ASSERT_TRUE(s->WriteBack(3, v2).ok());
+  auto r = Reboot();
+  EXPECT_TRUE(BytesEqual(Read(*r, 3), v2));
+}
+
+TEST_F(PdlRecoveryTest, StaleDifferentialDroppedWhenBaseIsNewer) {
+  auto s = MakeFormatted(30, 2048);
+  // 1) small diff, flushed -> differential page exists.
+  ByteBuffer page = Read(*s, 6);
+  page[5] ^= 1;
+  ASSERT_TRUE(s->WriteBack(6, page).ok());
+  ASSERT_TRUE(s->Flush().ok());
+  const flash::PhysAddr old_dp = s->diff_addr(6);
+  ASSERT_NE(old_dp, kNullAddr);
+  // 2) full-page rewrite -> newer base page; diff dropped.
+  for (size_t i = 0; i < page.size(); ++i) page[i] ^= 0x55;
+  ASSERT_TRUE(s->WriteBack(6, page).ok());
+  auto r = Reboot(2048);
+  EXPECT_TRUE(BytesEqual(Read(*r, 6), page));
+  EXPECT_EQ(r->diff_addr(6), kNullAddr);
+}
+
+TEST_F(PdlRecoveryTest, SupersededDifferentialsUseLatestTimestamp) {
+  auto s = MakeFormatted(30);
+  ByteBuffer page = Read(*s, 7);
+  // Flush several successive differentials for the same pid into different
+  // differential pages.
+  for (int round = 0; round < 4; ++round) {
+    page[100 + round] ^= 0xFF;
+    ASSERT_TRUE(s->WriteBack(7, page).ok());
+    ASSERT_TRUE(s->Flush().ok());
+  }
+  auto r = Reboot();
+  EXPECT_TRUE(BytesEqual(Read(*r, 7), page));
+}
+
+TEST_F(PdlRecoveryTest, RecoveryIsIdempotent) {
+  auto s = MakeFormatted(30);
+  ByteBuffer page = Read(*s, 2);
+  page[9] ^= 9;
+  ASSERT_TRUE(s->WriteBack(2, page).ok());
+  ASSERT_TRUE(s->Flush().ok());
+  auto r1 = Reboot();
+  ByteBuffer after1 = Read(*r1, 2);
+  // Recover again over the (possibly cleaned-up) chip.
+  auto r2 = Reboot();
+  EXPECT_TRUE(BytesEqual(Read(*r2, 2), after1));
+  EXPECT_EQ(r1->num_logical_pages(), r2->num_logical_pages());
+}
+
+TEST_F(PdlRecoveryTest, ClockContinuesAfterRecovery) {
+  auto s = MakeFormatted(30);
+  ByteBuffer page = Read(*s, 11);
+  page[1] ^= 1;
+  ASSERT_TRUE(s->WriteBack(11, page).ok());
+  ASSERT_TRUE(s->Flush().ok());
+  auto r = Reboot();
+  // A post-recovery update must supersede pre-crash state (i.e. timestamps
+  // continue monotonically; otherwise the new diff would lose arbitration).
+  ByteBuffer page2 = Read(*r, 11);
+  page2[2] ^= 2;
+  ASSERT_TRUE(r->WriteBack(11, page2).ok());
+  ASSERT_TRUE(r->Flush().ok());
+  auto r2 = Reboot();
+  EXPECT_TRUE(BytesEqual(Read(*r2, 11), page2));
+}
+
+TEST_F(PdlRecoveryTest, RecoveryAfterGarbageCollection) {
+  FlashDevice dev(FlashConfig::Small(12));
+  PdlConfig cfg;
+  cfg.max_differential_size = 256;
+  PdlStore store(&dev, cfg);
+  const uint32_t pages = 4 * 64;  // 4 blocks of bases; 4 reserve + 4 churn
+  SeedArg arg{42};
+  ASSERT_TRUE(store.Format(pages, &SeededImage, &arg).ok());
+  Random r(31);
+  ByteBuffer buf(dev.geometry().data_size);
+  std::map<PageId, ByteBuffer> shadow;
+  for (int op = 0; op < 2500; ++op) {
+    const PageId pid = static_cast<PageId>(r.Uniform(pages));
+    ASSERT_TRUE(store.ReadPage(pid, buf).ok());
+    for (int m = 0; m < 30; ++m) buf[r.Uniform(buf.size())] ^= 0x81;
+    ASSERT_TRUE(store.WriteBack(pid, buf).ok());
+    shadow[pid] = buf;
+  }
+  ASSERT_GT(store.counters().gc_runs, 0u);
+  ASSERT_TRUE(store.Flush().ok());
+
+  PdlStore rec(&dev, cfg);
+  ASSERT_TRUE(rec.Recover().ok());
+  for (const auto& [pid, expected] : shadow) {
+    ASSERT_TRUE(rec.ReadPage(pid, buf).ok());
+    EXPECT_TRUE(BytesEqual(buf, expected)) << "pid " << pid;
+  }
+}
+
+TEST_F(PdlRecoveryTest, RecoveryScanCostIsOneReadPerPagePlusDiffPages) {
+  auto s = MakeFormatted(30);
+  ASSERT_TRUE(s->Flush().ok());
+  dev_.ResetAccounting();
+  auto r = Reboot();
+  const auto& rec =
+      dev_.stats().by_category[static_cast<int>(flash::OpCategory::kRecovery)];
+  // At least one spare read per physical page; a second full read only for
+  // differential pages (none here).
+  EXPECT_GE(rec.reads, dev_.geometry().total_pages());
+  EXPECT_LE(rec.reads, dev_.geometry().total_pages() + 8);
+}
+
+}  // namespace
+}  // namespace flashdb::pdl

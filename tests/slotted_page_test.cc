@@ -1,0 +1,157 @@
+// Unit tests for the slotted-page record layout.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "common/random.h"
+#include "storage/slotted_page.h"
+
+namespace flashdb::storage {
+namespace {
+
+constexpr size_t kPage = 2048;
+
+ByteBuffer Rec(const std::string& s) {
+  return ByteBuffer(s.begin(), s.end());
+}
+
+class SlottedPageTest : public ::testing::Test {
+ protected:
+  SlottedPageTest() : buf_(kPage, 0xFF), page_(buf_) { page_.Init(); }
+
+  ByteBuffer buf_;
+  SlottedPage page_;
+};
+
+TEST_F(SlottedPageTest, InitProducesEmptyFormattedPage) {
+  EXPECT_TRUE(page_.IsFormatted());
+  EXPECT_EQ(page_.num_slots(), 0);
+  EXPECT_EQ(page_.LiveRecords(), 0);
+  EXPECT_EQ(page_.next_page(), kNoNextPage);
+  EXPECT_GT(page_.FreeSpace(), kPage - 32);
+}
+
+TEST_F(SlottedPageTest, UnformattedBufferDetected) {
+  ByteBuffer raw(kPage, 0x00);
+  SlottedPage p(raw);
+  EXPECT_FALSE(p.IsFormatted());
+}
+
+TEST_F(SlottedPageTest, InsertAndGet) {
+  auto r1 = page_.Insert(Rec("hello"));
+  auto r2 = page_.Insert(Rec("world!"));
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_NE(*r1, *r2);
+  auto g1 = page_.Get(*r1);
+  ASSERT_TRUE(g1.ok());
+  EXPECT_TRUE(BytesEqual(*g1, Rec("hello")));
+  auto g2 = page_.Get(*r2);
+  ASSERT_TRUE(g2.ok());
+  EXPECT_TRUE(BytesEqual(*g2, Rec("world!")));
+  EXPECT_EQ(page_.LiveRecords(), 2);
+}
+
+TEST_F(SlottedPageTest, DeleteTombstonesAndReusesSlot) {
+  auto r1 = page_.Insert(Rec("aaa"));
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(page_.Delete(*r1).ok());
+  EXPECT_TRUE(page_.Get(*r1).status().IsNotFound());
+  EXPECT_TRUE(page_.Delete(*r1).IsNotFound());  // double delete
+  // The tombstoned slot is recycled by the next insert.
+  auto r2 = page_.Insert(Rec("bbb"));
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(*r2, *r1);
+  EXPECT_EQ(page_.num_slots(), 1);
+}
+
+TEST_F(SlottedPageTest, UpdateSameSizeInPlace) {
+  auto r = page_.Insert(Rec("12345"));
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(page_.Update(*r, Rec("54321")).ok());
+  EXPECT_TRUE(BytesEqual(*page_.Get(*r), Rec("54321")));
+}
+
+TEST_F(SlottedPageTest, UpdateGrowsAndShrinks) {
+  auto r = page_.Insert(Rec("short"));
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(page_.Update(*r, Rec("a considerably longer record")).ok());
+  EXPECT_TRUE(BytesEqual(*page_.Get(*r), Rec("a considerably longer record")));
+  ASSERT_TRUE(page_.Update(*r, Rec("x")).ok());
+  EXPECT_TRUE(BytesEqual(*page_.Get(*r), Rec("x")));
+}
+
+TEST_F(SlottedPageTest, FillUntilNoSpaceThenCompactAfterDeletes) {
+  std::vector<SlotId> slots;
+  ByteBuffer rec(100, 0x7A);
+  while (true) {
+    auto r = page_.Insert(rec);
+    if (!r.ok()) {
+      EXPECT_TRUE(r.status().IsNoSpace());
+      break;
+    }
+    slots.push_back(*r);
+  }
+  EXPECT_GT(slots.size(), 15u);
+  // Delete every other record; compaction lets a larger record fit again.
+  for (size_t i = 0; i < slots.size(); i += 2) {
+    ASSERT_TRUE(page_.Delete(slots[i]).ok());
+  }
+  ByteBuffer big(400, 0x11);
+  auto r = page_.Insert(big);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(BytesEqual(*page_.Get(*r), big));
+  // Survivors are intact after compaction.
+  for (size_t i = 1; i < slots.size(); i += 2) {
+    EXPECT_TRUE(BytesEqual(*page_.Get(slots[i]), rec)) << i;
+  }
+}
+
+TEST_F(SlottedPageTest, NextPageLink) {
+  page_.set_next_page(77);
+  EXPECT_EQ(page_.next_page(), 77u);
+}
+
+TEST_F(SlottedPageTest, OutOfRangeSlots) {
+  EXPECT_TRUE(page_.Get(5).status().IsNotFound());
+  EXPECT_TRUE(page_.Update(5, Rec("x")).IsNotFound());
+  EXPECT_TRUE(page_.Delete(5).IsNotFound());
+}
+
+TEST_F(SlottedPageTest, RandomizedWorkloadAgainstShadowMap) {
+  Random rng(2024);
+  std::map<SlotId, ByteBuffer> shadow;
+  for (int op = 0; op < 2000; ++op) {
+    const uint64_t kind = rng.Uniform(10);
+    if (kind < 5) {
+      ByteBuffer rec(1 + rng.Uniform(64));
+      rng.Fill(rec);
+      auto r = page_.Insert(rec);
+      if (r.ok()) shadow[*r] = rec;
+    } else if (kind < 8 && !shadow.empty()) {
+      auto it = shadow.begin();
+      std::advance(it, rng.Uniform(shadow.size()));
+      ByteBuffer rec(1 + rng.Uniform(64));
+      rng.Fill(rec);
+      if (page_.Update(it->first, rec).ok()) it->second = rec;
+    } else if (!shadow.empty()) {
+      auto it = shadow.begin();
+      std::advance(it, rng.Uniform(shadow.size()));
+      ASSERT_TRUE(page_.Delete(it->first).ok());
+      shadow.erase(it);
+    }
+    if (op % 100 == 0) {
+      for (const auto& [slot, rec] : shadow) {
+        auto got = page_.Get(slot);
+        ASSERT_TRUE(got.ok());
+        ASSERT_TRUE(BytesEqual(*got, rec));
+      }
+      EXPECT_EQ(page_.LiveRecords(), shadow.size());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace flashdb::storage

@@ -1,0 +1,149 @@
+// Unit tests for the synthetic workload driver (Section 5.1 semantics).
+
+#include <gtest/gtest.h>
+
+#include "methods/method_factory.h"
+#include "pdl/pdl_store.h"
+#include "workload/update_driver.h"
+
+namespace flashdb::workload {
+namespace {
+
+using flash::FlashConfig;
+using flash::FlashDevice;
+
+std::unique_ptr<PageStore> MakeStore(FlashDevice* dev, const char* name) {
+  auto spec = methods::ParseMethodSpec(name);
+  EXPECT_TRUE(spec.ok());
+  return methods::CreateStore(dev, *spec);
+}
+
+TEST(UpdateDriverTest, VerifiedUpdateStream) {
+  FlashDevice dev(FlashConfig::Small(8));
+  auto store = MakeStore(&dev, "PDL(256B)");
+  WorkloadParams params;
+  params.verify = true;
+  params.pct_changed_by_one_op = 2.0;
+  UpdateDriver driver(store.get(), params);
+  ASSERT_TRUE(driver.LoadDatabase(200).ok());
+  RunStats stats;
+  ASSERT_TRUE(driver.Run(500, &stats).ok());
+  EXPECT_EQ(stats.operations, 500u);
+  EXPECT_EQ(stats.update_ops, 500u);  // pct_update_ops defaults to 100
+}
+
+TEST(UpdateDriverTest, ReadOnlyMixDoesNoWrites) {
+  FlashDevice dev(FlashConfig::Small(8));
+  auto store = MakeStore(&dev, "OPU");
+  WorkloadParams params;
+  params.pct_update_ops = 0.0;
+  params.verify = true;
+  UpdateDriver driver(store.get(), params);
+  ASSERT_TRUE(driver.LoadDatabase(200).ok());
+  RunStats stats;
+  ASSERT_TRUE(driver.Run(300, &stats).ok());
+  EXPECT_EQ(stats.update_ops, 0u);
+  EXPECT_EQ(stats.write_step.total_ops(), 0u);
+  EXPECT_EQ(stats.read_step.reads, 300u);  // one read per op for OPU
+}
+
+TEST(UpdateDriverTest, MixedRatioApproximatelyHolds) {
+  FlashDevice dev(FlashConfig::Small(8));
+  auto store = MakeStore(&dev, "OPU");
+  WorkloadParams params;
+  params.pct_update_ops = 30.0;
+  UpdateDriver driver(store.get(), params);
+  ASSERT_TRUE(driver.LoadDatabase(100).ok());
+  RunStats stats;
+  ASSERT_TRUE(driver.Run(2000, &stats).ok());
+  EXPECT_NEAR(static_cast<double>(stats.update_ops) / 2000.0, 0.30, 0.05);
+}
+
+TEST(UpdateDriverTest, NUpdatesTillWriteAppliesMultipleCommands) {
+  FlashDevice dev(FlashConfig::Small(8));
+  auto store = MakeStore(&dev, "IPL(18KB)");
+  WorkloadParams params;
+  params.updates_till_write = 5;
+  params.verify = true;
+  UpdateDriver driver(store.get(), params);
+  ASSERT_TRUE(driver.LoadDatabase(100).ok());
+  RunStats stats;
+  ASSERT_TRUE(driver.Run(100, &stats).ok());
+  // The tightly-coupled IPL saw every individual update command: with
+  // %changed=2 (41 B logs) and N=5 the logs overflow one 128 B buffer,
+  // so > 1 slot write per operation on average.
+  EXPECT_GT(static_cast<double>(stats.write_step.writes) /
+                static_cast<double>(stats.operations),
+            1.0);
+}
+
+TEST(UpdateDriverTest, WarmupReachesEraseTarget) {
+  FlashDevice dev(FlashConfig::Small(8));
+  auto store = MakeStore(&dev, "OPU");
+  WorkloadParams params;
+  UpdateDriver driver(store.get(), params);
+  ASSERT_TRUE(driver.LoadDatabase(dev.geometry().total_pages() / 2).ok());
+  ASSERT_TRUE(driver.Warmup(1.0, 1000000).ok());
+  EXPECT_GE(dev.stats().total.erases, dev.geometry().num_blocks);
+}
+
+TEST(UpdateDriverTest, WarmupHonorsOpCap) {
+  FlashDevice dev(FlashConfig::Small(8));
+  auto store = MakeStore(&dev, "PDL(256B)");
+  WorkloadParams params;
+  UpdateDriver driver(store.get(), params);
+  ASSERT_TRUE(driver.LoadDatabase(100).ok());
+  ASSERT_TRUE(driver.Warmup(1000.0, 50).ok());  // cap dominates
+  // 50 ops cannot trigger 8000 erases; the cap must have stopped it.
+  EXPECT_LT(dev.stats().total.erases, 8000u);
+}
+
+TEST(UpdateDriverTest, StatsAccumulateAcrossRuns) {
+  FlashDevice dev(FlashConfig::Small(8));
+  auto store = MakeStore(&dev, "OPU");
+  WorkloadParams params;
+  UpdateDriver driver(store.get(), params);
+  ASSERT_TRUE(driver.LoadDatabase(100).ok());
+  RunStats stats;
+  ASSERT_TRUE(driver.Run(100, &stats).ok());
+  ASSERT_TRUE(driver.Run(100, &stats).ok());
+  EXPECT_EQ(stats.operations, 200u);
+  EXPECT_EQ(stats.read_step.reads, 200u);
+}
+
+TEST(UpdateDriverTest, PerOpMetricsAreConsistent) {
+  FlashDevice dev(FlashConfig::Small(8));
+  auto store = MakeStore(&dev, "OPU");
+  WorkloadParams params;
+  UpdateDriver driver(store.get(), params);
+  ASSERT_TRUE(driver.LoadDatabase(100).ok());
+  RunStats stats;
+  ASSERT_TRUE(driver.Run(200, &stats).ok());
+  // OPU: 1 read per op (110us), 2 writes per op (2020us) + occasional GC.
+  EXPECT_NEAR(stats.read_us_per_op(), 110.0, 1.0);
+  EXPECT_GE(stats.write_us_per_op(), 2020.0 - 1.0);
+  EXPECT_NEAR(stats.overall_us_per_op(),
+              stats.read_us_per_op() + stats.write_us_per_op(), 0.001);
+}
+
+TEST(UpdateDriverTest, PctChangedControlsDifferentialSize) {
+  FlashDevice dev(FlashConfig::Small(8));
+  auto store = MakeStore(&dev, "PDL(2048B)");
+  auto* pdl = static_cast<pdl::PdlStore*>(store.get());
+  WorkloadParams params;
+  params.pct_changed_by_one_op = 10.0;
+  UpdateDriver driver(store.get(), params);
+  ASSERT_TRUE(driver.LoadDatabase(100).ok());
+  RunStats stats;
+  ASSERT_TRUE(driver.Run(50, &stats).ok());
+  // ~10% of 2048 = 205 payload bytes per diff, plus headers.
+  const double avg_diff =
+      static_cast<double>(pdl->counters().diff_bytes_written) /
+      static_cast<double>(pdl->counters().diffs_buffered +
+                          pdl->counters().new_base_pages);
+  EXPECT_GT(avg_diff, 180.0);
+  EXPECT_LT(avg_diff, 280.0);
+}
+
+}  // namespace
+}  // namespace flashdb::workload
