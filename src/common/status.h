@@ -68,6 +68,9 @@ class Status {
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
   bool IsNoSpace() const { return code_ == StatusCode::kNoSpace; }

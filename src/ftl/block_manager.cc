@@ -1,13 +1,18 @@
 #include "ftl/block_manager.h"
 
+#include <algorithm>
 #include <string>
 
 #include "ftl/spare_codec.h"
 
 namespace flashdb::ftl {
 
-BlockManager::BlockManager(flash::FlashDevice* dev, uint32_t gc_reserve_blocks)
-    : dev_(dev), gc_reserve_blocks_(gc_reserve_blocks) {
+BlockManager::BlockManager(flash::FlashDevice* dev, uint32_t gc_reserve_blocks,
+                           uint32_t num_streams)
+    : dev_(dev),
+      gc_reserve_blocks_(gc_reserve_blocks),
+      open_block_(num_streams == 0 ? 1 : num_streams, -1),
+      next_page_(num_streams == 0 ? 1 : num_streams, 0) {
   pages_per_block_ = dev_->geometry().pages_per_block;
   Reset();
 }
@@ -19,8 +24,8 @@ void BlockManager::Reset() {
   block_programmed_.assign(g.num_blocks, 0);
   free_blocks_.clear();
   for (uint32_t b = 0; b < g.num_blocks; ++b) free_blocks_.push_back(b);
-  open_block_.fill(-1);
-  next_page_.fill(0);
+  std::fill(open_block_.begin(), open_block_.end(), -1);
+  std::fill(next_page_.begin(), next_page_.end(), 0);
 }
 
 Status BlockManager::OpenNewBlock(bool for_gc, uint32_t stream) {
@@ -39,7 +44,7 @@ Status BlockManager::OpenNewBlock(bool for_gc, uint32_t stream) {
 
 Result<flash::PhysAddr> BlockManager::AllocatePage(bool for_gc,
                                                    uint32_t stream) {
-  if (stream >= kNumStreams) {
+  if (stream >= num_streams()) {
     return Status::InvalidArgument("bad allocation stream");
   }
   if (open_block_[stream] < 0 || next_page_[stream] >= pages_per_block_) {
@@ -64,8 +69,8 @@ void BlockManager::SetObsoleteForRecovery(flash::PhysAddr addr) {
 void BlockManager::FinalizeRecovery() {
   const auto& g = dev_->geometry();
   free_blocks_.clear();
-  open_block_.fill(-1);
-  next_page_.fill(0);
+  std::fill(open_block_.begin(), open_block_.end(), -1);
+  std::fill(next_page_.begin(), next_page_.end(), 0);
   for (uint32_t b = 0; b < g.num_blocks; ++b) {
     uint32_t programmed = 0;
     uint32_t obsolete = 0;
@@ -90,7 +95,8 @@ void BlockManager::FinalizeRecovery() {
     } else if (programmed < pages_per_block_) {
       // Treat as closed: mark the unprogrammed tail unusable until erased by
       // accounting it as programmed (it is reclaimed when the block is
-      // erased, and PickGcVictim still sees it as reclaimable space).
+      // erased, and greedy victim selection still sees it as reclaimable
+      // space).
       block_programmed_[b] = pages_per_block_;
     }
   }
@@ -118,55 +124,6 @@ bool BlockManager::LowOnSpace(uint32_t stream) const {
     return false;
   }
   return free_blocks_.size() <= gc_reserve_blocks_;
-}
-
-std::optional<uint32_t> BlockManager::PickGcVictimScored(
-    uint64_t min_score, uint64_t full_page_score,
-    const std::function<uint64_t(flash::PhysAddr)>& valid_score) const {
-  const auto& g = dev_->geometry();
-  std::optional<uint32_t> best;
-  uint64_t best_score = min_score == 0 ? 1 : min_score;
-  for (uint32_t b = 0; b < g.num_blocks; ++b) {
-    if (IsOpenBlock(b)) continue;
-    if (block_programmed_[b] == 0) continue;  // free block
-    uint64_t score = 0;
-    for (uint32_t p = 0; p < pages_per_block_; ++p) {
-      const flash::PhysAddr addr = dev_->AddrOf(b, p);
-      switch (page_state_[addr]) {
-        case PageState::kFree:
-          break;
-        case PageState::kObsolete:
-          score += full_page_score;
-          break;
-        case PageState::kValid:
-          score += valid_score(addr);
-          break;
-      }
-    }
-    if (score >= best_score) {
-      best_score = score + 1;
-      best = b;
-    }
-  }
-  return best;
-}
-
-std::optional<uint32_t> BlockManager::PickGcVictim() const {
-  const auto& g = dev_->geometry();
-  std::optional<uint32_t> best;
-  uint32_t best_score = 0;
-  for (uint32_t b = 0; b < g.num_blocks; ++b) {
-    if (IsOpenBlock(b)) continue;
-    if (block_programmed_[b] == 0) continue;  // free block
-    // Reclaimable = obsolete pages; a block whose pages are all valid yields
-    // nothing and would loop forever, so require at least one.
-    const uint32_t score = block_obsolete_[b];
-    if (score > best_score) {
-      best_score = score;
-      best = b;
-    }
-  }
-  return best;
 }
 
 Status BlockManager::EraseAndFree(uint32_t block) {

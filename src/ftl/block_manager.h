@@ -3,19 +3,17 @@
 //
 // The manager keeps an in-RAM mirror of every physical page's state
 // (free / valid / obsolete), allocates pages sequentially within an "open"
-// block (NAND programming order), selects greedy garbage-collection victims,
-// and performs the obsolete-marking spare program on behalf of callers.
-// A configurable reserve of free blocks guarantees garbage collection can
-// always relocate a victim's valid pages.
+// block (NAND programming order), and performs the obsolete-marking spare
+// program on behalf of callers. A configurable reserve of free blocks
+// guarantees garbage collection can always relocate a victim's valid pages.
+// Victim selection itself is pluggable: see ftl/gc_policy.h, which reads the
+// per-block occupancy this manager exposes.
 
 #ifndef FLASHDB_FTL_BLOCK_MANAGER_H_
 #define FLASHDB_FTL_BLOCK_MANAGER_H_
 
-#include <array>
 #include <cstdint>
 #include <deque>
-#include <functional>
-#include <optional>
 #include <vector>
 
 #include "common/result.h"
@@ -35,17 +33,21 @@ enum class PageState : uint8_t {
 class BlockManager {
  public:
   /// `gc_reserve_blocks` free blocks are withheld from normal allocation so
-  /// garbage collection can always make progress.
-  BlockManager(flash::FlashDevice* dev, uint32_t gc_reserve_blocks);
+  /// garbage collection can always make progress. `num_streams` is the
+  /// number of allocation streams (see AllocatePage): callers may segregate
+  /// page kinds (e.g. PDL base pages vs differential pages) into different
+  /// open blocks so blocks stay homogeneous and garbage-collection victims
+  /// carry less cold data.
+  BlockManager(flash::FlashDevice* dev, uint32_t gc_reserve_blocks,
+               uint32_t num_streams = 1);
 
   /// Resets all state to "everything free" without touching the device.
   /// Call after formatting (the caller erases blocks itself if needed).
   void Reset();
 
-  /// Allocation streams: callers may segregate page kinds (e.g. PDL base
-  /// pages vs differential pages) into different open blocks so blocks stay
-  /// homogeneous and garbage collection victims carry less cold data.
-  static constexpr uint32_t kNumStreams = 2;
+  uint32_t num_streams() const {
+    return static_cast<uint32_t>(open_block_.size());
+  }
 
   /// Allocates the next physical page of `stream`. Pages come from the
   /// stream's open block in ascending order; a fresh block is opened from
@@ -71,20 +73,6 @@ class BlockManager {
   /// run (the stream's open block is exhausted and only the reserve is left).
   bool LowOnSpace(uint32_t stream = 0) const;
 
-  /// Picks the closed block with the most reclaimable pages (obsolete plus
-  /// unprogrammed-but-unavailable). Returns nullopt when no closed block has
-  /// a single reclaimable page. Never returns the open block.
-  std::optional<uint32_t> PickGcVictim() const;
-
-  /// Byte-scored victim selection for stores where valid pages may still be
-  /// partially reclaimable (PDL differential pages): an obsolete page scores
-  /// `full_page_score`, a valid page scores `valid_score(addr)`. Returns the
-  /// closed block with the highest total score, or nullopt when every block
-  /// scores below `min_score`.
-  std::optional<uint32_t> PickGcVictimScored(
-      uint64_t min_score, uint64_t full_page_score,
-      const std::function<uint64_t(flash::PhysAddr)>& valid_score) const;
-
   /// Erases `block` on the device and returns it to the free list. All its
   /// pages must already be obsolete or relocated by the caller.
   Status EraseAndFree(uint32_t block);
@@ -96,7 +84,31 @@ class BlockManager {
     for (auto& b : open_block_) b = -1;
   }
 
+  // --- Occupancy views read by GC policies (ftl/gc_policy.h) --------------
   PageState state(flash::PhysAddr addr) const { return page_state_[addr]; }
+  uint32_t num_blocks() const {
+    return static_cast<uint32_t>(block_programmed_.size());
+  }
+  /// Obsolete-page count of `block`.
+  uint32_t block_obsolete(uint32_t block) const {
+    return block_obsolete_[block];
+  }
+  /// Allocated-page count of `block` (0 = free block).
+  uint32_t block_programmed(uint32_t block) const {
+    return block_programmed_[block];
+  }
+  /// True when `block` is some stream's open block (never a legal victim).
+  bool IsOpenBlock(uint32_t block) const {
+    for (int64_t ob : open_block_) {
+      if (ob == static_cast<int64_t>(block)) return true;
+    }
+    return false;
+  }
+  /// Linear address of page `page` in block `block`.
+  flash::PhysAddr AddrOf(uint32_t block, uint32_t page) const {
+    return dev_->AddrOf(block, page);
+  }
+
   uint32_t free_blocks() const { return static_cast<uint32_t>(free_blocks_.size()); }
   uint32_t gc_reserve_blocks() const { return gc_reserve_blocks_; }
 
@@ -121,16 +133,9 @@ class BlockManager {
   std::vector<uint32_t> block_programmed_;///< Allocated-page count per block.
   std::deque<uint32_t> free_blocks_;
   /// Per-stream block currently being filled (-1 = none).
-  std::array<int64_t, kNumStreams> open_block_{};
+  std::vector<int64_t> open_block_;
   /// Per-stream next page index within the open block.
-  std::array<uint32_t, kNumStreams> next_page_{};
-
-  bool IsOpenBlock(uint32_t b) const {
-    for (int64_t ob : open_block_) {
-      if (ob == static_cast<int64_t>(b)) return true;
-    }
-    return false;
-  }
+  std::vector<uint32_t> next_page_;
 };
 
 }  // namespace flashdb::ftl

@@ -1,0 +1,89 @@
+#include "ftl/gc_policy.h"
+
+#include "ftl/block_manager.h"
+
+namespace flashdb::ftl {
+
+std::string_view GcPolicyKindName(GcPolicyKind kind) {
+  switch (kind) {
+    case GcPolicyKind::kGreedyObsolete:
+      return "greedy-obsolete";
+    case GcPolicyKind::kCostBenefitBytes:
+      return "cost-benefit-bytes";
+  }
+  return "?";
+}
+
+namespace {
+
+class GreedyObsoletePolicy : public GcPolicy {
+ public:
+  std::string_view name() const override { return "greedy-obsolete"; }
+
+  std::optional<uint32_t> PickVictim(const BlockManager& bm,
+                                     const GcScoreContext&) const override {
+    std::optional<uint32_t> best;
+    uint32_t best_score = 0;
+    for (uint32_t b = 0; b < bm.num_blocks(); ++b) {
+      if (bm.IsOpenBlock(b)) continue;
+      if (bm.block_programmed(b) == 0) continue;  // free block
+      // Reclaimable = obsolete pages; a block whose pages are all valid
+      // yields nothing and would loop forever, so require at least one.
+      const uint32_t score = bm.block_obsolete(b);
+      if (score > best_score) {
+        best_score = score;
+        best = b;
+      }
+    }
+    return best;
+  }
+};
+
+class CostBenefitBytesPolicy : public GcPolicy {
+ public:
+  std::string_view name() const override { return "cost-benefit-bytes"; }
+
+  std::optional<uint32_t> PickVictim(const BlockManager& bm,
+                                     const GcScoreContext& ctx) const override {
+    const uint32_t ppb = bm.pages_per_block();
+    std::optional<uint32_t> best;
+    uint64_t best_score = ctx.min_score == 0 ? 1 : ctx.min_score;
+    for (uint32_t b = 0; b < bm.num_blocks(); ++b) {
+      if (bm.IsOpenBlock(b)) continue;
+      if (bm.block_programmed(b) == 0) continue;  // free block
+      uint64_t score = 0;
+      for (uint32_t p = 0; p < ppb; ++p) {
+        const flash::PhysAddr addr = bm.AddrOf(b, p);
+        switch (bm.state(addr)) {
+          case PageState::kFree:
+            break;
+          case PageState::kObsolete:
+            score += ctx.full_page_score;
+            break;
+          case PageState::kValid:
+            if (ctx.valid_page_score) score += ctx.valid_page_score(addr);
+            break;
+        }
+      }
+      if (score >= best_score) {
+        best_score = score + 1;
+        best = b;
+      }
+    }
+    return best;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<GcPolicy> MakeGcPolicy(GcPolicyKind kind) {
+  switch (kind) {
+    case GcPolicyKind::kGreedyObsolete:
+      return std::make_unique<GreedyObsoletePolicy>();
+    case GcPolicyKind::kCostBenefitBytes:
+      return std::make_unique<CostBenefitBytesPolicy>();
+  }
+  return nullptr;
+}
+
+}  // namespace flashdb::ftl

@@ -1,0 +1,69 @@
+// Pluggable garbage-collection victim selection, extracted from the
+// selection loops that used to live inside BlockManager.
+//
+// Two policies cover the paper's methods:
+//   * kGreedyObsolete    -- the classic greedy FTL policy: the closed block
+//                           with the most obsolete pages wins. Right for
+//                           whole-page stores (OPU), where a valid page
+//                           reclaims nothing.
+//   * kCostBenefitBytes  -- byte-scored cost/benefit: an obsolete page scores
+//                           a full page, a valid page scores a caller-supplied
+//                           amount (PDL: the dead fraction of a differential
+//                           page, reclaimable by compaction). Keeps PDL(2KB)
+//                           stable at the paper's 50% utilization.
+//
+// Stores pick a policy through their config (PdlConfig / OpuConfig) so
+// experiments can swap selection strategies without touching store code.
+
+#ifndef FLASHDB_FTL_GC_POLICY_H_
+#define FLASHDB_FTL_GC_POLICY_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string_view>
+
+#include "flash/flash_device.h"
+
+namespace flashdb::ftl {
+
+class BlockManager;
+
+/// Victim-selection algorithm selector (named by store configs).
+enum class GcPolicyKind {
+  kGreedyObsolete,
+  kCostBenefitBytes,
+};
+
+std::string_view GcPolicyKindName(GcPolicyKind kind);
+
+/// Scoring inputs for byte-scored policies; greedy selection ignores it.
+struct GcScoreContext {
+  /// Victims scoring below this are not worth an erase.
+  uint64_t min_score = 1;
+  /// Score of one fully-obsolete page (typically the page data size).
+  uint64_t full_page_score = 1;
+  /// Score of a valid page -- e.g. the dead bytes reclaimable by compacting
+  /// a differential page. Null means valid pages score 0.
+  std::function<uint64_t(flash::PhysAddr)> valid_page_score;
+};
+
+/// See file comment.
+class GcPolicy {
+ public:
+  virtual ~GcPolicy() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// Returns the closed block to reclaim next, or nullopt when no closed
+  /// block is worth collecting. Never returns an open block or a free block.
+  virtual std::optional<uint32_t> PickVictim(
+      const BlockManager& bm, const GcScoreContext& ctx) const = 0;
+};
+
+std::unique_ptr<GcPolicy> MakeGcPolicy(GcPolicyKind kind);
+
+}  // namespace flashdb::ftl
+
+#endif  // FLASHDB_FTL_GC_POLICY_H_

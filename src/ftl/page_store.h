@@ -4,11 +4,20 @@
 // the experiment driver) manipulates *logical pages* identified by a physical
 // page ID (pid, the paper's database-unique page identifier); a PageStore
 // implementation decides how logical pages are laid out on the emulated NAND
-// chip. Four implementations exist:
+// chip. Four single-chip implementations exist:
 //   * PdlStore  (src/pdl)          -- the paper's contribution
 //   * OpuStore  (src/methods/opu)  -- page-based, out-place update
 //   * IpuStore  (src/methods/ipu)  -- page-based, in-place update
 //   * IplStore  (src/methods/ipl)  -- in-page logging (Lee & Moon)
+// plus one aggregating implementation:
+//   * ShardedStore (src/ftl/sharded_store.h) -- stripes logical pages across
+//     N inner stores, each on its own FlashDevice, modelling a multi-chip
+//     deployment; stats/clock reporting is aggregated over the shards.
+//
+// The single-chip stores share the extracted FTL subsystem: ftl::MappingTable
+// (pid -> physical mapping plus differential bookkeeping and recovery
+// replay), ftl::GcPolicy (pluggable victim selection), and ftl::BlockManager
+// (stream-segregated allocation and block lifecycle).
 //
 // Loosely-coupled methods (PDL, OPU, IPU) ignore OnUpdate and act only on
 // WriteBack; the tightly-coupled IPL consumes the per-update logs the storage
@@ -82,8 +91,42 @@ class PageStore {
   /// Number of logical pages the store was formatted with.
   virtual uint32_t num_logical_pages() const = 0;
 
-  /// Underlying device (for stats / clock inspection by harnesses).
+  /// Underlying device. Single-chip stores return their chip; aggregating
+  /// stores return a representative device (geometry inspection only --
+  /// harnesses must use set_category()/stats() below for accounting so every
+  /// chip is covered).
   virtual flash::FlashDevice* device() = 0;
+
+  /// Sets the accounting category for subsequent device traffic on every
+  /// underlying device (aggregating stores fan the change out).
+  virtual void set_category(flash::OpCategory c) { device()->set_category(c); }
+  virtual flash::OpCategory category() { return device()->category(); }
+
+  /// Statistics snapshot aggregated over every underlying device (counters
+  /// summed; per-block wear concatenated in shard order).
+  virtual flash::FlashStats stats() { return device()->stats(); }
+
+  /// Total erase count across every underlying device. Cheaper than stats()
+  /// (no snapshot copy); polled by steady-state warmup loops.
+  virtual uint64_t total_erases() { return device()->stats().total.erases; }
+};
+
+/// RAII switch of the accounting category at the store boundary; unlike
+/// flash::CategoryScope it also covers every chip of an aggregating store.
+class StoreCategoryScope {
+ public:
+  StoreCategoryScope(PageStore* store, flash::OpCategory c)
+      : store_(store), saved_(store->category()) {
+    store_->set_category(c);
+  }
+  ~StoreCategoryScope() { store_->set_category(saved_); }
+
+  StoreCategoryScope(const StoreCategoryScope&) = delete;
+  StoreCategoryScope& operator=(const StoreCategoryScope&) = delete;
+
+ private:
+  PageStore* store_;
+  flash::OpCategory saved_;
 };
 
 }  // namespace flashdb

@@ -1,0 +1,155 @@
+#include "ftl/sharded_store.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace flashdb::ftl {
+
+namespace {
+/// Remaps a shard-local initializer call back to the global pid space.
+struct StripedInitCtx {
+  PageStore::PageInitializer initial;
+  void* initial_arg;
+  uint32_t shard;
+  uint32_t num_shards;
+};
+
+void StripedInit(PageId inner_pid, MutBytes page, void* arg) {
+  auto* ctx = static_cast<StripedInitCtx*>(arg);
+  ctx->initial(inner_pid * ctx->num_shards + ctx->shard, page,
+               ctx->initial_arg);
+}
+}  // namespace
+
+ShardedStore::ShardedStore(std::vector<Shard> shards)
+    : shards_(std::move(shards)) {
+  assert(!shards_.empty() && "ShardedStore needs at least one shard");
+  for (const Shard& s : shards_) {
+    assert(s.device != nullptr && s.store != nullptr);
+    assert(s.device->geometry().data_size ==
+               shards_[0].device->geometry().data_size &&
+           "all shards must share the page geometry");
+  }
+  name_ = "Sharded[" + std::to_string(shards_.size()) + "x" +
+          std::string(shards_[0].store->name()) + "]";
+}
+
+Status ShardedStore::Format(uint32_t num_logical_pages,
+                            PageInitializer initial, void* initial_arg) {
+  if (num_logical_pages >= flash::kNullAddr) {
+    return Status::InvalidArgument(
+        "num_logical_pages collides with the reserved pid sentinel");
+  }
+  for (uint32_t i = 0; i < num_shards(); ++i) {
+    const uint32_t count = ShardPageCount(i, num_logical_pages);
+    if (initial == nullptr) {
+      FLASHDB_RETURN_IF_ERROR(
+          shards_[i].store->Format(count, nullptr, nullptr));
+    } else {
+      StripedInitCtx ctx{initial, initial_arg, i, num_shards()};
+      FLASHDB_RETURN_IF_ERROR(
+          shards_[i].store->Format(count, &StripedInit, &ctx));
+    }
+  }
+  num_pages_ = num_logical_pages;
+  formatted_ = true;
+  return Status::OK();
+}
+
+Status ShardedStore::ReadPage(PageId pid, MutBytes out) {
+  if (!formatted_) return Status::InvalidArgument("store not formatted");
+  if (pid >= num_pages_) {
+    return Status::NotFound("pid out of range: " + std::to_string(pid));
+  }
+  return shards_[ShardOf(pid)].store->ReadPage(InnerPid(pid), out);
+}
+
+Status ShardedStore::OnUpdate(PageId pid, ConstBytes page_after,
+                              const UpdateLog& log) {
+  if (!formatted_) return Status::InvalidArgument("store not formatted");
+  if (pid >= num_pages_) {
+    return Status::NotFound("pid out of range: " + std::to_string(pid));
+  }
+  return shards_[ShardOf(pid)].store->OnUpdate(InnerPid(pid), page_after, log);
+}
+
+Status ShardedStore::WriteBack(PageId pid, ConstBytes page) {
+  if (!formatted_) return Status::InvalidArgument("store not formatted");
+  if (pid >= num_pages_) {
+    return Status::NotFound("pid out of range: " + std::to_string(pid));
+  }
+  return shards_[ShardOf(pid)].store->WriteBack(InnerPid(pid), page);
+}
+
+Status ShardedStore::Flush() {
+  if (!formatted_) return Status::InvalidArgument("store not formatted");
+  for (Shard& s : shards_) FLASHDB_RETURN_IF_ERROR(s.store->Flush());
+  return Status::OK();
+}
+
+Status ShardedStore::Recover() {
+  uint32_t total = 0;
+  for (Shard& s : shards_) {
+    FLASHDB_RETURN_IF_ERROR(s.store->Recover());
+    total += s.store->num_logical_pages();
+  }
+  // The shard page counts must be consistent with round-robin striping of
+  // `total` pages, or the chips belong to different databases.
+  for (uint32_t i = 0; i < num_shards(); ++i) {
+    if (shards_[i].store->num_logical_pages() != ShardPageCount(i, total)) {
+      return Status::Corruption(
+          "shard " + std::to_string(i) + " recovered " +
+          std::to_string(shards_[i].store->num_logical_pages()) +
+          " pages, expected " + std::to_string(ShardPageCount(i, total)) +
+          " of " + std::to_string(total));
+    }
+  }
+  num_pages_ = total;
+  formatted_ = true;
+  return Status::OK();
+}
+
+void ShardedStore::set_category(flash::OpCategory c) {
+  for (Shard& s : shards_) s.store->set_category(c);
+}
+
+flash::OpCategory ShardedStore::category() {
+  return shards_[0].store->category();
+}
+
+flash::FlashStats ShardedStore::stats() {
+  flash::FlashStats agg;
+  for (Shard& s : shards_) {
+    const flash::FlashStats shard_stats = s.store->stats();
+    agg.total += shard_stats.total;
+    for (int c = 0; c < flash::kNumOpCategories; ++c) {
+      agg.by_category[c] += shard_stats.by_category[c];
+    }
+    agg.block_erase_counts.insert(agg.block_erase_counts.end(),
+                                  shard_stats.block_erase_counts.begin(),
+                                  shard_stats.block_erase_counts.end());
+  }
+  return agg;
+}
+
+uint64_t ShardedStore::total_erases() {
+  uint64_t sum = 0;
+  for (Shard& s : shards_) sum += s.store->total_erases();
+  return sum;
+}
+
+uint64_t ShardedStore::parallel_time_us() const {
+  uint64_t m = 0;
+  for (const Shard& s : shards_) {
+    m = std::max(m, s.device->clock().now_us());
+  }
+  return m;
+}
+
+uint64_t ShardedStore::total_work_us() const {
+  uint64_t sum = 0;
+  for (const Shard& s : shards_) sum += s.device->clock().now_us();
+  return sum;
+}
+
+}  // namespace flashdb::ftl

@@ -1,0 +1,91 @@
+// ShardedStore: a PageStore that stripes logical pages across N inner stores,
+// each running on its own FlashDevice -- the multi-chip scaling layer on top
+// of the single-chip page-update methods.
+//
+// Logical page `pid` lives on shard `pid % N` as inner page `pid / N`
+// (round-robin striping, so uniform and skewed workloads both spread load).
+// All shards must share the same page geometry. The shards are independent
+// chips: each runs its own allocation, garbage collection and recovery.
+//
+// Accounting is aggregated two ways, matching how a multi-chip deployment is
+// measured:
+//   * stats()            -- operation counters summed over shards (total
+//                           work); per-block wear concatenated in shard
+//                           order.
+//   * parallel_time_us() -- max of the shard clocks: the elapsed virtual
+//                           time when the chips operate in parallel.
+//   * total_work_us()    -- sum of the shard clocks: total device busy time
+//                           (what a single chip would have needed).
+
+#ifndef FLASHDB_FTL_SHARDED_STORE_H_
+#define FLASHDB_FTL_SHARDED_STORE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ftl/page_store.h"
+
+namespace flashdb::ftl {
+
+/// See file comment.
+class ShardedStore : public PageStore {
+ public:
+  /// One shard: an inner store bound to its device. `owned_device` may be
+  /// null when the caller keeps the device alive itself (e.g. remount
+  /// tests); `device` must always point at the store's device.
+  struct Shard {
+    std::unique_ptr<flash::FlashDevice> owned_device;
+    flash::FlashDevice* device = nullptr;
+    std::unique_ptr<PageStore> store;
+  };
+
+  /// `shards` must be non-empty with identical page geometry everywhere.
+  explicit ShardedStore(std::vector<Shard> shards);
+
+  std::string_view name() const override { return name_; }
+  Status Format(uint32_t num_logical_pages, PageInitializer initial,
+                void* initial_arg) override;
+  Status ReadPage(PageId pid, MutBytes out) override;
+  Status OnUpdate(PageId pid, ConstBytes page_after,
+                  const UpdateLog& log) override;
+  Status WriteBack(PageId pid, ConstBytes page) override;
+  Status Flush() override;
+  Status Recover() override;
+  uint32_t num_logical_pages() const override { return num_pages_; }
+  /// Representative device (shard 0) -- geometry inspection only.
+  flash::FlashDevice* device() override { return shards_[0].device; }
+
+  void set_category(flash::OpCategory c) override;
+  flash::OpCategory category() override;
+  flash::FlashStats stats() override;
+  uint64_t total_erases() override;
+
+  uint32_t num_shards() const { return static_cast<uint32_t>(shards_.size()); }
+  PageStore* shard(uint32_t i) { return shards_[i].store.get(); }
+  flash::FlashDevice* shard_device(uint32_t i) { return shards_[i].device; }
+
+  /// Elapsed virtual time with the shards operating in parallel (max of the
+  /// shard clocks).
+  uint64_t parallel_time_us() const;
+  /// Total device busy time across all shards (sum of the shard clocks).
+  uint64_t total_work_us() const;
+
+ private:
+  uint32_t ShardOf(PageId pid) const { return pid % num_shards(); }
+  PageId InnerPid(PageId pid) const { return pid / num_shards(); }
+  /// Logical pages striped onto shard `i` out of `total`.
+  uint32_t ShardPageCount(uint32_t i, uint32_t total) const {
+    const uint32_t s = num_shards();
+    return total > i ? (total - i - 1) / s + 1 : 0;
+  }
+
+  std::vector<Shard> shards_;
+  std::string name_;
+  uint32_t num_pages_ = 0;
+  bool formatted_ = false;
+};
+
+}  // namespace flashdb::ftl
+
+#endif  // FLASHDB_FTL_SHARDED_STORE_H_

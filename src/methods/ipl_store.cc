@@ -22,7 +22,8 @@ IplStore::IplStore(flash::FlashDevice* dev, const IplConfig& config)
     : dev_(dev),
       config_(config),
       data_size_(dev->geometry().data_size),
-      spare_size_(dev->geometry().spare_size) {
+      spare_size_(dev->geometry().spare_size),
+      block_map_(/*track_diffs=*/false) {
   slot_size_ = config_.log_buffer_bytes != 0 ? config_.log_buffer_bytes
                                              : data_size_ / 16;
   if (slot_size_ < kSlotHeaderSize + kRecordHeaderSize + 1) {
@@ -47,6 +48,10 @@ uint32_t IplStore::LivePagesIn(uint32_t g) const {
 
 Status IplStore::Format(uint32_t num_logical_pages, PageInitializer initial,
                         void* initial_arg) {
+  if (num_logical_pages >= flash::kNullAddr) {
+    return Status::InvalidArgument(
+        "num_logical_pages collides with the reserved pid sentinel");
+  }
   const auto& g = dev_->geometry();
   num_groups_ = (num_logical_pages + orig_per_block_ - 1) / orig_per_block_;
   if (num_groups_ + 1 > g.num_blocks) {
@@ -63,7 +68,7 @@ Status IplStore::Format(uint32_t num_logical_pages, PageInitializer initial,
   }
   clock_.Reset();
   num_pages_ = num_logical_pages;
-  block_map_.resize(num_groups_);
+  block_map_.Reset(num_groups_, 0);
   next_slot_.assign(num_groups_, 0);
   pid_slots_.assign(num_pages_, {});
   pending_.assign(num_pages_, {});
@@ -73,7 +78,7 @@ Status IplStore::Format(uint32_t num_logical_pages, PageInitializer initial,
   ByteBuffer page(data_size_, 0);
   ByteBuffer spare(spare_size_, 0xFF);
   for (uint32_t grp = 0; grp < num_groups_; ++grp) {
-    block_map_[grp] = grp;
+    block_map_.SetBase(grp, grp);
     const uint32_t live = std::min(orig_per_block_,
                                    num_pages_ - grp * orig_per_block_);
     for (uint32_t i = 0; i < live; ++i) {
@@ -102,7 +107,7 @@ Status IplStore::ReadPage(PageId pid, MutBytes out) {
     return Status::InvalidArgument("output buffer must be one page");
   }
   const uint32_t grp = LogicalBlockOf(pid);
-  const uint32_t block = block_map_[grp];
+  const uint32_t block = block_map_.base(grp);
   const PhysAddr orig = dev_->AddrOf(block, pid % orig_per_block_);
   // Read the original page...
   FLASHDB_RETURN_IF_ERROR(dev_->ReadPage(orig, out, {}));
@@ -216,7 +221,7 @@ Status IplStore::FlushPending(PageId pid) {
   const uint32_t slot = next_slot_[grp]++;
   const uint32_t lp = LogPageOfIndex(slot);
   const uint32_t s = SlotOfIndex(slot);
-  const uint32_t block = block_map_[grp];
+  const uint32_t block = block_map_.base(grp);
   const PhysAddr addr = dev_->AddrOf(block, orig_per_block_ + lp);
 
   // Partial program: all-0xFF image except the slot's bytes.
@@ -269,7 +274,7 @@ Status IplStore::MergeBlock(uint32_t grp) {
     return Status::NoSpace("IPL merge has no free block");
   }
   counters_.merges++;
-  const uint32_t old_block = block_map_[grp];
+  const uint32_t old_block = block_map_.base(grp);
   const uint32_t new_block = free_blocks_.front();
   free_blocks_.pop_front();
   const uint32_t live = LivePagesIn(grp);
@@ -340,7 +345,7 @@ Status IplStore::MergeBlock(uint32_t grp) {
   // The old block is subsequently erased and garbage-collected.
   FLASHDB_RETURN_IF_ERROR(dev_->EraseBlock(old_block));
   free_blocks_.push_back(old_block);
-  block_map_[grp] = new_block;
+  block_map_.SetBase(grp, new_block);
   next_slot_[grp] = 0;
   return Status::OK();
 }
@@ -443,7 +448,7 @@ Status IplStore::Recover() {
 
   num_pages_ = any ? max_pid + 1 : 0;
   num_groups_ = (num_pages_ + orig_per_block_ - 1) / orig_per_block_;
-  block_map_.assign(num_groups_, 0);
+  block_map_.Reset(num_groups_, 0);
   next_slot_.assign(num_groups_, 0);
   pid_slots_.assign(num_pages_, {});
   pending_.assign(num_pages_, {});
@@ -452,7 +457,7 @@ Status IplStore::Recover() {
   std::vector<bool> used(g.num_blocks, false);
   for (auto& [grp, cand] : winner) {
     if (grp >= num_groups_) continue;
-    block_map_[grp] = cand.block;
+    block_map_.SetBase(grp, cand.block);
     used[cand.block] = true;
   }
   // Erase leftover merge debris so those blocks are reusable.
@@ -468,7 +473,8 @@ Status IplStore::Recover() {
   // Pass 2: rebuild the slot tables from each winner's log region.
   ByteBuffer log_page(data_size_);
   for (uint32_t grp = 0; grp < num_groups_; ++grp) {
-    const uint32_t block = block_map_[grp];
+    const uint32_t block = block_map_.base(grp);
+    if (block == flash::kNullAddr) continue;  // group without a surviving block
     uint32_t slot = 0;
     bool done = false;
     for (uint32_t lp = 0; lp < log_pages_per_block_ && !done; ++lp) {

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "ftl/logical_clock.h"
+#include "ftl/mapping_table.h"
 #include "ftl/page_store.h"
 #include "ftl/spare_codec.h"
 
@@ -112,7 +113,9 @@ class IplStore : public PageStore {
   ftl::LogicalClock clock_;
   uint32_t num_pages_ = 0;
   uint32_t num_groups_ = 0;                 ///< Logical blocks.
-  std::vector<uint32_t> block_map_;         ///< logical block -> phys block.
+  /// Logical block -> physical block (block-granular use of the shared
+  /// mapping table; "base" addresses here are block indices).
+  ftl::MappingTable block_map_;
   std::deque<uint32_t> free_blocks_;
   std::vector<uint16_t> next_slot_;         ///< per logical block.
   std::vector<std::vector<uint16_t>> pid_slots_;  ///< per pid, slot indices.

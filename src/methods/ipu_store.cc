@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <string>
 
+#include "ftl/mapping_table.h"
+
 namespace flashdb::methods {
 
 using flash::PhysAddr;
@@ -14,6 +16,10 @@ IpuStore::IpuStore(flash::FlashDevice* dev)
 
 Status IpuStore::Format(uint32_t num_logical_pages, PageInitializer initial,
                         void* initial_arg) {
+  if (num_logical_pages >= flash::kNullAddr) {
+    return Status::InvalidArgument(
+        "num_logical_pages collides with the reserved pid sentinel");
+  }
   const auto& g = dev_->geometry();
   if (num_logical_pages > g.total_pages()) {
     return Status::NoSpace("IPU requires one physical page per logical page");
@@ -99,20 +105,18 @@ Status IpuStore::WriteBack(PageId pid, ConstBytes page) {
 Status IpuStore::Recover() {
   // The mapping is the identity; only the page count must be re-derived.
   flash::CategoryScope cat(dev_, flash::OpCategory::kRecovery);
-  const uint32_t total = dev_->geometry().total_pages();
-  ByteBuffer spare(spare_size_);
   uint32_t max_pid = 0;
   bool any = false;
-  for (PhysAddr addr = 0; addr < total; ++addr) {
-    FLASHDB_RETURN_IF_ERROR(dev_->ReadSpare(addr, spare));
-    const ftl::SpareInfo info = ftl::DecodeSpare(spare);
-    if (!info.programmed || info.type != ftl::PageType::kData || !info.crc_ok) {
-      continue;
-    }
-    clock_.Observe(info.timestamp);
-    if (!any || info.pid > max_pid) max_pid = info.pid;
-    any = true;
-  }
+  FLASHDB_RETURN_IF_ERROR(ftl::ForEachProgrammedSpare(
+      dev_, [&](PhysAddr, const ftl::SpareInfo& info) -> Status {
+        if (info.type != ftl::PageType::kData || !info.crc_ok) {
+          return Status::OK();
+        }
+        clock_.Observe(info.timestamp);
+        if (!any || info.pid > max_pid) max_pid = info.pid;
+        any = true;
+        return Status::OK();
+      }));
   num_pages_ = any ? max_pid + 1 : 0;
   formatted_ = true;
   return Status::OK();

@@ -101,6 +101,19 @@ std::unique_ptr<PageStore> CreateStore(flash::FlashDevice* dev,
   return nullptr;
 }
 
+std::unique_ptr<ftl::ShardedStore> CreateShardedStore(
+    const flash::FlashConfig& shard_config, uint32_t num_shards,
+    const MethodSpec& spec) {
+  std::vector<ftl::ShardedStore::Shard> shards(num_shards == 0 ? 1
+                                                               : num_shards);
+  for (auto& shard : shards) {
+    shard.owned_device = std::make_unique<flash::FlashDevice>(shard_config);
+    shard.device = shard.owned_device.get();
+    shard.store = CreateStore(shard.device, spec);
+  }
+  return std::make_unique<ftl::ShardedStore>(std::move(shards));
+}
+
 std::vector<MethodSpec> PaperMethodSet() {
   return {
       MethodSpec{MethodKind::kIpl, 18 * 1024},

@@ -11,6 +11,7 @@
 
 #include "common/result.h"
 #include "ftl/page_store.h"
+#include "ftl/sharded_store.h"
 
 namespace flashdb::methods {
 
@@ -33,6 +34,13 @@ Result<MethodSpec> ParseMethodSpec(const std::string& name);
 /// Instantiates a page store over `dev` for `spec`.
 std::unique_ptr<PageStore> CreateStore(flash::FlashDevice* dev,
                                        const MethodSpec& spec);
+
+/// Builds a multi-chip ShardedStore: `num_shards` fresh devices of
+/// `shard_config` geometry, one `spec` store per shard, striped round-robin.
+/// The store owns its devices.
+std::unique_ptr<ftl::ShardedStore> CreateShardedStore(
+    const flash::FlashConfig& shard_config, uint32_t num_shards,
+    const MethodSpec& spec);
 
 /// The six configurations evaluated in the paper's Experiment 1.
 std::vector<MethodSpec> PaperMethodSet();

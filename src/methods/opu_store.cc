@@ -15,10 +15,16 @@ OpuStore::OpuStore(flash::FlashDevice* dev, const OpuConfig& config)
       spare_size_(dev->geometry().spare_size),
       // Clamp the reserve on tiny chips (see PdlStore::EffectiveReserve).
       bm_(dev, std::min(config.gc_reserve_blocks,
-                        std::max(2u, dev->geometry().num_blocks / 8))) {}
+                        std::max(2u, dev->geometry().num_blocks / 8))),
+      map_(/*track_diffs=*/false),
+      gc_policy_(ftl::MakeGcPolicy(config.gc_policy)) {}
 
 Status OpuStore::Format(uint32_t num_logical_pages, PageInitializer initial,
                         void* initial_arg) {
+  if (num_logical_pages >= kNullAddr) {
+    return Status::InvalidArgument(
+        "num_logical_pages collides with the reserved pid sentinel");
+  }
   const auto& g = dev_->geometry();
   for (uint32_t b = 0; b < g.num_blocks; ++b) {
     bool dirty = false;
@@ -30,7 +36,7 @@ Status OpuStore::Format(uint32_t num_logical_pages, PageInitializer initial,
   bm_.Reset();
   clock_.Reset();
   num_pages_ = num_logical_pages;
-  map_.assign(num_logical_pages, kNullAddr);
+  map_.Reset(num_logical_pages, g.total_pages());
 
   ByteBuffer page(data_size_, 0);
   ByteBuffer spare(spare_size_, 0xFF);
@@ -41,7 +47,7 @@ Status OpuStore::Format(uint32_t num_logical_pages, PageInitializer initial,
     std::fill(spare.begin(), spare.end(), 0xFF);
     ftl::EncodeSpare(spare, ftl::PageType::kData, pid, clock_.Next());
     FLASHDB_RETURN_IF_ERROR(dev_->ProgramPage(q, page, spare));
-    map_[pid] = q;
+    map_.SetBase(pid, q);
   }
   formatted_ = true;
   return Status::OK();
@@ -55,7 +61,7 @@ Status OpuStore::ReadPage(PageId pid, MutBytes out) {
   if (out.size() != data_size_) {
     return Status::InvalidArgument("output buffer must be one page");
   }
-  return dev_->ReadPage(map_[pid], out, {});
+  return dev_->ReadPage(map_.base(pid), out, {});
 }
 
 Status OpuStore::WriteBack(PageId pid, ConstBytes page) {
@@ -73,9 +79,9 @@ Status OpuStore::WriteBack(PageId pid, ConstBytes page) {
   ByteBuffer spare(spare_size_, 0xFF);
   ftl::EncodeSpare(spare, ftl::PageType::kData, pid, clock_.Next());
   FLASHDB_RETURN_IF_ERROR(dev_->ProgramPage(q, page, spare));
-  const PhysAddr old = map_[pid];  // resolve after GC may have moved it
+  const PhysAddr old = map_.base(pid);  // resolve after GC may have moved it
   FLASHDB_RETURN_IF_ERROR(bm_.MarkObsolete(old));
-  map_[pid] = q;
+  map_.SetBase(pid, q);
   return Status::OK();
 }
 
@@ -89,11 +95,12 @@ Result<PhysAddr> OpuStore::AllocatePage(bool for_gc) {
 
 Status OpuStore::RunGcOnce() {
   flash::CategoryScope cat(dev_, flash::OpCategory::kGc);
-  std::optional<uint32_t> victim = bm_.PickGcVictim();
+  const ftl::GcScoreContext score_ctx;  // whole pages only; defaults suffice
+  std::optional<uint32_t> victim = gc_policy_->PickVictim(bm_, score_ctx);
   if (!victim.has_value()) {
     // All reclaimable space may sit in the open block; close it and retry.
     bm_.CloseOpenBlocks();
-    victim = bm_.PickGcVictim();
+    victim = gc_policy_->PickVictim(bm_, score_ctx);
   }
   if (!victim.has_value()) {
     return Status::NoSpace("garbage collection found no reclaimable block");
@@ -109,7 +116,7 @@ Status OpuStore::RunGcOnce() {
     FLASHDB_RETURN_IF_ERROR(dev_->ReadPage(addr, data, spare));
     const ftl::SpareInfo info = ftl::DecodeSpare(spare);
     if (info.type != ftl::PageType::kData || info.pid >= num_pages_ ||
-        map_[info.pid] != addr) {
+        map_.base(info.pid) != addr) {
       continue;  // stale duplicate; dropped by the erase
     }
     FLASHDB_ASSIGN_OR_RETURN(PhysAddr q, bm_.AllocatePage(true));
@@ -117,7 +124,7 @@ Status OpuStore::RunGcOnce() {
     ftl::EncodeSpare(new_spare, ftl::PageType::kData, info.pid,
                      info.timestamp);
     FLASHDB_RETURN_IF_ERROR(dev_->ProgramPage(q, data, new_spare));
-    map_[info.pid] = q;
+    map_.SetBase(info.pid, q);
   }
   return bm_.EraseAndFree(block);
 }
@@ -128,45 +135,41 @@ Status OpuStore::Recover() {
   const uint32_t total = g.total_pages();
   bm_.Reset();
   clock_.Reset();
-  map_.assign(total, kNullAddr);
-  std::vector<uint64_t> best_ts(total, 0);
-  ByteBuffer spare(spare_size_);
+  map_.Reset(total, total);
+  map_.BeginReplay();
   ByteBuffer obsolete_mark(spare_size_);
   ftl::EncodeObsoleteMark(obsolete_mark);
-  uint32_t max_pid = 0;
-  bool any_pid = false;
-  for (PhysAddr addr = 0; addr < total; ++addr) {
-    FLASHDB_RETURN_IF_ERROR(dev_->ReadSpare(addr, spare));
-    const ftl::SpareInfo info = ftl::DecodeSpare(spare);
-    if (!info.programmed) continue;
-    if (info.obsolete || !info.crc_ok ||
-        info.type != ftl::PageType::kData || info.pid >= total) {
-      bm_.SetObsoleteForRecovery(addr);
-      if (!info.obsolete) {
-        FLASHDB_RETURN_IF_ERROR(dev_->ProgramSpare(addr, obsolete_mark));
-      }
-      continue;
-    }
-    clock_.Observe(info.timestamp);
-    const PageId pid = info.pid;
-    if (info.timestamp > best_ts[pid]) {
-      if (map_[pid] != kNullAddr) {
-        FLASHDB_RETURN_IF_ERROR(dev_->ProgramSpare(map_[pid], obsolete_mark));
-        bm_.SetObsoleteForRecovery(map_[pid]);
-      }
-      map_[pid] = addr;
-      best_ts[pid] = info.timestamp;
-      bm_.SetValidForRecovery(addr);
-      if (!any_pid || pid > max_pid) max_pid = pid;
-      any_pid = true;
-    } else {
-      FLASHDB_RETURN_IF_ERROR(dev_->ProgramSpare(addr, obsolete_mark));
-      bm_.SetObsoleteForRecovery(addr);
-    }
-  }
+
+  auto obsolete_on_flash = [&](PhysAddr a) -> Status {
+    FLASHDB_RETURN_IF_ERROR(dev_->ProgramSpare(a, obsolete_mark));
+    bm_.SetObsoleteForRecovery(a);
+    return Status::OK();
+  };
+
+  Status scan = ftl::ForEachProgrammedSpare(
+      dev_, [&](PhysAddr addr, const ftl::SpareInfo& info) -> Status {
+        if (info.obsolete || !info.crc_ok ||
+            info.type != ftl::PageType::kData || info.pid >= total) {
+          bm_.SetObsoleteForRecovery(addr);
+          if (!info.obsolete) {
+            FLASHDB_RETURN_IF_ERROR(dev_->ProgramSpare(addr, obsolete_mark));
+          }
+          return Status::OK();
+        }
+        clock_.Observe(info.timestamp);
+        const ftl::MappingTable::BaseReplay r =
+            map_.ReplayBase(info.pid, addr, info.timestamp);
+        if (!r.accepted) return obsolete_on_flash(addr);
+        if (r.displaced_base != kNullAddr) {
+          FLASHDB_RETURN_IF_ERROR(obsolete_on_flash(r.displaced_base));
+        }
+        bm_.SetValidForRecovery(addr);
+        return Status::OK();
+      });
+  FLASHDB_RETURN_IF_ERROR(scan);
   bm_.FinalizeRecovery();
-  num_pages_ = any_pid ? max_pid + 1 : 0;
-  map_.resize(num_pages_);
+  num_pages_ = map_.replayed_num_pids();
+  map_.EndReplay(num_pages_);
   formatted_ = true;
   return Status::OK();
 }

@@ -10,11 +10,13 @@
 #ifndef FLASHDB_METHODS_OPU_STORE_H_
 #define FLASHDB_METHODS_OPU_STORE_H_
 
+#include <memory>
 #include <string>
-#include <vector>
 
 #include "ftl/block_manager.h"
+#include "ftl/gc_policy.h"
 #include "ftl/logical_clock.h"
+#include "ftl/mapping_table.h"
 #include "ftl/page_store.h"
 #include "ftl/spare_codec.h"
 
@@ -23,6 +25,11 @@ namespace flashdb::methods {
 /// Tuning knobs for OPU.
 struct OpuConfig {
   uint32_t gc_reserve_blocks = 3;
+
+  /// Victim-selection policy. Greedy is the natural fit (a valid data page
+  /// reclaims nothing); cost-benefit is equivalent here and exists for
+  /// experimentation.
+  ftl::GcPolicyKind gc_policy = ftl::GcPolicyKind::kGreedyObsolete;
 };
 
 /// See file comment.
@@ -41,7 +48,7 @@ class OpuStore : public PageStore {
   flash::FlashDevice* device() override { return dev_; }
 
   /// Physical location of pid (tests / diagnostics).
-  flash::PhysAddr map(PageId pid) const { return map_[pid]; }
+  flash::PhysAddr map(PageId pid) const { return map_.base(pid); }
   uint64_t gc_runs() const { return gc_runs_; }
 
  private:
@@ -54,7 +61,8 @@ class OpuStore : public PageStore {
   uint32_t spare_size_;
   ftl::BlockManager bm_;
   ftl::LogicalClock clock_;
-  std::vector<flash::PhysAddr> map_;  ///< Page-level logical->physical table.
+  ftl::MappingTable map_;  ///< Page-level logical->physical table.
+  std::unique_ptr<ftl::GcPolicy> gc_policy_;
   uint32_t num_pages_ = 0;
   uint64_t gc_runs_ = 0;
   bool formatted_ = false;

@@ -24,13 +24,13 @@ PdlStore::PdlStore(flash::FlashDevice* dev, const PdlConfig& config)
       config_(config),
       data_size_(dev->geometry().data_size),
       spare_size_(dev->geometry().spare_size),
-      bm_(dev, EffectiveReserve(config.gc_reserve_blocks,
-                                dev->geometry().num_blocks)),
-      buffer_(dev->geometry().data_size) {
-  // A single differential record must fit in one differential page.
-  if (config_.max_differential_size > data_size_) {
-    config_.max_differential_size = data_size_;
-  }
+      bm_(dev,
+          EffectiveReserve(config.gc_reserve_blocks,
+                           dev->geometry().num_blocks),
+          /*num_streams=*/2),
+      buffer_(dev->geometry().data_size),
+      map_(/*track_diffs=*/true),
+      gc_policy_(ftl::MakeGcPolicy(config.gc_policy)) {
   if (config_.gc_merge_threshold == 0 ||
       config_.gc_merge_threshold > data_size_) {
     config_.gc_merge_threshold = data_size_ / 4;
@@ -38,8 +38,27 @@ PdlStore::PdlStore(flash::FlashDevice* dev, const PdlConfig& config)
   name_ = "PDL(" + std::to_string(config_.max_differential_size) + "B)";
 }
 
+Status PdlStore::ValidateConfig() const {
+  // A single differential record must fit in one differential page. Checked
+  // on every mount path (Format and Recover): an oversized limit would let
+  // differentials past the write buffer's one-page capacity.
+  if (config_.max_differential_size == 0 ||
+      config_.max_differential_size > data_size_) {
+    return Status::InvalidArgument(
+        "max_differential_size (" +
+        std::to_string(config_.max_differential_size) +
+        ") must be in [1, data_size=" + std::to_string(data_size_) + "]");
+  }
+  return Status::OK();
+}
+
 Status PdlStore::Format(uint32_t num_logical_pages, PageInitializer initial,
                         void* initial_arg) {
+  if (num_logical_pages >= kPaddingPid) {
+    return Status::InvalidArgument(
+        "num_logical_pages collides with the reserved padding pid");
+  }
+  FLASHDB_RETURN_IF_ERROR(ValidateConfig());
   const auto& g = dev_->geometry();
   // Erase any previously programmed blocks so the chip starts clean.
   for (uint32_t b = 0; b < g.num_blocks; ++b) {
@@ -53,11 +72,7 @@ Status PdlStore::Format(uint32_t num_logical_pages, PageInitializer initial,
   clock_.Reset();
   buffer_.Clear();
   num_pages_ = num_logical_pages;
-  base_.assign(num_logical_pages, kNullAddr);
-  diff_.assign(num_logical_pages, kNullAddr);
-  vdct_.assign(g.total_pages(), 0);
-  diff_live_bytes_.assign(g.total_pages(), 0);
-  flushed_diff_size_.assign(num_logical_pages, 0);
+  map_.Reset(num_logical_pages, g.total_pages());
   counters_ = PdlCounters{};
 
   ByteBuffer page(data_size_, 0);
@@ -69,7 +84,7 @@ Status PdlStore::Format(uint32_t num_logical_pages, PageInitializer initial,
     std::fill(spare.begin(), spare.end(), 0xFF);
     ftl::EncodeSpare(spare, ftl::PageType::kBase, pid, clock_.Next());
     FLASHDB_RETURN_IF_ERROR(dev_->ProgramPage(q, page, spare));
-    base_[pid] = q;
+    map_.SetBase(pid, q);
   }
   formatted_ = true;
   return Status::OK();
@@ -84,12 +99,12 @@ Status PdlStore::ReadPage(PageId pid, MutBytes out) {
     return Status::InvalidArgument("output buffer must be one page");
   }
   // Step 1: read the base page.
-  FLASHDB_RETURN_IF_ERROR(dev_->ReadPage(base_[pid], out, {}));
+  FLASHDB_RETURN_IF_ERROR(dev_->ReadPage(map_.base(pid), out, {}));
   // Step 2: find the differential -- the write buffer shadows flash.
   if (const Differential* d = buffer_.Find(pid)) {
     return d->ApplyTo(out);  // Step 3: merge.
   }
-  const PhysAddr dp = diff_[pid];
+  const PhysAddr dp = map_.diff(pid);
   if (dp == kNullAddr) return Status::OK();  // no differential page
   Differential d;
   bool found = false;
@@ -130,7 +145,7 @@ Status PdlStore::WriteBack(PageId pid, ConstBytes page) {
   }
   // Step 1: read the base page.
   ByteBuffer base_image(data_size_);
-  FLASHDB_RETURN_IF_ERROR(dev_->ReadPage(base_[pid], base_image, {}));
+  FLASHDB_RETURN_IF_ERROR(dev_->ReadPage(map_.base(pid), base_image, {}));
   // Step 2: create the differential.
   Differential diff = ComputeDifferential(base_image, page, pid, clock_.Next(),
                                           config_.diff_coalesce_gap);
@@ -164,12 +179,7 @@ Status PdlStore::Flush() {
 
 Status PdlStore::FlushBuffer(bool for_gc) {
   if (!for_gc) {
-    while (bm_.LowOnSpace(kDiffStream)) {
-      Status gc = RunGcOnce();
-      if (gc.IsNoSpace()) break;  // nothing reclaimable yet; allocation may
-                                  // still succeed from the open block
-      FLASHDB_RETURN_IF_ERROR(gc);
-    }
+    FLASHDB_RETURN_IF_ERROR(ReclaimUntilSpace(kDiffStream));
   }
   if (buffer_.empty()) return Status::OK();
   FLASHDB_ASSIGN_OR_RETURN(PhysAddr q, bm_.AllocatePage(for_gc, kDiffStream));
@@ -180,27 +190,41 @@ Status PdlStore::FlushBuffer(bool for_gc) {
   FLASHDB_RETURN_IF_ERROR(dev_->ProgramPage(q, image, spare));
   // Step 2: update the mapping table and the valid-differential counts.
   for (const Differential& d : buffer_.entries()) {
-    const PhysAddr old_dp = diff_[d.pid()];
+    const PhysAddr old_dp = map_.DetachDiff(d.pid());
     if (old_dp != kNullAddr) {
-      diff_live_bytes_[old_dp] -= flushed_diff_size_[d.pid()];
       FLASHDB_RETURN_IF_ERROR(DecreaseValidDifferentialCount(old_dp));
     }
-    diff_[d.pid()] = q;
-    vdct_[q]++;
-    const uint32_t size = static_cast<uint32_t>(d.EncodedSize());
-    diff_live_bytes_[q] += size;
-    flushed_diff_size_[d.pid()] = size;
+    map_.AttachDiff(d.pid(), q, static_cast<uint32_t>(d.EncodedSize()));
   }
   buffer_.Clear();
   counters_.buffer_flushes++;
   return Status::OK();
 }
 
-Status PdlStore::DecreaseValidDifferentialCount(PhysAddr dp) {
-  if (vdct_[dp] == 0) {
-    return Status::Corruption("VDCT underflow at page " + std::to_string(dp));
+Status PdlStore::ReclaimUntilSpace(uint32_t stream) {
+  // On a chip so small that GC output nearly equals what each erase reclaims
+  // (a few blocks total), this loop can make net-zero progress forever:
+  // every round frees one block and consumes one. Bound the rounds so the
+  // degenerate regime surfaces as a clean NoSpace from the allocator instead
+  // of a livelock; on real geometries the loop exits after a round or two.
+  const uint32_t max_rounds = 2 * bm_.num_blocks();
+  for (uint32_t round = 0; bm_.LowOnSpace(stream); ++round) {
+    if (round >= max_rounds) {
+      return Status::NoSpace(
+          "garbage collection made no net progress after " +
+          std::to_string(max_rounds) + " rounds (chip too small/full)");
+    }
+    Status gc = RunGcOnce();
+    if (gc.IsNoSpace()) break;  // nothing reclaimable yet; allocation may
+                                // still succeed from the open block
+    FLASHDB_RETURN_IF_ERROR(gc);
   }
-  if (--vdct_[dp] == 0) {
+  return Status::OK();
+}
+
+Status PdlStore::DecreaseValidDifferentialCount(PhysAddr dp) {
+  FLASHDB_ASSIGN_OR_RETURN(const bool unreferenced, map_.ReleaseDiffRef(dp));
+  if (unreferenced) {
     // No valid differential remains: make it available for garbage collection.
     FLASHDB_RETURN_IF_ERROR(bm_.MarkObsolete(dp));
   }
@@ -209,11 +233,7 @@ Status PdlStore::DecreaseValidDifferentialCount(PhysAddr dp) {
 
 Status PdlStore::WriteNewBasePage(PageId pid, ConstBytes page, bool for_gc) {
   if (!for_gc) {
-    while (bm_.LowOnSpace(kBaseStream)) {
-      Status gc = RunGcOnce();
-      if (gc.IsNoSpace()) break;
-      FLASHDB_RETURN_IF_ERROR(gc);
-    }
+    FLASHDB_RETURN_IF_ERROR(ReclaimUntilSpace(kBaseStream));
   }
   FLASHDB_ASSIGN_OR_RETURN(PhysAddr q, bm_.AllocatePage(for_gc, kBaseStream));
   // Step 1: write the page itself as a new base page.
@@ -222,16 +242,13 @@ Status PdlStore::WriteNewBasePage(PageId pid, ConstBytes page, bool for_gc) {
   FLASHDB_RETURN_IF_ERROR(dev_->ProgramPage(q, page, spare));
   // Step 2: update tables. Resolve the old locations only now: the GC run
   // above may have relocated them.
-  const PhysAddr old_bp = base_[pid];
+  const PhysAddr old_bp = map_.base(pid);
   FLASHDB_RETURN_IF_ERROR(bm_.MarkObsolete(old_bp));
-  const PhysAddr old_dp = diff_[pid];
+  const PhysAddr old_dp = map_.DetachDiff(pid);
   if (old_dp != kNullAddr) {
-    diff_live_bytes_[old_dp] -= flushed_diff_size_[pid];
-    flushed_diff_size_[pid] = 0;
     FLASHDB_RETURN_IF_ERROR(DecreaseValidDifferentialCount(old_dp));
-    diff_[pid] = kNullAddr;
   }
-  base_[pid] = q;
+  map_.SetBase(pid, q);
   counters_.new_base_pages++;
   return Status::OK();
 }
@@ -241,13 +258,15 @@ Status PdlStore::RunGcOnce() {
   // Byte-scored victim selection: obsolete pages reclaim a whole page;
   // valid differential pages reclaim their dead fraction via compaction;
   // valid base pages reclaim nothing (they must be relocated).
-  auto score_valid = [this](PhysAddr addr) -> uint64_t {
-    if (vdct_[addr] == 0) return 0;  // base page (or unflushed state)
-    const uint32_t live = diff_live_bytes_[addr];
+  ftl::GcScoreContext score_ctx;
+  score_ctx.min_score = data_size_;
+  score_ctx.full_page_score = data_size_;
+  score_ctx.valid_page_score = [this](PhysAddr addr) -> uint64_t {
+    if (map_.vdct(addr) == 0) return 0;  // base page (or unflushed state)
+    const uint32_t live = map_.diff_live_bytes(addr);
     return live >= data_size_ ? 0 : data_size_ - live;
   };
-  std::optional<uint32_t> victim = bm_.PickGcVictimScored(
-      /*min_score=*/data_size_, /*full_page_score=*/data_size_, score_valid);
+  std::optional<uint32_t> victim = gc_policy_->PickVictim(bm_, score_ctx);
   if (!victim.has_value()) {
     // The reclaimable space may all sit in the open block (common when the
     // rest of the chip is packed with valid base pages): close it so it
@@ -257,33 +276,12 @@ Status PdlStore::RunGcOnce() {
     std::fprintf(stderr, "gc fallback: closed open blocks (free=%u)\n",
                  bm_.free_blocks());
 #endif
-    victim = bm_.PickGcVictimScored(data_size_, data_size_, score_valid);
+    victim = gc_policy_->PickVictim(bm_, score_ctx);
   }
   if (!victim.has_value()) {
     return Status::NoSpace("garbage collection found no reclaimable block");
   }
   counters_.gc_runs++;
-#ifdef FLASHDB_GC_DEBUG
-  {
-    uint64_t live_total = 0, vic_live = 0;
-    uint32_t vic_valid = 0, vic_obs = 0, vic_diffpages = 0;
-    const uint32_t ppb_dbg = dev_->geometry().pages_per_block;
-    for (uint32_t a = 0; a < dev_->geometry().total_pages(); ++a) {
-      live_total += diff_live_bytes_[a];
-    }
-    for (uint32_t pg = 0; pg < ppb_dbg; ++pg) {
-      const PhysAddr a = dev_->AddrOf(*victim, pg);
-      if (bm_.state(a) == ftl::PageState::kValid) { vic_valid++;
-        if (vdct_[a] > 0) { vic_diffpages++; vic_live += diff_live_bytes_[a]; }
-      } else if (bm_.state(a) == ftl::PageState::kObsolete) vic_obs++;
-    }
-    std::fprintf(stderr,
-        "gc#%llu victim=%u free=%u live_diff_total=%lluK vic(valid=%u obs=%u diffp=%u liveB=%llu)\n",
-        (unsigned long long)counters_.gc_runs, *victim, bm_.free_blocks(),
-        (unsigned long long)(live_total >> 10), vic_valid, vic_obs,
-        vic_diffpages, (unsigned long long)vic_live);
-  }
-#endif
   const uint32_t block = *victim;
   const uint32_t ppb = dev_->geometry().pages_per_block;
   ByteBuffer data(data_size_);
@@ -310,14 +308,14 @@ Status PdlStore::RunGcOnce() {
     const ftl::SpareInfo info = ftl::DecodeSpare(spare);
     if (info.type == ftl::PageType::kBase) {
       const PageId pid = info.pid;
-      if (pid >= num_pages_ || base_[pid] != addr) continue;  // stale copy
+      if (pid >= num_pages_ || map_.base(pid) != addr) continue;  // stale copy
       // Relocate, keeping the original timestamp so the page's differential
       // (if any) still post-dates its base during crash recovery.
       FLASHDB_ASSIGN_OR_RETURN(PhysAddr q, bm_.AllocatePage(true, kBaseStream));
       ByteBuffer new_spare(spare_size_, 0xFF);
       ftl::EncodeSpare(new_spare, ftl::PageType::kBase, pid, info.timestamp);
       FLASHDB_RETURN_IF_ERROR(dev_->ProgramPage(q, data, new_spare));
-      base_[pid] = q;
+      map_.SetBase(pid, q);
       counters_.gc_bases_moved++;
       ++output_pages;
     } else if (info.type == ftl::PageType::kDiff) {
@@ -326,12 +324,12 @@ Status PdlStore::RunGcOnce() {
       Differential d;
       Status parse_status;
       while (Differential::ParseNext(&reader, &d, &parse_status)) {
-        if (d.pid() >= num_pages_ || diff_[d.pid()] != addr) continue;
-        // The record leaves this page either way.
-        vdct_[addr]--;
-        diff_live_bytes_[addr] -= flushed_diff_size_[d.pid()];
-        flushed_diff_size_[d.pid()] = 0;
-        diff_[d.pid()] = kNullAddr;
+        if (d.pid() >= num_pages_ || map_.diff(d.pid()) != addr) continue;
+        // The record leaves this page either way; the erase below reclaims
+        // the page, so the zero-count obsolete mark is skipped.
+        map_.DetachDiff(d.pid());
+        FLASHDB_ASSIGN_OR_RETURN(const bool unref, map_.ReleaseDiffRef(addr));
+        (void)unref;
         if (buffer_.Contains(d.pid())) continue;  // newer version in memory
         // Merging pays off only for big differentials: it trades d bytes of
         // compaction output for a full page write, but permanently removes
@@ -348,21 +346,21 @@ Status PdlStore::RunGcOnce() {
           // data.
           const PageId pid = d.pid();
           ByteBuffer merged(data_size_);
-          FLASHDB_RETURN_IF_ERROR(dev_->ReadPage(base_[pid], merged, {}));
+          FLASHDB_RETURN_IF_ERROR(dev_->ReadPage(map_.base(pid), merged, {}));
           FLASHDB_RETURN_IF_ERROR(d.ApplyTo(merged));
           FLASHDB_ASSIGN_OR_RETURN(PhysAddr q,
                                    bm_.AllocatePage(true, kBaseStream));
           ByteBuffer bspare(spare_size_, 0xFF);
           ftl::EncodeSpare(bspare, ftl::PageType::kBase, pid, clock_.Next());
           FLASHDB_RETURN_IF_ERROR(dev_->ProgramPage(q, merged, bspare));
-          const PhysAddr old_bp = base_[pid];
+          const PhysAddr old_bp = map_.base(pid);
           // Skip the obsolete mark when the old base sits in this victim:
           // the erase below reclaims it anyway.
           if (dev_->BlockOf(old_bp) != block &&
               bm_.state(old_bp) == ftl::PageState::kValid) {
             FLASHDB_RETURN_IF_ERROR(bm_.MarkObsolete(old_bp));
           }
-          base_[pid] = q;
+          map_.SetBase(pid, q);
           counters_.gc_diffs_merged++;
           continue;
         }
@@ -394,36 +392,26 @@ Status PdlStore::RunGcOnce() {
                      clock_.Next());
     FLASHDB_RETURN_IF_ERROR(dev_->ProgramPage(q, image, dspare));
     for (size_t k = first; k < i; ++k) {
-      const PageId pid = compacted[k].pid();
-      diff_[pid] = q;
-      vdct_[q]++;
-      const uint32_t size = static_cast<uint32_t>(compacted[k].EncodedSize());
-      diff_live_bytes_[q] += size;
-      flushed_diff_size_[pid] = size;
+      map_.AttachDiff(compacted[k].pid(), q,
+                      static_cast<uint32_t>(compacted[k].EncodedSize()));
     }
   }
   for (uint32_t p = 0; p < ppb; ++p) {
-    vdct_[dev_->AddrOf(block, p)] = 0;
-    diff_live_bytes_[dev_->AddrOf(block, p)] = 0;
+    map_.ForgetPhysPage(dev_->AddrOf(block, p));
   }
   return bm_.EraseAndFree(block);
 }
 
 Status PdlStore::Recover() {
+  FLASHDB_RETURN_IF_ERROR(ValidateConfig());
   flash::CategoryScope cat(dev_, flash::OpCategory::kRecovery);
   const auto& g = dev_->geometry();
   const uint32_t total = g.total_pages();
   bm_.Reset();
   clock_.Reset();
   buffer_.Clear();
-  base_.assign(total, kNullAddr);
-  diff_.assign(total, kNullAddr);
-  vdct_.assign(total, 0);
-  diff_live_bytes_.assign(total, 0);
-  flushed_diff_size_.assign(total, 0);
-  std::vector<uint64_t> base_ts(total, 0);
-  std::vector<uint64_t> diff_ts(total, 0);
-  ByteBuffer spare(spare_size_);
+  map_.Reset(total, total);
+  map_.BeginReplay();
   ByteBuffer data(data_size_);
   ByteBuffer obsolete_mark(spare_size_);
   ftl::EncodeObsoleteMark(obsolete_mark);
@@ -433,91 +421,64 @@ Status PdlStore::Recover() {
     bm_.SetObsoleteForRecovery(a);
     return Status::OK();
   };
-  auto recovery_decrease = [&](PhysAddr dp) -> Status {
-    if (vdct_[dp] == 0) {
-      return Status::Corruption("recovery VDCT underflow at " +
-                                std::to_string(dp));
-    }
-    if (--vdct_[dp] == 0) FLASHDB_RETURN_IF_ERROR(obsolete_on_flash(dp));
+  auto release_diff_ref = [&](PhysAddr dp) -> Status {
+    FLASHDB_ASSIGN_OR_RETURN(const bool unreferenced, map_.ReleaseDiffRef(dp));
+    if (unreferenced) FLASHDB_RETURN_IF_ERROR(obsolete_on_flash(dp));
     return Status::OK();
   };
 
-  uint32_t max_pid = 0;
-  bool any_pid = false;
-  for (PhysAddr addr = 0; addr < total; ++addr) {
-    FLASHDB_RETURN_IF_ERROR(dev_->ReadSpare(addr, spare));
-    const ftl::SpareInfo info = ftl::DecodeSpare(spare);
-    if (!info.programmed) continue;  // free page
-    if (info.obsolete || !info.crc_ok) {
-      bm_.SetObsoleteForRecovery(addr);
-      continue;
-    }
-    clock_.Observe(info.timestamp);
-    if (info.type == ftl::PageType::kBase) {
-      // Case 1: r is a base page.
-      const PageId pid = info.pid;
-      if (pid >= total) {
-        FLASHDB_RETURN_IF_ERROR(obsolete_on_flash(addr));
-        continue;
-      }
-      if (info.timestamp > base_ts[pid]) {
-        if (base_[pid] != kNullAddr) {
-          FLASHDB_RETURN_IF_ERROR(obsolete_on_flash(base_[pid]));
+  Status scan = ftl::ForEachProgrammedSpare(
+      dev_, [&](PhysAddr addr, const ftl::SpareInfo& info) -> Status {
+        if (info.obsolete || !info.crc_ok) {
+          bm_.SetObsoleteForRecovery(addr);
+          return Status::OK();
         }
-        base_[pid] = addr;
-        base_ts[pid] = info.timestamp;
-        bm_.SetValidForRecovery(addr);
-        if (diff_[pid] != kNullAddr && info.timestamp > diff_ts[pid]) {
-          diff_live_bytes_[diff_[pid]] -= flushed_diff_size_[pid];
-          flushed_diff_size_[pid] = 0;
-          FLASHDB_RETURN_IF_ERROR(recovery_decrease(diff_[pid]));
-          diff_[pid] = kNullAddr;
-          diff_ts[pid] = 0;
-        }
-        if (!any_pid || pid > max_pid) max_pid = pid;
-        any_pid = true;
-      } else {
-        FLASHDB_RETURN_IF_ERROR(obsolete_on_flash(addr));
-      }
-    } else if (info.type == ftl::PageType::kDiff) {
-      // Case 2: r is a differential page -- inspect each differential.
-      FLASHDB_RETURN_IF_ERROR(dev_->ReadPage(addr, data, {}));
-      BufferReader reader(data);
-      Differential d;
-      Status parse_status;
-      while (Differential::ParseNext(&reader, &d, &parse_status)) {
-        if (d.pid() >= total) continue;
-        clock_.Observe(d.timestamp());
-        if (d.timestamp() > base_ts[d.pid()] &&
-            d.timestamp() > diff_ts[d.pid()]) {
-          if (diff_[d.pid()] != kNullAddr) {
-            diff_live_bytes_[diff_[d.pid()]] -= flushed_diff_size_[d.pid()];
-            FLASHDB_RETURN_IF_ERROR(recovery_decrease(diff_[d.pid()]));
+        clock_.Observe(info.timestamp);
+        if (info.type == ftl::PageType::kBase) {
+          // Case 1: r is a base page.
+          if (info.pid >= total) return obsolete_on_flash(addr);
+          const ftl::MappingTable::BaseReplay r =
+              map_.ReplayBase(info.pid, addr, info.timestamp);
+          if (!r.accepted) return obsolete_on_flash(addr);
+          if (r.displaced_base != kNullAddr) {
+            FLASHDB_RETURN_IF_ERROR(obsolete_on_flash(r.displaced_base));
           }
-          diff_[d.pid()] = addr;
-          diff_ts[d.pid()] = d.timestamp();
-          vdct_[addr]++;
-          const uint32_t size = static_cast<uint32_t>(d.EncodedSize());
-          diff_live_bytes_[addr] += size;
-          flushed_diff_size_[d.pid()] = size;
+          bm_.SetValidForRecovery(addr);
+          if (r.stale_diff != kNullAddr) {
+            FLASHDB_RETURN_IF_ERROR(release_diff_ref(r.stale_diff));
+          }
+        } else if (info.type == ftl::PageType::kDiff) {
+          // Case 2: r is a differential page -- inspect each differential.
+          FLASHDB_RETURN_IF_ERROR(dev_->ReadPage(addr, data, {}));
+          BufferReader reader(data);
+          Differential d;
+          Status parse_status;
+          while (Differential::ParseNext(&reader, &d, &parse_status)) {
+            if (d.pid() >= total) continue;
+            clock_.Observe(d.timestamp());
+            const ftl::MappingTable::DiffReplay r =
+                map_.ReplayDiff(d.pid(), addr, d.timestamp(),
+                                static_cast<uint32_t>(d.EncodedSize()));
+            if (r.accepted && r.displaced_diff != kNullAddr) {
+              FLASHDB_RETURN_IF_ERROR(release_diff_ref(r.displaced_diff));
+            }
+          }
+          FLASHDB_RETURN_IF_ERROR(parse_status);
+          if (map_.vdct(addr) == 0) {
+            FLASHDB_RETURN_IF_ERROR(obsolete_on_flash(addr));
+          } else {
+            bm_.SetValidForRecovery(addr);
+          }
+        } else {
+          // Foreign or invalid type: unusable, reclaim via GC.
+          FLASHDB_RETURN_IF_ERROR(obsolete_on_flash(addr));
         }
-      }
-      FLASHDB_RETURN_IF_ERROR(parse_status);
-      if (vdct_[addr] == 0) {
-        FLASHDB_RETURN_IF_ERROR(obsolete_on_flash(addr));
-      } else {
-        bm_.SetValidForRecovery(addr);
-      }
-    } else {
-      // Foreign or invalid type: unusable, reclaim via GC.
-      FLASHDB_RETURN_IF_ERROR(obsolete_on_flash(addr));
-    }
-  }
+        return Status::OK();
+      });
+  FLASHDB_RETURN_IF_ERROR(scan);
   bm_.FinalizeRecovery();
-  num_pages_ = any_pid ? max_pid + 1 : 0;
-  base_.resize(num_pages_);
-  diff_.resize(num_pages_);
-  flushed_diff_size_.resize(num_pages_);
+  num_pages_ = map_.replayed_num_pids();
+  map_.EndReplay(num_pages_);
   formatted_ = true;
   return Status::OK();
 }

@@ -13,11 +13,13 @@
 #ifndef FLASHDB_PDL_PDL_STORE_H_
 #define FLASHDB_PDL_PDL_STORE_H_
 
+#include <memory>
 #include <string>
-#include <vector>
 
 #include "ftl/block_manager.h"
+#include "ftl/gc_policy.h"
 #include "ftl/logical_clock.h"
+#include "ftl/mapping_table.h"
 #include "ftl/page_store.h"
 #include "ftl/spare_codec.h"
 #include "pdl/diff_write_buffer.h"
@@ -46,6 +48,12 @@ struct PdlConfig {
   /// can push total live data (bases + differentials) past the chip capacity
   /// and garbage collection livelocks. 0 = data_size / 2.
   uint32_t gc_merge_threshold = 0;
+
+  /// Victim-selection policy. Cost-benefit byte scoring is required for
+  /// stability at 50% utilization with large differentials (greedy never
+  /// sees the dead fraction of a still-referenced differential page); the
+  /// greedy policy exists for ablation experiments.
+  ftl::GcPolicyKind gc_policy = ftl::GcPolicyKind::kCostBenefitBytes;
 };
 
 /// Aggregate PDL-internal event counters (observability / ablation benches).
@@ -79,11 +87,11 @@ class PdlStore : public PageStore {
   const PdlCounters& counters() const { return counters_; }
 
   /// Physical location of pid's base page (tests / diagnostics).
-  flash::PhysAddr base_addr(PageId pid) const { return base_[pid]; }
+  flash::PhysAddr base_addr(PageId pid) const { return map_.base(pid); }
   /// Physical location of pid's differential page, or kNullAddr.
-  flash::PhysAddr diff_addr(PageId pid) const { return diff_[pid]; }
+  flash::PhysAddr diff_addr(PageId pid) const { return map_.diff(pid); }
   /// Valid-differential count of a differential page (tests).
-  uint32_t vdct(flash::PhysAddr addr) const { return vdct_[addr]; }
+  uint32_t vdct(flash::PhysAddr addr) const { return map_.vdct(addr); }
   /// Bytes currently pending in the differential write buffer (tests).
   size_t buffered_bytes() const { return buffer_.used_bytes(); }
 
@@ -100,9 +108,15 @@ class PdlStore : public PageStore {
   Status FlushBuffer(bool for_gc);
   /// Writes `page` as a fresh base page (procedure writingNewBasePage).
   Status WriteNewBasePage(PageId pid, ConstBytes page, bool for_gc);
-  /// Decrements the valid-differential count of `dp`; marks it obsolete on
-  /// flash when it reaches zero (procedure decreaseValidDifferentialCount).
+  /// Releases one reference on differential page `dp`; marks it obsolete on
+  /// flash when none remains (procedure decreaseValidDifferentialCount).
   Status DecreaseValidDifferentialCount(flash::PhysAddr dp);
+  /// Runs GC rounds until `stream` can allocate again, with a bound that
+  /// turns tiny-chip net-zero-progress regimes into NoSpace, not livelock.
+  Status ReclaimUntilSpace(uint32_t stream);
+  /// Rejects configs whose differential limit exceeds one page (checked on
+  /// both mount paths, Format and Recover).
+  Status ValidateConfig() const;
   /// Reclaims one victim block (relocate bases, compact differentials).
   Status RunGcOnce();
   /// Reads pid's differential from flash page `dp` into `*out`.
@@ -120,15 +134,9 @@ class PdlStore : public PageStore {
   ftl::BlockManager bm_;
   ftl::LogicalClock clock_;
   DiffWriteBuffer buffer_;
-  std::vector<flash::PhysAddr> base_;  ///< PPMT: pid -> base page address.
-  std::vector<flash::PhysAddr> diff_;  ///< PPMT: pid -> differential page.
-  std::vector<uint32_t> vdct_;         ///< Per-physical-page valid-diff count.
-  /// Live differential bytes per differential page; steers byte-scored GC
-  /// victim selection (a page full of superseded records is mostly dead even
-  /// though its obsolete bit is unset until the count reaches zero).
-  std::vector<uint32_t> diff_live_bytes_;
-  /// Size of pid's last flushed differential (0 when none on flash).
-  std::vector<uint32_t> flushed_diff_size_;
+  /// PPMT plus the VDCT / live-byte / flushed-size bookkeeping around it.
+  ftl::MappingTable map_;
+  std::unique_ptr<ftl::GcPolicy> gc_policy_;
   PdlCounters counters_;
   bool formatted_ = false;
 };

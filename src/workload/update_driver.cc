@@ -57,7 +57,7 @@ Status UpdateDriver::ApplyOneUpdate(PageId pid, MutBytes page) {
 Status UpdateDriver::UpdateOperation(PageId pid) {
   // Step (1): the reading step recreates the logical page from flash.
   {
-    flash::CategoryScope cat(store_->device(), flash::OpCategory::kReadStep);
+    StoreCategoryScope cat(store_, flash::OpCategory::kReadStep);
     FLASHDB_RETURN_IF_ERROR(store_->ReadPage(pid, scratch_));
   }
   if (params_.verify && !BytesEqual(scratch_, shadow_[pid])) {
@@ -68,7 +68,7 @@ Status UpdateDriver::UpdateOperation(PageId pid) {
   // methods may spill their log buffers to flash here; that traffic belongs
   // to the writing step in the paper's accounting.
   {
-    flash::CategoryScope cat(store_->device(), flash::OpCategory::kWriteStep);
+    StoreCategoryScope cat(store_, flash::OpCategory::kWriteStep);
     for (uint32_t u = 0; u < params_.updates_till_write; ++u) {
       FLASHDB_RETURN_IF_ERROR(ApplyOneUpdate(pid, scratch_));
     }
@@ -76,14 +76,14 @@ Status UpdateDriver::UpdateOperation(PageId pid) {
   if (params_.verify) shadow_[pid] = scratch_;
   // Step (3): the writing step reflects the page into flash.
   {
-    flash::CategoryScope cat(store_->device(), flash::OpCategory::kWriteStep);
+    StoreCategoryScope cat(store_, flash::OpCategory::kWriteStep);
     FLASHDB_RETURN_IF_ERROR(store_->WriteBack(pid, scratch_));
   }
   return Status::OK();
 }
 
 Status UpdateDriver::ReadOperation(PageId pid) {
-  flash::CategoryScope cat(store_->device(), flash::OpCategory::kReadStep);
+  StoreCategoryScope cat(store_, flash::OpCategory::kReadStep);
   FLASHDB_RETURN_IF_ERROR(store_->ReadPage(pid, scratch_));
   if (params_.verify && !BytesEqual(scratch_, shadow_[pid])) {
     return Status::Corruption("shadow mismatch on read of pid " +
@@ -93,13 +93,15 @@ Status UpdateDriver::ReadOperation(PageId pid) {
 }
 
 Status UpdateDriver::Warmup(double erases_per_block, uint64_t max_ops) {
-  flash::FlashDevice* dev = store_->device();
-  const uint64_t target =
-      static_cast<uint64_t>(erases_per_block *
-                            static_cast<double>(dev->geometry().num_blocks));
-  const uint64_t start = dev->stats().total.erases;
+  // Per-chip steady state: for a sharded store the erase target scales with
+  // the block count of every shard (stats() sums them).
+  uint64_t num_blocks = store_->stats().block_erase_counts.size();
+  if (num_blocks == 0) num_blocks = store_->device()->geometry().num_blocks;
+  const uint64_t target = static_cast<uint64_t>(
+      erases_per_block * static_cast<double>(num_blocks));
+  const uint64_t start = store_->total_erases();
   uint64_t ops = 0;
-  while (dev->stats().total.erases - start < target && ops < max_ops) {
+  while (store_->total_erases() - start < target && ops < max_ops) {
     FLASHDB_RETURN_IF_ERROR(
         UpdateOperation(static_cast<PageId>(rng_.Uniform(num_pages_))));
     ++ops;
@@ -108,15 +110,7 @@ Status UpdateDriver::Warmup(double erases_per_block, uint64_t max_ops) {
 }
 
 Status UpdateDriver::Run(uint64_t num_ops, RunStats* out) {
-  flash::FlashDevice* dev = store_->device();
-  const flash::FlashStats& stats = dev->stats();
-  const flash::OpCounters read0 =
-      stats.by_category[static_cast<int>(flash::OpCategory::kReadStep)];
-  const flash::OpCounters write0 =
-      stats.by_category[static_cast<int>(flash::OpCategory::kWriteStep)];
-  const flash::OpCounters gc0 =
-      stats.by_category[static_cast<int>(flash::OpCategory::kGc)];
-  const uint64_t erases0 = stats.total.erases;
+  const flash::FlashStats stats0 = store_->stats();
 
   for (uint64_t i = 0; i < num_ops; ++i) {
     const PageId pid = static_cast<PageId>(rng_.Uniform(num_pages_));
@@ -129,15 +123,16 @@ Status UpdateDriver::Run(uint64_t num_ops, RunStats* out) {
     out->operations++;
   }
 
+  const flash::FlashStats stats1 = store_->stats();
   out->read_step +=
-      stats.by_category[static_cast<int>(flash::OpCategory::kReadStep)] -
-      read0;
+      stats1.by_category[static_cast<int>(flash::OpCategory::kReadStep)] -
+      stats0.by_category[static_cast<int>(flash::OpCategory::kReadStep)];
   out->write_step +=
-      stats.by_category[static_cast<int>(flash::OpCategory::kWriteStep)] -
-      write0;
-  out->gc +=
-      stats.by_category[static_cast<int>(flash::OpCategory::kGc)] - gc0;
-  out->erases += stats.total.erases - erases0;
+      stats1.by_category[static_cast<int>(flash::OpCategory::kWriteStep)] -
+      stats0.by_category[static_cast<int>(flash::OpCategory::kWriteStep)];
+  out->gc += stats1.by_category[static_cast<int>(flash::OpCategory::kGc)] -
+             stats0.by_category[static_cast<int>(flash::OpCategory::kGc)];
+  out->erases += stats1.total.erases - stats0.total.erases;
   return Status::OK();
 }
 

@@ -1,8 +1,10 @@
-// Unit tests for the BlockManager (allocation, GC victims, reserve).
+// Unit tests for the BlockManager (allocation, streams, reserve) and its
+// interplay with the pluggable GC victim-selection policies.
 
 #include <gtest/gtest.h>
 
 #include "ftl/block_manager.h"
+#include "ftl/gc_policy.h"
 #include "ftl/spare_codec.h"
 
 namespace flashdb::ftl {
@@ -15,15 +17,22 @@ using flash::PhysAddr;
 class BlockManagerTest : public ::testing::Test {
  protected:
   BlockManagerTest()
-      : dev_(FlashConfig::Small(4)), bm_(&dev_, /*gc_reserve_blocks=*/1) {}
+      : dev_(FlashConfig::Small(4)),
+        bm_(&dev_, /*gc_reserve_blocks=*/1),
+        greedy_(MakeGcPolicy(GcPolicyKind::kGreedyObsolete)) {}
 
   Status ProgramAt(PhysAddr addr) {
     ByteBuffer data(dev_.geometry().data_size, 0x00);
     return dev_.ProgramPage(addr, data, {});
   }
 
+  std::optional<uint32_t> PickGreedyVictim() {
+    return greedy_->PickVictim(bm_, GcScoreContext{});
+  }
+
   FlashDevice dev_;
   BlockManager bm_;
+  std::unique_ptr<GcPolicy> greedy_;
 };
 
 TEST_F(BlockManagerTest, SequentialAllocation) {
@@ -72,7 +81,7 @@ TEST_F(BlockManagerTest, PickGcVictimPrefersMostObsolete) {
   }
   for (uint32_t p = 0; p < 10; ++p) ASSERT_TRUE(bm_.MarkObsolete(p).ok());
   ASSERT_TRUE(bm_.MarkObsolete(ppb + 1).ok());
-  auto victim = bm_.PickGcVictim();
+  auto victim = PickGreedyVictim();
   ASSERT_TRUE(victim.has_value());
   EXPECT_EQ(*victim, 0u);
 }
@@ -81,7 +90,7 @@ TEST_F(BlockManagerTest, NoVictimWhenNothingObsolete) {
   for (uint32_t i = 0; i < 5; ++i) {
     ASSERT_TRUE(bm_.AllocatePage(false).ok());
   }
-  EXPECT_FALSE(bm_.PickGcVictim().has_value());
+  EXPECT_FALSE(PickGreedyVictim().has_value());
 }
 
 TEST_F(BlockManagerTest, VictimNeverTheOpenBlock) {
@@ -93,7 +102,7 @@ TEST_F(BlockManagerTest, VictimNeverTheOpenBlock) {
     ASSERT_TRUE(ProgramAt(*r).ok());
     ASSERT_TRUE(bm_.MarkObsolete(*r).ok());
   }
-  EXPECT_FALSE(bm_.PickGcVictim().has_value());
+  EXPECT_FALSE(PickGreedyVictim().has_value());
 }
 
 TEST_F(BlockManagerTest, EraseAndFreeRecyclesBlock) {
@@ -142,9 +151,30 @@ TEST_F(BlockManagerTest, RecoveryReplayRebuildsCounts) {
   EXPECT_EQ(bm_.free_blocks(), 2u);
   EXPECT_EQ(bm_.CountValidPages(), ppb / 2 + 5);
   // The half-obsolete block should be the GC victim.
-  auto victim = bm_.PickGcVictim();
+  auto victim = PickGreedyVictim();
   ASSERT_TRUE(victim.has_value());
   EXPECT_EQ(*victim, 0u);
+}
+
+TEST_F(BlockManagerTest, StreamsFillSeparateBlocks) {
+  BlockManager bm(&dev_, /*gc_reserve_blocks=*/1, /*num_streams=*/3);
+  EXPECT_EQ(bm.num_streams(), 3u);
+  Result<PhysAddr> a = bm.AllocatePage(false, 0);
+  Result<PhysAddr> b = bm.AllocatePage(false, 1);
+  Result<PhysAddr> c = bm.AllocatePage(false, 2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(c.ok());
+  // Each stream opens its own block; allocations never interleave.
+  EXPECT_NE(dev_.BlockOf(*a), dev_.BlockOf(*b));
+  EXPECT_NE(dev_.BlockOf(*b), dev_.BlockOf(*c));
+  EXPECT_NE(dev_.BlockOf(*a), dev_.BlockOf(*c));
+  Result<PhysAddr> a2 = bm.AllocatePage(false, 0);
+  ASSERT_TRUE(a2.ok());
+  EXPECT_EQ(dev_.BlockOf(*a2), dev_.BlockOf(*a));
+  EXPECT_EQ(*a2, *a + 1);
+  // Out-of-range streams are rejected.
+  EXPECT_FALSE(bm.AllocatePage(false, 3).ok());
 }
 
 TEST_F(BlockManagerTest, UsablePagesAccounting) {

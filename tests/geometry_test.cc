@@ -9,6 +9,7 @@
 
 #include "common/random.h"
 #include "ftl/block_manager.h"
+#include "ftl/gc_policy.h"
 #include "methods/method_factory.h"
 
 namespace flashdb {
@@ -98,7 +99,7 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST(BlockManagerStreamsTest, StreamsUseDisjointOpenBlocks) {
   FlashDevice dev(FlashConfig::Small(8));
-  ftl::BlockManager bm(&dev, 1);
+  ftl::BlockManager bm(&dev, 1, /*num_streams=*/2);
   auto a = bm.AllocatePage(false, 0);
   auto b = bm.AllocatePage(false, 1);
   ASSERT_TRUE(a.ok());
@@ -114,13 +115,14 @@ TEST(BlockManagerStreamsTest, StreamsUseDisjointOpenBlocks) {
 
 TEST(BlockManagerStreamsTest, InvalidStreamRejected) {
   FlashDevice dev(FlashConfig::Small(4));
-  ftl::BlockManager bm(&dev, 1);
-  EXPECT_FALSE(bm.AllocatePage(false, ftl::BlockManager::kNumStreams).ok());
+  ftl::BlockManager bm(&dev, 1, /*num_streams=*/2);
+  EXPECT_FALSE(bm.AllocatePage(false, bm.num_streams()).ok());
 }
 
 TEST(BlockManagerStreamsTest, CloseOpenBlocksMakesThemVictims) {
   FlashDevice dev(FlashConfig::Small(4));
   ftl::BlockManager bm(&dev, 1);
+  auto greedy = ftl::MakeGcPolicy(ftl::GcPolicyKind::kGreedyObsolete);
   ByteBuffer page(dev.geometry().data_size, 0x00);
   for (int i = 0; i < 8; ++i) {
     auto a = bm.AllocatePage(false, 0);
@@ -128,9 +130,10 @@ TEST(BlockManagerStreamsTest, CloseOpenBlocksMakesThemVictims) {
     ASSERT_TRUE(dev.ProgramPage(*a, page, {}).ok());
     ASSERT_TRUE(bm.MarkObsolete(*a).ok());
   }
-  EXPECT_FALSE(bm.PickGcVictim().has_value());  // open block excluded
+  // Open block excluded from victim selection.
+  EXPECT_FALSE(greedy->PickVictim(bm, ftl::GcScoreContext{}).has_value());
   bm.CloseOpenBlocks();
-  auto victim = bm.PickGcVictim();
+  auto victim = greedy->PickVictim(bm, ftl::GcScoreContext{});
   ASSERT_TRUE(victim.has_value());
   EXPECT_EQ(*victim, 0u);
 }

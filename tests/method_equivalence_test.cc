@@ -1,8 +1,9 @@
 // Cross-method property test: all four page-update methods must expose
-// byte-identical logical page contents for the same operation stream.
-// This is the strongest functional statement of PageStore correctness: the
-// methods differ only in how (and how expensively) they lay pages out on
-// flash, never in what a read returns.
+// byte-identical logical page contents for the same operation stream --
+// flat or wrapped in a ShardedStore. This is the strongest functional
+// statement of PageStore correctness: the methods differ only in how (and
+// how expensively) they lay pages out on flash, never in what a read
+// returns.
 
 #include <gtest/gtest.h>
 
@@ -12,6 +13,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "ftl/sharded_store.h"
 #include "methods/method_factory.h"
 
 namespace flashdb {
@@ -30,29 +32,23 @@ void SeededImage(PageId pid, MutBytes page, void* arg) {
   r.Fill(page);
 }
 
-class MethodEquivalenceTest
-    : public ::testing::TestWithParam<std::tuple<std::string, int>> {};
-
-TEST_P(MethodEquivalenceTest, MatchesShadowUnderRandomOperations) {
-  const auto& [method_name, seed] = GetParam();
-  Result<MethodSpec> spec = ParseMethodSpec(method_name);
-  ASSERT_TRUE(spec.ok());
-
-  FlashDevice dev(FlashConfig::Small(8));
-  std::unique_ptr<PageStore> store = methods::CreateStore(&dev, *spec);
-  const uint32_t pages = 100;
+/// Formats `store` with `pages` seeded pages and runs the randomized
+/// read / update / flush stream against an in-memory shadow database.
+void RunRandomizedEquivalenceSuite(PageStore* store, uint32_t pages, int seed,
+                                   const std::string& label) {
+  const uint32_t data_size = store->device()->geometry().data_size;
   SeedArg arg{static_cast<uint64_t>(seed)};
   ASSERT_TRUE(store->Format(pages, &SeededImage, &arg).ok());
 
   // Shadow database.
   std::vector<ByteBuffer> shadow(pages);
   for (PageId pid = 0; pid < pages; ++pid) {
-    shadow[pid].resize(dev.geometry().data_size);
+    shadow[pid].resize(data_size);
     SeededImage(pid, shadow[pid], &arg);
   }
 
   Random r(seed * 7919 + 1);
-  ByteBuffer buf(dev.geometry().data_size);
+  ByteBuffer buf(data_size);
   for (int op = 0; op < 600; ++op) {
     const PageId pid = static_cast<PageId>(r.Uniform(pages));
     const uint64_t kind = r.Uniform(10);
@@ -60,7 +56,7 @@ TEST_P(MethodEquivalenceTest, MatchesShadowUnderRandomOperations) {
       // Read and verify.
       ASSERT_TRUE(store->ReadPage(pid, buf).ok()) << op;
       ASSERT_TRUE(BytesEqual(buf, shadow[pid]))
-          << method_name << " op " << op << " pid " << pid;
+          << label << " op " << op << " pid " << pid;
     } else if (kind < 9) {
       // Update cycle: read, mutate 1..3 regions (through OnUpdate), write.
       ASSERT_TRUE(store->ReadPage(pid, buf).ok()) << op;
@@ -85,8 +81,21 @@ TEST_P(MethodEquivalenceTest, MatchesShadowUnderRandomOperations) {
   // Final full verification.
   for (PageId pid = 0; pid < pages; ++pid) {
     ASSERT_TRUE(store->ReadPage(pid, buf).ok());
-    ASSERT_TRUE(BytesEqual(buf, shadow[pid])) << method_name << " pid " << pid;
+    ASSERT_TRUE(BytesEqual(buf, shadow[pid])) << label << " pid " << pid;
   }
+}
+
+class MethodEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<std::string, int>> {};
+
+TEST_P(MethodEquivalenceTest, MatchesShadowUnderRandomOperations) {
+  const auto& [method_name, seed] = GetParam();
+  Result<MethodSpec> spec = ParseMethodSpec(method_name);
+  ASSERT_TRUE(spec.ok());
+
+  FlashDevice dev(FlashConfig::Small(8));
+  std::unique_ptr<PageStore> store = methods::CreateStore(&dev, *spec);
+  RunRandomizedEquivalenceSuite(store.get(), 100, seed, method_name);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -159,6 +168,96 @@ INSTANTIATE_TEST_SUITE_P(AllMethods, RemountEquivalenceTest,
                            }
                            return name;
                          });
+
+// The ShardedStore must satisfy the same contract: striping pages across
+// N chips is invisible to the logical page space, for every inner method.
+class ShardedEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<std::string, uint32_t>> {};
+
+TEST_P(ShardedEquivalenceTest, MatchesShadowUnderRandomOperations) {
+  const auto& [method_name, num_shards] = GetParam();
+  Result<MethodSpec> spec = ParseMethodSpec(method_name);
+  ASSERT_TRUE(spec.ok());
+
+  std::unique_ptr<ftl::ShardedStore> store =
+      methods::CreateShardedStore(FlashConfig::Small(8), num_shards, *spec);
+  ASSERT_EQ(store->num_shards(), num_shards);
+  RunRandomizedEquivalenceSuite(
+      store.get(), 100, /*seed=*/static_cast<int>(num_shards) + 1,
+      std::string(store->name()));
+}
+
+TEST_P(ShardedEquivalenceTest, SurvivesCrashRecoveryAcrossShards) {
+  const auto& [method_name, num_shards] = GetParam();
+  Result<MethodSpec> spec = ParseMethodSpec(method_name);
+  ASSERT_TRUE(spec.ok());
+
+  // Devices outlive the store instances, like chips outlive a process.
+  std::vector<std::unique_ptr<FlashDevice>> devices;
+  for (uint32_t i = 0; i < num_shards; ++i) {
+    devices.push_back(
+        std::make_unique<FlashDevice>(FlashConfig::Small(8)));
+  }
+  auto make_store = [&]() {
+    std::vector<ftl::ShardedStore::Shard> shards(num_shards);
+    for (uint32_t i = 0; i < num_shards; ++i) {
+      shards[i].device = devices[i].get();
+      shards[i].store = methods::CreateStore(devices[i].get(), *spec);
+    }
+    return std::make_unique<ftl::ShardedStore>(std::move(shards));
+  };
+
+  std::unique_ptr<ftl::ShardedStore> store = make_store();
+  const uint32_t pages = 100;
+  SeedArg arg{11};
+  ASSERT_TRUE(store->Format(pages, &SeededImage, &arg).ok());
+
+  std::vector<ByteBuffer> shadow(pages);
+  for (PageId pid = 0; pid < pages; ++pid) {
+    shadow[pid].resize(devices[0]->geometry().data_size);
+    SeededImage(pid, shadow[pid], &arg);
+  }
+  Random r(101 + num_shards);
+  ByteBuffer buf(devices[0]->geometry().data_size);
+  for (int op = 0; op < 300; ++op) {
+    const PageId pid = static_cast<PageId>(r.Uniform(pages));
+    ASSERT_TRUE(store->ReadPage(pid, buf).ok());
+    const uint32_t len = 1 + static_cast<uint32_t>(r.Uniform(60));
+    const uint32_t off = static_cast<uint32_t>(r.Uniform(buf.size() - len));
+    UpdateLog log;
+    log.offset = off;
+    log.data.resize(len);
+    r.Fill(log.data);
+    std::memcpy(buf.data() + off, log.data.data(), len);
+    ASSERT_TRUE(store->OnUpdate(pid, buf, log).ok());
+    ASSERT_TRUE(store->WriteBack(pid, buf).ok());
+    shadow[pid] = buf;
+  }
+  ASSERT_TRUE(store->Flush().ok());
+  store.reset();  // "crash": every in-memory table is lost
+
+  std::unique_ptr<ftl::ShardedStore> remounted = make_store();
+  ASSERT_TRUE(remounted->Recover().ok());
+  ASSERT_EQ(remounted->num_logical_pages(), pages);
+  for (PageId pid = 0; pid < pages; ++pid) {
+    ASSERT_TRUE(remounted->ReadPage(pid, buf).ok());
+    ASSERT_TRUE(BytesEqual(buf, shadow[pid]))
+        << method_name << " x" << num_shards << " pid " << pid;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMethods, ShardedEquivalenceTest,
+    ::testing::Combine(::testing::Values("PDL(256B)", "PDL(2KB)", "OPU", "IPU",
+                                         "IPL(18KB)", "IPL(64KB)"),
+                       ::testing::Values(1u, 2u, 3u, 4u)),
+    [](const ::testing::TestParamInfo<std::tuple<std::string, uint32_t>>& i) {
+      std::string name = std::get<0>(i.param);
+      for (char& c : name) {
+        if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name + "_x" + std::to_string(std::get<1>(i.param));
+    });
 
 }  // namespace
 }  // namespace flashdb

@@ -67,12 +67,26 @@ TEST_F(PdlStoreTest, NameReflectsMaxDifferentialSize) {
   EXPECT_EQ(MakeStore(2048, 1)->name(), "PDL(2048B)");
 }
 
-TEST_F(PdlStoreTest, MaxDifferentialSizeClampedToPage) {
+TEST_F(PdlStoreTest, MaxDifferentialSizeBeyondPageRejected) {
   PdlConfig cfg;
   cfg.max_differential_size = 1 << 20;
   PdlStore store(&dev_, cfg);
-  EXPECT_EQ(store.config().max_differential_size,
-            dev_.geometry().data_size);
+  Status st = store.Format(16, nullptr, nullptr);
+  EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
+  // The remount path must reject the config too, or an oversized limit
+  // would slip past the write buffer's one-page capacity after recovery.
+  EXPECT_TRUE(store.Recover().IsInvalidArgument());
+  // Exactly one page is the largest legal value.
+  cfg.max_differential_size = dev_.geometry().data_size;
+  PdlStore ok_store(&dev_, cfg);
+  EXPECT_TRUE(ok_store.Format(16, nullptr, nullptr).ok());
+}
+
+TEST_F(PdlStoreTest, SentinelPageCountRejected) {
+  PdlConfig cfg;
+  PdlStore store(&dev_, cfg);
+  Status st = store.Format(kPaddingPid, nullptr, nullptr);
+  EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
 }
 
 TEST_F(PdlStoreTest, Case1SmallDiffGoesToBuffer) {
