@@ -61,5 +61,8 @@ int main(int argc, char** argv) {
                 TablePrinter::Num(stats.erases_per_op(), 4)});
   }
   tbl.Print(std::cout);
+  harness::JsonDump json(flags.GetString("json", ""));
+  json.Add("max_diff_sweep", tbl);
+  if (!json.Finish()) return 1;
   return 0;
 }

@@ -62,5 +62,11 @@ int main(int argc, char** argv) {
   write_tbl.Print(std::cout);
   std::cout << "\n(c) overall\n";
   overall_tbl.Print(std::cout);
+
+  harness::JsonDump json(flags.GetString("json", ""));
+  json.Add("reading_step", read_tbl);
+  json.Add("writing_step", write_tbl);
+  json.Add("overall", overall_tbl);
+  if (!json.Finish()) return 1;
   return 0;
 }

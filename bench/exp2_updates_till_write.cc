@@ -18,7 +18,8 @@ using harness::TablePrinter;
 
 namespace {
 
-int RunSeries(const harness::ExperimentEnv& env, double pct_changed) {
+int RunSeries(const harness::ExperimentEnv& env, double pct_changed,
+              const std::string& series, harness::JsonDump* json) {
   TablePrinter tbl({"N_updates_till_write", "IPL(18KB)", "IPL(64KB)",
                     "PDL(2048B)", "PDL(256B)", "OPU", "IPU"});
   for (uint32_t n = 1; n <= 8; ++n) {
@@ -37,6 +38,7 @@ int RunSeries(const harness::ExperimentEnv& env, double pct_changed) {
     tbl.AddRow(std::move(row));
   }
   tbl.Print(std::cout);
+  json->Add(series, tbl);
   return 0;
 }
 
@@ -46,12 +48,13 @@ int main(int argc, char** argv) {
   harness::Flags flags(argc, argv);
   harness::ExperimentEnv env = harness::ExperimentEnv::FromFlags(flags);
   const double pct = flags.GetDouble("changed", 2.0);
+  harness::JsonDump json(flags.GetString("json", ""));
 
   std::printf(
       "Experiment 2 (Fig. 13): overall us/op vs N_updates_till_write "
       "(%%Changed=%.1f)\n\n(a) logical page = %u bytes\n",
       pct, env.flash_cfg.geometry.data_size);
-  if (RunSeries(env, pct) != 0) return 1;
+  if (RunSeries(env, pct, "page_2kb", &json) != 0) return 1;
 
   if (!flags.Has("page-size")) {
     // (b) 8 KB logical pages (geometry keeps 128 KB blocks: 16 pages/block).
@@ -59,7 +62,8 @@ int main(int argc, char** argv) {
     env8.flash_cfg.geometry.data_size = 8192;
     env8.flash_cfg.geometry.pages_per_block = 16;
     std::printf("\n(b) logical page = 8192 bytes\n");
-    if (RunSeries(env8, pct) != 0) return 1;
+    if (RunSeries(env8, pct, "page_8kb", &json) != 0) return 1;
   }
+  if (!json.Finish()) return 1;
   return 0;
 }

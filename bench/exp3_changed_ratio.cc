@@ -18,7 +18,8 @@ using harness::TablePrinter;
 
 namespace {
 
-int RunSeries(const harness::ExperimentEnv& env, uint32_t n_updates) {
+int RunSeries(const harness::ExperimentEnv& env, uint32_t n_updates,
+              const std::string& series, harness::JsonDump* json) {
   TablePrinter tbl({"%Changed", "IPL(18KB)", "IPL(64KB)", "PDL(2048B)",
                     "PDL(256B)", "OPU", "IPU"});
   for (double pct : {0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0}) {
@@ -37,6 +38,7 @@ int RunSeries(const harness::ExperimentEnv& env, uint32_t n_updates) {
     tbl.AddRow(std::move(row));
   }
   tbl.Print(std::cout);
+  json->Add(series, tbl);
   return 0;
 }
 
@@ -45,11 +47,13 @@ int RunSeries(const harness::ExperimentEnv& env, uint32_t n_updates) {
 int main(int argc, char** argv) {
   harness::Flags flags(argc, argv);
   harness::ExperimentEnv env = harness::ExperimentEnv::FromFlags(flags);
+  harness::JsonDump json(flags.GetString("json", ""));
   std::printf(
       "Experiment 3 (Fig. 14): overall us/op vs %%ChangedByOneU_Op\n\n"
       "(a) N_updates_till_write = 1\n");
-  if (RunSeries(env, 1) != 0) return 1;
+  if (RunSeries(env, 1, "nupdates_1", &json) != 0) return 1;
   std::printf("\n(b) N_updates_till_write = 5\n");
-  if (RunSeries(env, 5) != 0) return 1;
+  if (RunSeries(env, 5, "nupdates_5", &json) != 0) return 1;
+  if (!json.Finish()) return 1;
   return 0;
 }

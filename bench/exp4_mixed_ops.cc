@@ -19,7 +19,8 @@ using harness::TablePrinter;
 namespace {
 
 int RunSeries(const harness::ExperimentEnv& env, uint32_t n_updates,
-              double* pdl_vs_opu_min, double* pdl_vs_opu_max) {
+              double* pdl_vs_opu_min, double* pdl_vs_opu_max,
+              const std::string& series, harness::JsonDump* json) {
   TablePrinter tbl({"%UpdateOps", "IPL(18KB)", "IPL(64KB)", "PDL(2048B)",
                     "PDL(256B)", "OPU", "IPU"});
   for (double pct_up : {0.0, 10.0, 25.0, 50.0, 75.0, 100.0}) {
@@ -49,6 +50,7 @@ int RunSeries(const harness::ExperimentEnv& env, uint32_t n_updates,
     tbl.AddRow(std::move(row));
   }
   tbl.Print(std::cout);
+  json->Add(series, tbl);
   return 0;
 }
 
@@ -57,16 +59,18 @@ int RunSeries(const harness::ExperimentEnv& env, uint32_t n_updates,
 int main(int argc, char** argv) {
   harness::Flags flags(argc, argv);
   harness::ExperimentEnv env = harness::ExperimentEnv::FromFlags(flags);
+  harness::JsonDump json(flags.GetString("json", ""));
   double lo = 1e9, hi = 0;
   std::printf(
       "Experiment 4 (Fig. 15): overall us/op for read/update mixes "
       "(%%Changed=2)\n\n(a) N_updates_till_write = 1\n");
-  if (RunSeries(env, 1, &lo, &hi) != 0) return 1;
+  if (RunSeries(env, 1, &lo, &hi, "nupdates_1", &json) != 0) return 1;
   std::printf("\n(b) N_updates_till_write = 5\n");
-  if (RunSeries(env, 5, &lo, &hi) != 0) return 1;
+  if (RunSeries(env, 5, &lo, &hi, "nupdates_5", &json) != 0) return 1;
   std::printf(
       "\nPDL(256B) vs OPU speedup range: %.2fx ~ %.2fx "
       "(paper: 0.5x ~ 3.4x)\n",
       lo, hi);
+  if (!json.Finish()) return 1;
   return 0;
 }

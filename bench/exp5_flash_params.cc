@@ -16,7 +16,8 @@ using harness::TablePrinter;
 
 namespace {
 
-int RunSeries(harness::ExperimentEnv env, uint32_t twrite) {
+int RunSeries(harness::ExperimentEnv env, uint32_t twrite,
+              const std::string& series, harness::JsonDump* json) {
   env.flash_cfg.timing.write_us = twrite;
   TablePrinter tbl({"Tread_us", "IPL(18KB)", "IPL(64KB)", "PDL(2048B)",
                     "PDL(256B)", "OPU", "IPU"});
@@ -37,6 +38,7 @@ int RunSeries(harness::ExperimentEnv env, uint32_t twrite) {
     tbl.AddRow(std::move(row));
   }
   tbl.Print(std::cout);
+  json->Add(series, tbl);
   return 0;
 }
 
@@ -45,11 +47,13 @@ int RunSeries(harness::ExperimentEnv env, uint32_t twrite) {
 int main(int argc, char** argv) {
   harness::Flags flags(argc, argv);
   harness::ExperimentEnv env = harness::ExperimentEnv::FromFlags(flags);
+  harness::JsonDump json(flags.GetString("json", ""));
   std::printf(
       "Experiment 5 (Fig. 16): overall us/op as flash parameters vary "
       "(N=1, %%Changed=2, Terase=1500us)\n\n(a) Twrite = 500us\n");
-  if (RunSeries(env, 500) != 0) return 1;
+  if (RunSeries(env, 500, "twrite_500", &json) != 0) return 1;
   std::printf("\n(b) Twrite = 1000us\n");
-  if (RunSeries(env, 1000) != 0) return 1;
+  if (RunSeries(env, 1000, "twrite_1000", &json) != 0) return 1;
+  if (!json.Finish()) return 1;
   return 0;
 }

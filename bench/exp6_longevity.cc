@@ -40,5 +40,8 @@ int main(int argc, char** argv) {
     tbl.AddRow(std::move(row));
   }
   tbl.Print(std::cout);
+  harness::JsonDump json(flags.GetString("json", ""));
+  json.Add("erases_per_op", tbl);
+  if (!json.Finish()) return 1;
   return 0;
 }

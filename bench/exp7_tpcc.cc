@@ -96,6 +96,9 @@ int main(int argc, char** argv) {
     tbl.AddRow(std::move(row));
   }
   tbl.Print(std::cout);
+  harness::JsonDump json(flags.GetString("json", ""));
+  json.Add("io_us_per_tx", tbl);
+  if (!json.Finish()) return 1;
   std::printf("\n(IPU is omitted from Fig. 18 in the paper as well: its "
               "block-rewrite cost is off the chart.)\n");
   return 0;

@@ -129,5 +129,8 @@ int main(int argc, char** argv) {
     tbl.AddRow(std::move(row));
   }
   tbl.Print(std::cout);
+  harness::JsonDump json(flags.GetString("json", ""));
+  json.Add("sharding", tbl);
+  if (!json.Finish()) return 1;
   return 0;
 }

@@ -40,6 +40,39 @@ void BM_ComputeDifferential(benchmark::State& state) {
 }
 BENCHMARK(BM_ComputeDifferential)->Arg(1)->Arg(16)->Arg(64)->Arg(512);
 
+// The shapes the word-at-a-time equal-run scanner targets: a fully unchanged
+// page (pure scan, the n/8 best case) and the paper's workload shape (one
+// contiguous changed run of %ChangedByOneU_Op, mostly-equal page around it).
+void BM_ComputeDifferentialUnchanged(benchmark::State& state) {
+  const size_t kPage = 2048;
+  ByteBuffer base = RandomPage(kPage, 1);
+  ByteBuffer upd = base;
+  for (auto _ : state) {
+    pdl::Differential d = pdl::ComputeDifferential(base, upd, 1, 1);
+    benchmark::DoNotOptimize(d);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * kPage);
+}
+BENCHMARK(BM_ComputeDifferentialUnchanged);
+
+void BM_ComputeDifferentialContiguous(benchmark::State& state) {
+  const size_t kPage = 2048;
+  const size_t run = static_cast<size_t>(state.range(0));
+  ByteBuffer base = RandomPage(kPage, 1);
+  ByteBuffer upd = base;
+  const size_t offset = kPage / 3;
+  for (size_t i = 0; i < run; ++i) upd[offset + i] ^= 0xFF;
+  // Reuse one Differential across iterations: the steady-state hot path
+  // (PdlStore's scratch) recomputes into existing capacity.
+  pdl::Differential d;
+  for (auto _ : state) {
+    pdl::ComputeDifferentialInto(base, upd, 1, 1, pdl::kExtentHeaderSize, &d);
+    benchmark::DoNotOptimize(d);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * kPage);
+}
+BENCHMARK(BM_ComputeDifferentialContiguous)->Arg(41)->Arg(256);
+
 void BM_ApplyDifferential(benchmark::State& state) {
   const size_t kPage = 2048;
   ByteBuffer base = RandomPage(kPage, 1);

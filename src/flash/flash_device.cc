@@ -1,8 +1,21 @@
 #include "flash/flash_device.h"
 
+#include <cstdio>
+#include <cstdlib>
 #include <string>
 
 namespace flashdb::flash {
+
+FlashDevice::ConfinementScope::ConfinementScope(const FlashDevice* dev)
+    : dev_(dev) {
+  if (dev_->in_operation_.exchange(true, std::memory_order_acquire)) {
+    std::fprintf(stderr,
+                 "FlashDevice: concurrent operations on one chip -- the "
+                 "shard-confinement contract is violated (drive each shard "
+                 "from its own ShardExecutor worker)\n");
+    std::abort();
+  }
+}
 
 FlashDevice::FlashDevice(const FlashConfig& config) : config_(config) {
   const auto& g = config_.geometry;
@@ -54,6 +67,7 @@ void FlashDevice::Charge(OpKind kind) {
 }
 
 Status FlashDevice::ReadPage(PhysAddr addr, MutBytes data, MutBytes spare) {
+  ConfinementScope confined(this);
   FLASHDB_RETURN_IF_ERROR(CheckAddr(addr));
   const auto& g = config_.geometry;
   if (!data.empty() && data.size() != g.data_size) {
@@ -95,6 +109,7 @@ Status FlashDevice::ProgramCells(uint8_t* dst, ConstBytes src, PhysAddr addr,
 
 Status FlashDevice::ProgramImpl(PhysAddr addr, ConstBytes data,
                                 ConstBytes spare, bool strict) {
+  ConfinementScope confined(this);
   FLASHDB_RETURN_IF_ERROR(CheckAddr(addr));
   const auto& g = config_.geometry;
   if (data.empty() && spare.empty()) {
@@ -157,6 +172,7 @@ Status FlashDevice::ProgramImpl(PhysAddr addr, ConstBytes data,
 }
 
 Status FlashDevice::EraseBlock(uint32_t block) {
+  ConfinementScope confined(this);
   const auto& g = config_.geometry;
   if (block >= g.num_blocks) {
     return Status::InvalidArgument("block out of range: " +

@@ -16,6 +16,7 @@
 #ifndef FLASHDB_FLASH_FLASH_DEVICE_H_
 #define FLASHDB_FLASH_FLASH_DEVICE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -35,8 +36,16 @@ using PhysAddr = uint32_t;
 /// Sentinel for "no physical page".
 inline constexpr PhysAddr kNullAddr = 0xFFFFFFFFu;
 
-/// The emulated chip. Not thread-safe (the storage stack is single-threaded,
-/// like the paper's experiments).
+/// The emulated chip. NOT internally synchronized: the storage stack relies
+/// on *shard confinement* for thread safety -- a device (and the PageStore
+/// above it) is only ever driven from one thread at a time, either the
+/// owning thread of a single-chip setup or the one ShardExecutor worker its
+/// shard is pinned to. Confinement hand-off (e.g. main thread formats, a
+/// worker then runs the workload) is legal as long as the hand-off itself is
+/// synchronized (ShardExecutor's submit/future edges provide this). Every
+/// mutating operation asserts that no second thread is inside the device
+/// concurrently, so a violated contract aborts deterministically instead of
+/// corrupting the emulated cells.
 class FlashDevice {
  public:
   explicit FlashDevice(const FlashConfig& config);
@@ -124,6 +133,20 @@ class FlashDevice {
   ConstBytes RawSpare(PhysAddr addr) const;
 
  private:
+  /// Enforces the shard-confinement contract: entered by every device
+  /// operation; aborts when a second thread enters concurrently. One relaxed
+  /// RMW per operation -- noise next to the page-sized memcpy it guards.
+  class ConfinementScope {
+   public:
+    explicit ConfinementScope(const FlashDevice* dev);
+    ~ConfinementScope() { dev_->in_operation_.store(false, std::memory_order_release); }
+    ConfinementScope(const ConfinementScope&) = delete;
+    ConfinementScope& operator=(const ConfinementScope&) = delete;
+
+   private:
+    const FlashDevice* dev_;
+  };
+
   Status CheckAddr(PhysAddr addr) const;
   Status ProgramImpl(PhysAddr addr, ConstBytes data, ConstBytes spare,
                      bool strict);
@@ -143,6 +166,8 @@ class FlashDevice {
   FlashStats stats_;
   OpCategory category_ = OpCategory::kDefault;
   FaultInjector* fault_injector_ = nullptr;
+  /// True while a device operation is in flight (see ConfinementScope).
+  mutable std::atomic<bool> in_operation_{false};
 };
 
 /// RAII switch of the device accounting category.

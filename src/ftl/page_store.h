@@ -27,6 +27,8 @@
 #define FLASHDB_FTL_PAGE_STORE_H_
 
 #include <cstdint>
+#include <span>
+#include <string>
 #include <string_view>
 
 #include "common/bytes.h"
@@ -44,6 +46,15 @@ using PageId = uint32_t;
 struct UpdateLog {
   uint32_t offset = 0;
   ByteBuffer data;
+};
+
+/// One pending write-back: the up-to-date image of logical page `pid`. The
+/// caller owns the bytes behind `page` for the duration of the WriteBatch
+/// call. A batch may contain the same pid more than once; entries apply in
+/// order, exactly like sequential WriteBack calls.
+struct PageWrite {
+  PageId pid = 0;
+  ConstBytes page;
 };
 
 /// Interface implemented by every page-update method.
@@ -78,6 +89,31 @@ class PageStore {
   /// Reflects the up-to-date image of `pid` into flash memory (called when a
   /// dirty page leaves the DBMS buffer).
   virtual Status WriteBack(PageId pid, ConstBytes page) = 0;
+
+  /// Reflects a batch of pages in order. Entries are validated up front (a
+  /// malformed entry rejects the whole batch before any write reaches
+  /// flash); a valid batch then applies exactly like sequential WriteBack
+  /// calls -- the method-equivalence tests assert identical on-flash state.
+  /// Stores override it to amortize per-call overhead: PDL reuses its
+  /// base-image scratch, ShardedStore partitions the batch so each chip
+  /// sees one contiguous run. The batch is also the unit of work the
+  /// ShardExecutor ships to a shard worker, so larger batches amortize
+  /// submission and future overhead.
+  virtual Status WriteBatch(std::span<const PageWrite> writes) {
+    const uint32_t data_size = device()->geometry().data_size;
+    for (const PageWrite& w : writes) {
+      if (w.pid >= num_logical_pages()) {
+        return Status::NotFound("pid out of range: " + std::to_string(w.pid));
+      }
+      if (w.page.size() != data_size) {
+        return Status::InvalidArgument("page image must be one page");
+      }
+    }
+    for (const PageWrite& w : writes) {
+      FLASHDB_RETURN_IF_ERROR(WriteBack(w.pid, w.page));
+    }
+    return Status::OK();
+  }
 
   /// Write-through: forces buffered differentials / update logs onto flash so
   /// every acknowledged WriteBack survives power loss.

@@ -1,0 +1,99 @@
+#include "ftl/shard_executor.h"
+
+#include <cassert>
+
+namespace flashdb::ftl {
+
+ShardExecutor::ShardExecutor(uint32_t num_workers, size_t queue_capacity) {
+  assert(num_workers > 0 && "executor needs at least one worker");
+  workers_.reserve(num_workers);
+  for (uint32_t i = 0; i < num_workers; ++i) {
+    workers_.push_back(std::make_unique<Worker>(queue_capacity));
+  }
+  // Spawn only after the vector is fully built so no worker pointer moves
+  // underneath a running thread.
+  for (auto& w : workers_) {
+    w->thread = std::thread([this, worker = w.get()] { WorkerLoop(worker); });
+  }
+}
+
+ShardExecutor::~ShardExecutor() {
+  stop_.store(true, std::memory_order_release);
+  for (auto& w : workers_) WakeIfSleeping(w.get());
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+}
+
+std::future<Status> ShardExecutor::Submit(uint32_t worker,
+                                          std::function<Status()> fn) {
+  assert(worker < workers_.size());
+  Worker* w = workers_[worker].get();
+  std::packaged_task<Status()> task(std::move(fn));
+  std::future<Status> future = task.get_future();
+  // Backpressure: a full ring means the shard is behind; yield until the
+  // consumer frees a slot. The producer is unique, so the retry cannot race
+  // with another push.
+  while (!w->queue.TryPush(std::move(task))) {
+    WakeIfSleeping(w);
+    std::this_thread::yield();
+  }
+  WakeIfSleeping(w);
+  return future;
+}
+
+void ShardExecutor::WakeIfSleeping(Worker* w) {
+  // Dekker-style handshake with the worker's park sequence: the producer
+  // pushes then checks `sleeping`; the worker sets `sleeping` then checks the
+  // queue. The seq_cst fences (here and in WorkerLoop) make it impossible for
+  // both to read the stale value, which is exactly the lost-wakeup case.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (w->sleeping.load(std::memory_order_relaxed)) {
+    // Taking the lock serializes with the park: the worker either has not
+    // parked yet (its predicate re-check sees the pushed task) or is parked
+    // and receives this notify.
+    std::lock_guard<std::mutex> lock(w->mutex);
+    w->cv.notify_one();
+  }
+}
+
+void ShardExecutor::WorkerLoop(Worker* w) {
+  for (;;) {
+    std::packaged_task<Status()> task;
+    if (w->queue.TryPop(&task)) {
+      task();
+      continue;
+    }
+    // Ring empty: spin briefly (tasks arrive in bursts), then park.
+    bool ran = false;
+    for (int spin = 0; spin < 64 && !ran; ++spin) {
+      if (w->queue.TryPop(&task)) {
+        task();
+        ran = true;
+        break;
+      }
+      std::this_thread::yield();
+    }
+    if (ran) continue;
+    if (stop_.load(std::memory_order_acquire)) {
+      // Drain-before-exit: stop only takes effect on an empty ring.
+      if (w->queue.TryPop(&task)) {
+        task();
+        continue;
+      }
+      return;
+    }
+    std::unique_lock<std::mutex> lock(w->mutex);
+    w->sleeping.store(true, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    // The first predicate evaluation runs after the fence: any task pushed
+    // before the producer's fence is visible here, so the worker never parks
+    // over a nonempty ring.
+    w->cv.wait(lock, [&] {
+      return !w->queue.Empty() || stop_.load(std::memory_order_acquire);
+    });
+    w->sleeping.store(false, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace flashdb::ftl

@@ -1,0 +1,125 @@
+// ShardExecutor: the parallel execution engine under ShardedStore.
+//
+// A fixed pool of worker threads, one per shard. Each worker owns a
+// single-producer/single-consumer ring of tasks: the submitting thread (the
+// workload driver) is the only producer, the worker the only consumer, so the
+// hot path is two atomic index updates -- no locks, no sharing of task state
+// between workers. A worker that drains its ring parks on a condition
+// variable; the producer takes that lock only when it observes the consumer
+// asleep, so steady-state submission stays lock-free.
+//
+// Thread-safety model: *shard confinement*. Every task submitted to worker i
+// runs on worker i's thread, in submission order. A shard's PageStore and
+// FlashDevice are only ever touched from their worker (or from the submitting
+// thread while the executor is quiescent), so the single-threaded stores need
+// no internal synchronization -- the same confinement argument real
+// multi-chip FTLs use for per-channel request queues. FlashDevice carries a
+// concurrency assertion that catches violations of this contract.
+//
+// Completion is reported through std::future<Status>: Submit() returns the
+// future of the task's Status, and callers gather per-shard results after
+// joining a batch of futures.
+
+#ifndef FLASHDB_FTL_SHARD_EXECUTOR_H_
+#define FLASHDB_FTL_SHARD_EXECUTOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace flashdb::ftl {
+
+/// Bounded single-producer/single-consumer ring. Push and Pop may race with
+/// each other (that is the point) but each side must itself be serialized.
+template <typename T>
+class SpscQueue {
+ public:
+  explicit SpscQueue(size_t capacity) : slots_(capacity + 1) {}
+
+  /// Producer side. Returns false when the ring is full.
+  bool TryPush(T&& value) {
+    const size_t head = head_.load(std::memory_order_relaxed);
+    const size_t next = Advance(head);
+    if (next == tail_.load(std::memory_order_acquire)) return false;  // full
+    slots_[head] = std::move(value);
+    head_.store(next, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns false when the ring is empty.
+  bool TryPop(T* out) {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail == head_.load(std::memory_order_acquire)) return false;  // empty
+    *out = std::move(slots_[tail]);
+    tail_.store(Advance(tail), std::memory_order_release);
+    return true;
+  }
+
+  bool Empty() const {
+    return tail_.load(std::memory_order_acquire) ==
+           head_.load(std::memory_order_acquire);
+  }
+
+ private:
+  size_t Advance(size_t i) const { return (i + 1) % slots_.size(); }
+
+  std::vector<T> slots_;
+  std::atomic<size_t> head_{0};  ///< Next slot the producer writes.
+  std::atomic<size_t> tail_{0};  ///< Next slot the consumer reads.
+};
+
+/// See file comment.
+class ShardExecutor {
+ public:
+  /// Spawns `num_workers` threads, each with a task ring of
+  /// `queue_capacity` entries. Submission to a full ring blocks (yield-spin):
+  /// the queue depth is backpressure, not a correctness limit.
+  explicit ShardExecutor(uint32_t num_workers, size_t queue_capacity = 1024);
+
+  /// Joins every worker after running all queued tasks to completion.
+  ~ShardExecutor();
+
+  ShardExecutor(const ShardExecutor&) = delete;
+  ShardExecutor& operator=(const ShardExecutor&) = delete;
+
+  uint32_t num_workers() const {
+    return static_cast<uint32_t>(workers_.size());
+  }
+
+  /// Enqueues `fn` on worker `worker`; tasks submitted to the same worker run
+  /// in submission order, on that worker's thread. Must be called from one
+  /// thread at a time (single producer).
+  std::future<Status> Submit(uint32_t worker, std::function<Status()> fn);
+
+ private:
+  struct Worker {
+    explicit Worker(size_t queue_capacity) : queue(queue_capacity) {}
+
+    SpscQueue<std::packaged_task<Status()>> queue;
+    /// Set by the worker (under `mutex`) just before it parks; lets the
+    /// producer skip the lock+notify entirely while the worker is busy.
+    std::atomic<bool> sleeping{false};
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::thread thread;
+  };
+
+  void WorkerLoop(Worker* w);
+  /// Wakes `w` if (and only if) it parked on its condition variable.
+  void WakeIfSleeping(Worker* w);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace flashdb::ftl
+
+#endif  // FLASHDB_FTL_SHARD_EXECUTOR_H_

@@ -61,7 +61,7 @@ Status ShardedStore::ReadPage(PageId pid, MutBytes out) {
   if (pid >= num_pages_) {
     return Status::NotFound("pid out of range: " + std::to_string(pid));
   }
-  return shards_[ShardOf(pid)].store->ReadPage(InnerPid(pid), out);
+  return shards_[shard_of(pid)].store->ReadPage(inner_pid(pid), out);
 }
 
 Status ShardedStore::OnUpdate(PageId pid, ConstBytes page_after,
@@ -70,7 +70,7 @@ Status ShardedStore::OnUpdate(PageId pid, ConstBytes page_after,
   if (pid >= num_pages_) {
     return Status::NotFound("pid out of range: " + std::to_string(pid));
   }
-  return shards_[ShardOf(pid)].store->OnUpdate(InnerPid(pid), page_after, log);
+  return shards_[shard_of(pid)].store->OnUpdate(inner_pid(pid), page_after, log);
 }
 
 Status ShardedStore::WriteBack(PageId pid, ConstBytes page) {
@@ -78,7 +78,23 @@ Status ShardedStore::WriteBack(PageId pid, ConstBytes page) {
   if (pid >= num_pages_) {
     return Status::NotFound("pid out of range: " + std::to_string(pid));
   }
-  return shards_[ShardOf(pid)].store->WriteBack(InnerPid(pid), page);
+  return shards_[shard_of(pid)].store->WriteBack(inner_pid(pid), page);
+}
+
+Status ShardedStore::WriteBatch(std::span<const PageWrite> writes) {
+  if (!formatted_) return Status::InvalidArgument("store not formatted");
+  std::vector<std::vector<PageWrite>> per_shard(num_shards());
+  for (const PageWrite& w : writes) {
+    if (w.pid >= num_pages_) {
+      return Status::NotFound("pid out of range: " + std::to_string(w.pid));
+    }
+    per_shard[shard_of(w.pid)].push_back(PageWrite{inner_pid(w.pid), w.page});
+  }
+  for (uint32_t i = 0; i < num_shards(); ++i) {
+    if (per_shard[i].empty()) continue;
+    FLASHDB_RETURN_IF_ERROR(shards_[i].store->WriteBatch(per_shard[i]));
+  }
+  return Status::OK();
 }
 
 Status ShardedStore::Flush() {

@@ -50,6 +50,12 @@ class ShardedStore : public PageStore {
   Status OnUpdate(PageId pid, ConstBytes page_after,
                   const UpdateLog& log) override;
   Status WriteBack(PageId pid, ConstBytes page) override;
+  /// Partitions the batch by shard (preserving per-shard order, so the
+  /// result is identical to sequential WriteBack calls) and forwards one
+  /// inner-pid batch per chip. Runs on the calling thread; parallel
+  /// submission is the driver's job via ShardExecutor, which needs the
+  /// per-shard partitioning anyway.
+  Status WriteBatch(std::span<const PageWrite> writes) override;
   Status Flush() override;
   Status Recover() override;
   uint32_t num_logical_pages() const override { return num_pages_; }
@@ -65,6 +71,11 @@ class ShardedStore : public PageStore {
   PageStore* shard(uint32_t i) { return shards_[i].store.get(); }
   flash::FlashDevice* shard_device(uint32_t i) { return shards_[i].device; }
 
+  /// The striping map, public so parallel drivers can partition work per
+  /// shard without round-tripping every page through this object.
+  uint32_t shard_of(PageId pid) const { return pid % num_shards(); }
+  PageId inner_pid(PageId pid) const { return pid / num_shards(); }
+
   /// Elapsed virtual time with the shards operating in parallel (max of the
   /// shard clocks).
   uint64_t parallel_time_us() const;
@@ -72,8 +83,6 @@ class ShardedStore : public PageStore {
   uint64_t total_work_us() const;
 
  private:
-  uint32_t ShardOf(PageId pid) const { return pid % num_shards(); }
-  PageId InnerPid(PageId pid) const { return pid / num_shards(); }
   /// Logical pages striped onto shard `i` out of `total`.
   uint32_t ShardPageCount(uint32_t i, uint32_t total) const {
     const uint32_t s = num_shards();

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
 
 namespace flashdb::harness {
 
@@ -43,6 +44,71 @@ void TablePrinter::PrintCsv(std::ostream& os) const {
   };
   emit(header_);
   for (const auto& row : rows_) emit(row);
+}
+
+namespace {
+void EmitJsonString(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+}  // namespace
+
+void TablePrinter::WriteJson(std::ostream& os) const {
+  os << "[";
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    os << (r ? ",\n  " : "\n  ") << "{";
+    for (size_t c = 0; c < header_.size(); ++c) {
+      if (c) os << ", ";
+      EmitJsonString(os, header_[c]);
+      os << ": ";
+      EmitJsonString(os, c < rows_[r].size() ? rows_[r][c] : "");
+    }
+    os << "}";
+  }
+  os << "\n]";
+}
+
+bool DumpTablesJson(
+    const std::string& path,
+    const std::vector<std::pair<std::string, const TablePrinter*>>& tables) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot write --json file: " << path << "\n";
+    return false;
+  }
+  out << "{";
+  for (size_t i = 0; i < tables.size(); ++i) {
+    out << (i ? ",\n" : "\n");
+    EmitJsonString(out, tables[i].first);
+    out << ": ";
+    tables[i].second->WriteJson(out);
+  }
+  out << "\n}\n";
+  return true;
+}
+
+bool JsonDump::Finish() const {
+  if (path_.empty()) return true;
+  std::vector<std::pair<std::string, const TablePrinter*>> refs;
+  refs.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) refs.emplace_back(name, &table);
+  return DumpTablesJson(path_, refs);
 }
 
 }  // namespace flashdb::harness

@@ -6,6 +6,7 @@
 
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace flashdb::harness {
@@ -24,9 +25,41 @@ class TablePrinter {
   void Print(std::ostream& os) const;
   void PrintCsv(std::ostream& os) const;
 
+  /// Writes the table as a JSON array of row objects keyed by the header
+  /// (cells stay strings; consumers parse numbers as needed).
+  void WriteJson(std::ostream& os) const;
+
  private:
   std::vector<std::string> header_;
   std::vector<std::vector<std::string>> rows_;
+};
+
+/// Writes `tables` to `path` as one JSON object {name: [rows...], ...} --
+/// the machine-readable form behind every bench's --json flag, so perf
+/// trajectories (BENCH_*.json) can be recorded run-over-run. Returns false
+/// (after printing to stderr) when the file cannot be written.
+bool DumpTablesJson(
+    const std::string& path,
+    const std::vector<std::pair<std::string, const TablePrinter*>>& tables);
+
+/// Accumulates named result tables over a bench run and, when the bench was
+/// invoked with a --json=<path> flag, writes them out via DumpTablesJson.
+/// With no --json flag both Add and Finish are no-ops, so benches can record
+/// unconditionally.
+class JsonDump {
+ public:
+  explicit JsonDump(std::string path) : path_(std::move(path)) {}
+
+  void Add(std::string name, const TablePrinter& table) {
+    if (!path_.empty()) tables_.emplace_back(std::move(name), table);
+  }
+
+  /// Writes the collected tables; returns false on I/O failure.
+  bool Finish() const;
+
+ private:
+  std::string path_;
+  std::vector<std::pair<std::string, TablePrinter>> tables_;
 };
 
 }  // namespace flashdb::harness

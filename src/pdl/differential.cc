@@ -1,10 +1,18 @@
 #include "pdl/differential.h"
 
+#include <bit>
 #include <string>
 
 namespace flashdb::pdl {
 
 void Differential::AddExtent(uint16_t offset, ConstBytes bytes) {
+  // First extent: reserve for the common shape (a handful of extents, a few
+  // dozen payload bytes) so the typical differential allocates once per
+  // vector instead of growing through several doublings.
+  if (extents_.empty()) {
+    if (extents_.capacity() < 4) extents_.reserve(4);
+    if (data_.capacity() < bytes.size() + 64) data_.reserve(bytes.size() + 64);
+  }
   DiffExtent e;
   e.offset = offset;
   e.length = static_cast<uint16_t>(bytes.size());
@@ -13,6 +21,7 @@ void Differential::AddExtent(uint16_t offset, ConstBytes bytes) {
 }
 
 void Differential::AppendTo(ByteBuffer* out) const {
+  out->reserve(out->size() + EncodedSize());
   BufferWriter w(out);
   w.PutU32(pid_);
   w.PutU64(timestamp_);
@@ -69,15 +78,38 @@ bool Differential::ParseNext(BufferReader* reader, Differential* out,
   return true;
 }
 
-Differential ComputeDifferential(ConstBytes base, ConstBytes updated,
-                                 PageId pid, uint64_t timestamp,
-                                 size_t coalesce_gap) {
-  Differential diff(pid, timestamp);
+namespace {
+/// First index in [i, n) where `a` and `b` differ, or n. Compares a uint64
+/// word at a time; inside a mismatching word the differing byte is located
+/// via the XOR's trailing zeros (valid byte order on little-endian hosts).
+size_t FirstMismatch(const uint8_t* a, const uint8_t* b, size_t i, size_t n) {
+  while (i + sizeof(uint64_t) <= n) {
+    uint64_t wa, wb;
+    std::memcpy(&wa, a + i, sizeof(wa));
+    std::memcpy(&wb, b + i, sizeof(wb));
+    if (wa != wb) {
+      if constexpr (std::endian::native == std::endian::little) {
+        return i + static_cast<size_t>(std::countr_zero(wa ^ wb)) / 8;
+      } else {
+        break;  // byte loop below locates the mismatch
+      }
+    }
+    i += sizeof(uint64_t);
+  }
+  while (i < n && a[i] == b[i]) ++i;
+  return i;
+}
+}  // namespace
+
+void ComputeDifferentialInto(ConstBytes base, ConstBytes updated, PageId pid,
+                             uint64_t timestamp, size_t coalesce_gap,
+                             Differential* out) {
+  out->Reset(pid, timestamp);
   const size_t n = updated.size();
   size_t i = 0;
   while (i < n) {
-    // Skip unchanged bytes.
-    while (i < n && base[i] == updated[i]) ++i;
+    // Skip unchanged bytes (word-at-a-time: pages are mostly unchanged).
+    i = FirstMismatch(base.data(), updated.data(), i, n);
     if (i >= n) break;
     // Extend the changed run; swallow equal-byte gaps of at most
     // `coalesce_gap` when more changes follow (cheaper than a new header).
@@ -102,10 +134,17 @@ Differential ComputeDifferential(ConstBytes base, ConstBytes updated,
         }
       }
     }
-    diff.AddExtent(static_cast<uint16_t>(i),
+    out->AddExtent(static_cast<uint16_t>(i),
                    updated.subspan(i, run_end - i));
     i = run_end;
   }
+}
+
+Differential ComputeDifferential(ConstBytes base, ConstBytes updated,
+                                 PageId pid, uint64_t timestamp,
+                                 size_t coalesce_gap) {
+  Differential diff;
+  ComputeDifferentialInto(base, updated, pid, timestamp, coalesce_gap, &diff);
   return diff;
 }
 

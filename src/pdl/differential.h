@@ -47,6 +47,15 @@ class Differential {
   uint64_t timestamp() const { return timestamp_; }
   void set_timestamp(uint64_t ts) { timestamp_ = ts; }
 
+  /// Reinitializes to an empty differential for `pid`, keeping the extent and
+  /// payload capacity (hot-path reuse in ComputeDifferentialInto).
+  void Reset(PageId pid, uint64_t timestamp) {
+    pid_ = pid;
+    timestamp_ = timestamp;
+    extents_.clear();
+    data_.clear();
+  }
+
   const std::vector<DiffExtent>& extents() const { return extents_; }
   /// Concatenated extent payloads, in extent order.
   ConstBytes data() const { return data_; }
@@ -88,10 +97,17 @@ class Differential {
 /// Computes the differential between `base` (the page image on flash) and
 /// `updated` (the up-to-date page in memory). Runs of equal bytes shorter
 /// than or equal to `coalesce_gap` between two changed runs are folded into a
-/// single extent when that is cheaper than starting a new extent.
+/// single extent when that is cheaper than starting a new extent. Equal-run
+/// scanning compares a uint64 word at a time, so the common mostly-unchanged
+/// page costs ~n/8 comparisons.
 Differential ComputeDifferential(ConstBytes base, ConstBytes updated,
                                  PageId pid, uint64_t timestamp,
                                  size_t coalesce_gap = kExtentHeaderSize);
+
+/// Allocation-free variant: recomputes into `*out`, reusing its capacity.
+void ComputeDifferentialInto(ConstBytes base, ConstBytes updated, PageId pid,
+                             uint64_t timestamp, size_t coalesce_gap,
+                             Differential* out);
 
 }  // namespace flashdb::pdl
 

@@ -143,28 +143,48 @@ Status PdlStore::WriteBack(PageId pid, ConstBytes page) {
   if (page.size() != data_size_) {
     return Status::InvalidArgument("page image must be one page");
   }
-  // Step 1: read the base page.
-  ByteBuffer base_image(data_size_);
-  FLASHDB_RETURN_IF_ERROR(dev_->ReadPage(map_.base(pid), base_image, {}));
+  return DoWriteBack(pid, page);
+}
+
+Status PdlStore::WriteBatch(std::span<const PageWrite> writes) {
+  if (!formatted_) return Status::InvalidArgument("store not formatted");
+  for (const PageWrite& w : writes) {
+    if (w.pid >= num_pages_) {
+      return Status::NotFound("pid out of range: " + std::to_string(w.pid));
+    }
+    if (w.page.size() != data_size_) {
+      return Status::InvalidArgument("page image must be one page");
+    }
+  }
+  for (const PageWrite& w : writes) {
+    FLASHDB_RETURN_IF_ERROR(DoWriteBack(w.pid, w.page));
+  }
+  return Status::OK();
+}
+
+Status PdlStore::DoWriteBack(PageId pid, ConstBytes page) {
+  // Step 1: read the base page (into the reused write-path scratch).
+  base_scratch_.resize(data_size_);
+  FLASHDB_RETURN_IF_ERROR(dev_->ReadPage(map_.base(pid), base_scratch_, {}));
   // Step 2: create the differential.
-  Differential diff = ComputeDifferential(base_image, page, pid, clock_.Next(),
-                                          config_.diff_coalesce_gap);
-  counters_.diff_bytes_written += diff.EncodedSize();
+  ComputeDifferentialInto(base_scratch_, page, pid, clock_.Next(),
+                          config_.diff_coalesce_gap, &diff_scratch_);
+  counters_.diff_bytes_written += diff_scratch_.EncodedSize();
   // Step 3: write the differential into the differential write buffer.
   buffer_.Remove(pid);
-  if (buffer_.Fits(diff)) {
+  if (buffer_.Fits(diff_scratch_)) {
     // Case 1: fits in the buffer's free space.
-    buffer_.Insert(std::move(diff));
+    buffer_.Insert(std::move(diff_scratch_));
     counters_.diffs_buffered++;
     return Status::OK();
   }
-  if (diff.EncodedSize() <= config_.max_differential_size) {
+  if (diff_scratch_.EncodedSize() <= config_.max_differential_size) {
     // Case 2: flush the buffer, then insert.
     FLASHDB_RETURN_IF_ERROR(FlushBuffer(false));
     // GC triggered by the flush may have re-added a (stale, now superseded)
     // compacted differential for this pid; drop it before inserting.
     buffer_.Remove(pid);
-    buffer_.Insert(std::move(diff));
+    buffer_.Insert(std::move(diff_scratch_));
     counters_.diffs_buffered++;
     return Status::OK();
   }

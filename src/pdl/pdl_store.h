@@ -78,6 +78,13 @@ class PdlStore : public PageStore {
                 void* initial_arg) override;
   Status ReadPage(PageId pid, MutBytes out) override;
   Status WriteBack(PageId pid, ConstBytes page) override;
+  /// Batched PDL_Writing: same per-entry semantics (and on-flash result) as
+  /// sequential WriteBack calls, with the per-call validation hoisted and the
+  /// base-image / differential scratch reused across the batch. The
+  /// differential write buffer packs the batch's small differentials into
+  /// shared differential pages exactly as it does for sequential writes, so
+  /// a one-shard batch costs ~ceil(total_diff_bytes / page) diff-page writes.
+  Status WriteBatch(std::span<const PageWrite> writes) override;
   Status Flush() override;
   Status Recover() override;
   uint32_t num_logical_pages() const override { return num_pages_; }
@@ -103,6 +110,9 @@ class PdlStore : public PageStore {
   static constexpr uint32_t kBaseStream = 0;
   static constexpr uint32_t kDiffStream = 1;
 
+  /// PDL_Writing for one page, after validation (shared by WriteBack and
+  /// WriteBatch; uses the write-path scratch buffers).
+  Status DoWriteBack(PageId pid, ConstBytes page);
   /// Writes the buffer out as a new differential page and updates the
   /// mapping / count tables (procedure writingDifferentialWriteBuffer).
   Status FlushBuffer(bool for_gc);
@@ -139,6 +149,14 @@ class PdlStore : public PageStore {
   std::unique_ptr<ftl::GcPolicy> gc_policy_;
   PdlCounters counters_;
   bool formatted_ = false;
+
+  /// Write-path scratch reused across WriteBack/WriteBatch calls. The base
+  /// image buffer is reused on every write; the differential's capacity is
+  /// only retained when the write ends as a new base page (Case 3) -- a
+  /// buffered differential is moved into the write buffer, capacity and all,
+  /// so Case 1/2 still allocates (once per vector, via AddExtent's reserve).
+  ByteBuffer base_scratch_;
+  Differential diff_scratch_;
 };
 
 }  // namespace flashdb::pdl

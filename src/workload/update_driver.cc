@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <future>
 #include <string>
+
+#include "ftl/shard_executor.h"
+#include "ftl/sharded_store.h"
 
 namespace flashdb::workload {
 
@@ -36,19 +40,21 @@ Status UpdateDriver::LoadDatabase(uint32_t num_pages) {
   return Status::OK();
 }
 
-Status UpdateDriver::ApplyOneUpdate(PageId pid, MutBytes page) {
+void UpdateDriver::DrawUpdateCmd(uint32_t* offset, ByteBuffer* data) {
   // One update command changes a random contiguous region covering
   // %ChangedByOneU_Op percent of the page.
   uint32_t len = static_cast<uint32_t>(std::lround(
       params_.pct_changed_by_one_op / 100.0 * static_cast<double>(data_size_)));
   len = std::clamp<uint32_t>(len, 1, data_size_);
-  const uint32_t offset =
-      static_cast<uint32_t>(rng_.Uniform(data_size_ - len + 1));
+  *offset = static_cast<uint32_t>(rng_.Uniform(data_size_ - len + 1));
+  data->resize(len);
+  rng_.Fill(*data);
+}
+
+Status UpdateDriver::ApplyOneUpdate(PageId pid, MutBytes page) {
   UpdateLog log;
-  log.offset = offset;
-  log.data.resize(len);
-  rng_.Fill(log.data);
-  std::memcpy(page.data() + offset, log.data.data(), len);
+  DrawUpdateCmd(&log.offset, &log.data);
+  std::memcpy(page.data() + log.offset, log.data.data(), log.data.size());
   // Tightly-coupled methods capture the update log here; loosely-coupled
   // methods ignore the notification.
   return store_->OnUpdate(pid, page, log);
@@ -133,6 +139,181 @@ Status UpdateDriver::Run(uint64_t num_ops, RunStats* out) {
   out->gc += stats1.by_category[static_cast<int>(flash::OpCategory::kGc)] -
              stats0.by_category[static_cast<int>(flash::OpCategory::kGc)];
   out->erases += stats1.total.erases - stats0.total.erases;
+  return Status::OK();
+}
+
+Schedule UpdateDriver::MakeSchedule(uint64_t num_ops) {
+  // Draw-for-draw identical to Run(): pid, operation kind, then per update
+  // command the DrawUpdateCmd draws, in the order Run() consumes them.
+  Schedule schedule;
+  schedule.reserve(num_ops);
+  for (uint64_t i = 0; i < num_ops; ++i) {
+    PlannedOp op;
+    op.pid = static_cast<PageId>(rng_.Uniform(num_pages_));
+    op.is_update = rng_.NextDouble() * 100.0 < params_.pct_update_ops;
+    if (op.is_update) {
+      op.updates.resize(params_.updates_till_write);
+      for (PlannedUpdate& u : op.updates) {
+        DrawUpdateCmd(&u.offset, &u.data);
+      }
+    }
+    schedule.push_back(std::move(op));
+  }
+  return schedule;
+}
+
+std::vector<UpdateDriver::ShardStream> UpdateDriver::PartitionSchedule(
+    const Schedule& schedule) {
+  auto* sharded = dynamic_cast<ftl::ShardedStore*>(store_);
+  const uint32_t n = sharded != nullptr ? sharded->num_shards() : 1;
+  std::vector<ShardStream> streams(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    ShardStream& s = streams[i];
+    s.store = sharded != nullptr ? sharded->shard(i) : store_;
+    s.scratch.resize(data_size_);
+  }
+  for (const PlannedOp& op : schedule) {
+    const uint32_t shard = sharded != nullptr ? sharded->shard_of(op.pid) : 0;
+    ShardStream& s = streams[shard];
+    s.ops.push_back(&op);
+    s.inner_pids.push_back(sharded != nullptr ? sharded->inner_pid(op.pid)
+                                              : op.pid);
+    s.global_pids.push_back(op.pid);
+  }
+  return streams;
+}
+
+Status UpdateDriver::FlushShardWindow(ShardStream* s) {
+  if (s->queued_n == 0) return Status::OK();
+  std::vector<PageWrite> writes;
+  writes.reserve(s->queued_n);
+  for (size_t i = 0; i < s->queued_n; ++i) {
+    writes.push_back(PageWrite{s->queued[i].inner_pid, s->queued[i].image});
+  }
+  StoreCategoryScope cat(s->store, flash::OpCategory::kWriteStep);
+  FLASHDB_RETURN_IF_ERROR(s->store->WriteBatch(writes));
+  s->queued_n = 0;  // images keep their capacity for the next window
+  s->latest.clear();
+  return Status::OK();
+}
+
+Status UpdateDriver::RunShardWindow(ShardStream* s, size_t begin, size_t end) {
+  for (size_t k = begin; k < end; ++k) {
+    const PlannedOp& op = *s->ops[k];
+    const PageId ipid = s->inner_pids[k];
+    const PageId gpid = s->global_pids[k];
+    // Reading step. A page whose write-back is still queued in this window
+    // is served from the queued image (its on-flash copy is stale).
+    const auto it = s->latest.find(ipid);
+    if (it != s->latest.end()) {
+      CopyBytes(s->scratch, s->queued[it->second].image);
+    } else {
+      StoreCategoryScope cat(s->store, flash::OpCategory::kReadStep);
+      FLASHDB_RETURN_IF_ERROR(s->store->ReadPage(ipid, s->scratch));
+    }
+    if (params_.verify && !BytesEqual(s->scratch, shadow_[gpid])) {
+      return Status::Corruption("shadow mismatch on read of pid " +
+                                std::to_string(gpid));
+    }
+    if (!op.is_update) continue;
+    // Updating step: apply the planned commands, notifying the store.
+    {
+      StoreCategoryScope cat(s->store, flash::OpCategory::kWriteStep);
+      for (const PlannedUpdate& u : op.updates) {
+        std::memcpy(s->scratch.data() + u.offset, u.data.data(),
+                    u.data.size());
+        s->log_scratch.offset = u.offset;
+        s->log_scratch.data.assign(u.data.begin(), u.data.end());
+        FLASHDB_RETURN_IF_ERROR(
+            s->store->OnUpdate(ipid, s->scratch, s->log_scratch));
+      }
+    }
+    if (params_.verify) shadow_[gpid] = s->scratch;
+    // Queue the write-back for the window's batched flush.
+    if (s->queued_n == s->queued.size()) s->queued.emplace_back();
+    ShardStream::QueuedWrite& q = s->queued[s->queued_n];
+    q.inner_pid = ipid;
+    q.image.assign(s->scratch.begin(), s->scratch.end());
+    s->latest[ipid] = s->queued_n;
+    ++s->queued_n;
+  }
+  return FlushShardWindow(s);
+}
+
+void UpdateDriver::AccumulateRunStats(const flash::FlashStats& before,
+                                      const Schedule& schedule, RunStats* out) {
+  for (const PlannedOp& op : schedule) {
+    out->operations++;
+    if (op.is_update) out->update_ops++;
+  }
+  const flash::FlashStats after = store_->stats();
+  out->read_step +=
+      after.by_category[static_cast<int>(flash::OpCategory::kReadStep)] -
+      before.by_category[static_cast<int>(flash::OpCategory::kReadStep)];
+  out->write_step +=
+      after.by_category[static_cast<int>(flash::OpCategory::kWriteStep)] -
+      before.by_category[static_cast<int>(flash::OpCategory::kWriteStep)];
+  out->gc += after.by_category[static_cast<int>(flash::OpCategory::kGc)] -
+             before.by_category[static_cast<int>(flash::OpCategory::kGc)];
+  out->erases += after.total.erases - before.total.erases;
+}
+
+Status UpdateDriver::RunBatched(const Schedule& schedule, uint32_t batch_size,
+                                RunStats* out) {
+  if (batch_size == 0) {
+    return Status::InvalidArgument("batch_size must be > 0");
+  }
+  const flash::FlashStats stats0 = store_->stats();
+  std::vector<ShardStream> streams = PartitionSchedule(schedule);
+  // Shards are independent chips, so running them one after another produces
+  // the same per-shard device state (and virtual clocks) as any interleaving
+  // -- including RunParallel's.
+  for (ShardStream& s : streams) {
+    for (size_t begin = 0; begin < s.ops.size(); begin += batch_size) {
+      const size_t end = std::min(s.ops.size(), begin + batch_size);
+      FLASHDB_RETURN_IF_ERROR(RunShardWindow(&s, begin, end));
+    }
+  }
+  AccumulateRunStats(stats0, schedule, out);
+  return Status::OK();
+}
+
+Status UpdateDriver::RunParallel(const Schedule& schedule, uint32_t batch_size,
+                                 ftl::ShardExecutor* executor, RunStats* out) {
+  if (batch_size == 0) {
+    return Status::InvalidArgument("batch_size must be > 0");
+  }
+  auto* sharded = dynamic_cast<ftl::ShardedStore*>(store_);
+  if (sharded == nullptr) {
+    return Status::InvalidArgument("RunParallel needs a ShardedStore");
+  }
+  if (executor == nullptr ||
+      executor->num_workers() < sharded->num_shards()) {
+    return Status::InvalidArgument("executor must have one worker per shard");
+  }
+  const flash::FlashStats stats0 = store_->stats();
+  std::vector<ShardStream> streams = PartitionSchedule(schedule);
+  // One task per window, all windows of shard i on worker i: each chip's
+  // pipeline is thread-confined to its worker and windows run in schedule
+  // order, so per-shard execution is bit-identical to RunBatched.
+  std::vector<std::future<Status>> futures;
+  for (uint32_t i = 0; i < static_cast<uint32_t>(streams.size()); ++i) {
+    ShardStream* s = &streams[i];
+    for (size_t begin = 0; begin < s->ops.size(); begin += batch_size) {
+      const size_t end = std::min(s->ops.size(), begin + batch_size);
+      futures.push_back(executor->Submit(
+          i, [this, s, begin, end] { return RunShardWindow(s, begin, end); }));
+    }
+  }
+  // Gather every window's Status; the future joins also publish the workers'
+  // device mutations to this thread before the stats snapshot below.
+  Status first_error = Status::OK();
+  for (auto& f : futures) {
+    const Status st = f.get();
+    if (!st.ok() && first_error.ok()) first_error = st;
+  }
+  FLASHDB_RETURN_IF_ERROR(first_error);
+  AccumulateRunStats(stats0, schedule, out);
   return Status::OK();
 }
 

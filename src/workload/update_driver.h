@@ -19,11 +19,17 @@
 #define FLASHDB_WORKLOAD_UPDATE_DRIVER_H_
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "common/random.h"
 #include "flash/flash_stats.h"
 #include "ftl/page_store.h"
+
+namespace flashdb::ftl {
+class ShardExecutor;
+class ShardedStore;
+}  // namespace flashdb::ftl
 
 namespace flashdb::workload {
 
@@ -69,6 +75,27 @@ struct RunStats {
   }
 };
 
+/// One pre-generated in-memory update command of a planned operation.
+struct PlannedUpdate {
+  uint32_t offset = 0;
+  ByteBuffer data;
+};
+
+/// One planned operation: an update cycle (read + updates + write-back) or a
+/// read-only operation, with every random choice already drawn.
+struct PlannedOp {
+  PageId pid = 0;
+  bool is_update = true;
+  std::vector<PlannedUpdate> updates;
+};
+
+/// A deterministic operation schedule. Pre-generating the schedule moves the
+/// RNG off the measured path and -- more importantly -- fixes each shard's
+/// operation subsequence up front, so threaded execution is exactly as
+/// deterministic as sequential execution (thread interleaving cannot reorder
+/// the ops any one chip sees).
+using Schedule = std::vector<PlannedOp>;
+
 /// See file comment.
 class UpdateDriver {
  public:
@@ -86,6 +113,29 @@ class UpdateDriver {
   /// into `*out` (which the caller zero-initializes).
   Status Run(uint64_t num_ops, RunStats* out);
 
+  /// Pre-draws `num_ops` operations with exactly the distributions (and RNG
+  /// consumption) of Run().
+  Schedule MakeSchedule(uint64_t num_ops);
+
+  /// Executes `schedule` through the batched WriteBatch path on the calling
+  /// thread: per shard (or the whole store when it is not a ShardedStore),
+  /// ops run in schedule order in windows of `batch_size`; each window's
+  /// write-backs are queued and issued as one WriteBatch. Reads of a page
+  /// with a queued write-back are served from the queued image, so
+  /// read-after-write semantics match sequential execution. Accumulates into
+  /// `*out`.
+  Status RunBatched(const Schedule& schedule, uint32_t batch_size,
+                    RunStats* out);
+
+  /// Same execution as RunBatched, but each shard's windows are submitted to
+  /// that shard's ShardExecutor worker and completion Statuses are gathered
+  /// from the returned futures -- wall-clock parallelism across chips. The
+  /// store must be a ShardedStore and `executor` must have at least
+  /// num_shards() workers; per-shard device state, stats, and virtual clocks
+  /// end up bit-identical to RunBatched on the same schedule.
+  Status RunParallel(const Schedule& schedule, uint32_t batch_size,
+                     ftl::ShardExecutor* executor, RunStats* out);
+
   /// One full update operation against page `pid`.
   Status UpdateOperation(PageId pid);
   /// One read-only operation against page `pid`.
@@ -96,8 +146,41 @@ class UpdateDriver {
   uint32_t num_pages() const { return num_pages_; }
 
  private:
+  /// One shard's slice of a schedule plus its thread-confined execution
+  /// state (scratch buffers and the queued write-back window).
+  struct ShardStream {
+    PageStore* store = nullptr;           ///< Inner store (thread-confined).
+    std::vector<const PlannedOp*> ops;    ///< Slice, in schedule order.
+    std::vector<PageId> inner_pids;       ///< Per-op pid inside the shard.
+    std::vector<PageId> global_pids;      ///< Per-op pid for shadow lookups.
+
+    struct QueuedWrite {
+      PageId inner_pid = 0;
+      ByteBuffer image;
+    };
+    ByteBuffer scratch;                    ///< Current page image.
+    UpdateLog log_scratch;                 ///< Reused OnUpdate log.
+    std::vector<QueuedWrite> queued;       ///< Window pool, reused per flush.
+    size_t queued_n = 0;
+    std::unordered_map<PageId, size_t> latest;  ///< inner pid -> queue slot.
+  };
+
+  /// Splits `schedule` into per-shard streams (one stream for a flat store).
+  std::vector<ShardStream> PartitionSchedule(const Schedule& schedule);
+  /// Executes ops [begin, end) of `s` and flushes the queued write-backs.
+  Status RunShardWindow(ShardStream* s, size_t begin, size_t end);
+  Status FlushShardWindow(ShardStream* s);
+  /// Folds the device-stats delta and schedule counts into `*out`.
+  void AccumulateRunStats(const flash::FlashStats& before,
+                          const Schedule& schedule, RunStats* out);
+
   /// Applies one in-memory update command to `page`, notifying the store.
   Status ApplyOneUpdate(PageId pid, MutBytes page);
+  /// Draws one update command (offset + payload) from the workload
+  /// distribution. The single RNG consumer behind both Run()'s
+  /// ApplyOneUpdate and MakeSchedule, so the two paths stay draw-for-draw
+  /// identical by construction.
+  void DrawUpdateCmd(uint32_t* offset, ByteBuffer* data);
 
   PageStore* store_;
   WorkloadParams params_;

@@ -10,6 +10,8 @@
 #include <memory>
 #include <string>
 #include <tuple>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/random.h"
@@ -85,6 +87,84 @@ void RunRandomizedEquivalenceSuite(PageStore* store, uint32_t pages, int seed,
   }
 }
 
+/// The same randomized contract through the batched write path: update
+/// cycles queue write-backs and a window of them is issued as one
+/// WriteBatch; reads of a queued page are served from the queued image
+/// (the store's on-flash copy is legitimately stale until the flush).
+void RunBatchedEquivalenceSuite(PageStore* store, uint32_t pages, int seed,
+                                uint32_t window, const std::string& label) {
+  const uint32_t data_size = store->device()->geometry().data_size;
+  SeedArg arg{static_cast<uint64_t>(seed)};
+  ASSERT_TRUE(store->Format(pages, &SeededImage, &arg).ok());
+
+  std::vector<ByteBuffer> shadow(pages);
+  for (PageId pid = 0; pid < pages; ++pid) {
+    shadow[pid].resize(data_size);
+    SeededImage(pid, shadow[pid], &arg);
+  }
+
+  std::vector<std::pair<PageId, ByteBuffer>> queued;
+  std::unordered_map<PageId, size_t> latest;
+  auto flush_window = [&]() {
+    if (queued.empty()) return Status::OK();
+    std::vector<PageWrite> writes;
+    writes.reserve(queued.size());
+    for (const auto& [pid, img] : queued) writes.push_back(PageWrite{pid, img});
+    Status st = store->WriteBatch(writes);
+    queued.clear();
+    latest.clear();
+    return st;
+  };
+
+  Random r(seed * 6271 + 5);
+  ByteBuffer buf(data_size);
+  for (int op = 0; op < 500; ++op) {
+    const PageId pid = static_cast<PageId>(r.Uniform(pages));
+    const uint64_t kind = r.Uniform(10);
+    if (kind < 4) {
+      const auto it = latest.find(pid);
+      if (it != latest.end()) {
+        buf = queued[it->second].second;
+      } else {
+        ASSERT_TRUE(store->ReadPage(pid, buf).ok()) << op;
+      }
+      ASSERT_TRUE(BytesEqual(buf, shadow[pid]))
+          << label << " op " << op << " pid " << pid;
+    } else if (kind < 9) {
+      const auto it = latest.find(pid);
+      if (it != latest.end()) {
+        buf = queued[it->second].second;
+      } else {
+        ASSERT_TRUE(store->ReadPage(pid, buf).ok()) << op;
+      }
+      const int cmds = 1 + static_cast<int>(r.Uniform(3));
+      for (int c = 0; c < cmds; ++c) {
+        const uint32_t len = 1 + static_cast<uint32_t>(r.Uniform(120));
+        const uint32_t off =
+            static_cast<uint32_t>(r.Uniform(buf.size() - len + 1));
+        UpdateLog log;
+        log.offset = off;
+        log.data.resize(len);
+        r.Fill(log.data);
+        std::memcpy(buf.data() + off, log.data.data(), len);
+        ASSERT_TRUE(store->OnUpdate(pid, buf, log).ok()) << op;
+      }
+      queued.emplace_back(pid, buf);
+      latest[pid] = queued.size() - 1;
+      shadow[pid] = buf;
+      if (queued.size() >= window) ASSERT_TRUE(flush_window().ok()) << op;
+    } else {
+      ASSERT_TRUE(flush_window().ok()) << op;
+      ASSERT_TRUE(store->Flush().ok()) << op;
+    }
+  }
+  ASSERT_TRUE(flush_window().ok());
+  for (PageId pid = 0; pid < pages; ++pid) {
+    ASSERT_TRUE(store->ReadPage(pid, buf).ok());
+    ASSERT_TRUE(BytesEqual(buf, shadow[pid])) << label << " pid " << pid;
+  }
+}
+
 class MethodEquivalenceTest
     : public ::testing::TestWithParam<std::tuple<std::string, int>> {};
 
@@ -96,6 +176,18 @@ TEST_P(MethodEquivalenceTest, MatchesShadowUnderRandomOperations) {
   FlashDevice dev(FlashConfig::Small(8));
   std::unique_ptr<PageStore> store = methods::CreateStore(&dev, *spec);
   RunRandomizedEquivalenceSuite(store.get(), 100, seed, method_name);
+}
+
+TEST_P(MethodEquivalenceTest, MatchesShadowThroughBatchedWrites) {
+  const auto& [method_name, seed] = GetParam();
+  Result<MethodSpec> spec = ParseMethodSpec(method_name);
+  ASSERT_TRUE(spec.ok());
+
+  FlashDevice dev(FlashConfig::Small(8));
+  std::unique_ptr<PageStore> store = methods::CreateStore(&dev, *spec);
+  RunBatchedEquivalenceSuite(store.get(), 100, seed,
+                             /*window=*/static_cast<uint32_t>(3 + seed),
+                             method_name);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -185,6 +277,18 @@ TEST_P(ShardedEquivalenceTest, MatchesShadowUnderRandomOperations) {
   RunRandomizedEquivalenceSuite(
       store.get(), 100, /*seed=*/static_cast<int>(num_shards) + 1,
       std::string(store->name()));
+}
+
+TEST_P(ShardedEquivalenceTest, MatchesShadowThroughBatchedWrites) {
+  const auto& [method_name, num_shards] = GetParam();
+  Result<MethodSpec> spec = ParseMethodSpec(method_name);
+  ASSERT_TRUE(spec.ok());
+
+  std::unique_ptr<ftl::ShardedStore> store =
+      methods::CreateShardedStore(FlashConfig::Small(8), num_shards, *spec);
+  RunBatchedEquivalenceSuite(store.get(), 100,
+                             /*seed=*/static_cast<int>(num_shards) + 2,
+                             /*window=*/6, std::string(store->name()));
 }
 
 TEST_P(ShardedEquivalenceTest, SurvivesCrashRecoveryAcrossShards) {

@@ -1,0 +1,197 @@
+// ShardExecutor unit tests plus the ThreadSanitizer stress test driving a
+// ShardedStore through the executor: concurrent WriteBack/ReadPage across
+// shards, each chip thread-confined to its worker. Run under
+// -DFLASHDB_SANITIZE_THREAD=ON this is the proof that the parallel engine
+// needs no locks on the hot path beyond the executor's own queues.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "ftl/shard_executor.h"
+#include "ftl/sharded_store.h"
+#include "methods/method_factory.h"
+#include "workload/update_driver.h"
+
+namespace flashdb {
+namespace {
+
+using ftl::ShardExecutor;
+using ftl::SpscQueue;
+
+TEST(SpscQueueTest, PushPopOrder) {
+  SpscQueue<int> q(4);
+  int out = 0;
+  EXPECT_FALSE(q.TryPop(&out));
+  EXPECT_TRUE(q.TryPush(1));
+  EXPECT_TRUE(q.TryPush(2));
+  EXPECT_TRUE(q.TryPush(3));
+  EXPECT_TRUE(q.TryPush(4));
+  EXPECT_FALSE(q.TryPush(5));  // full at capacity
+  EXPECT_TRUE(q.TryPop(&out));
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(q.TryPush(5));
+  for (int want : {2, 3, 4, 5}) {
+    ASSERT_TRUE(q.TryPop(&out));
+    EXPECT_EQ(out, want);
+  }
+  EXPECT_FALSE(q.TryPop(&out));
+}
+
+TEST(ShardExecutorTest, RunsTasksAndReturnsStatus) {
+  ShardExecutor ex(2);
+  std::future<Status> ok = ex.Submit(0, [] { return Status::OK(); });
+  std::future<Status> err =
+      ex.Submit(1, [] { return Status::InvalidArgument("boom"); });
+  EXPECT_TRUE(ok.get().ok());
+  EXPECT_TRUE(err.get().IsInvalidArgument());
+}
+
+TEST(ShardExecutorTest, TasksOnOneWorkerRunInSubmissionOrder) {
+  ShardExecutor ex(1);
+  std::vector<int> order;
+  std::vector<std::future<Status>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(ex.Submit(0, [&order, i] {
+      order.push_back(i);  // single consumer: no synchronization needed
+      return Status::OK();
+    }));
+  }
+  for (auto& f : futures) EXPECT_TRUE(f.get().ok());
+  ASSERT_EQ(order.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ShardExecutorTest, SmallQueueBackpressureStillRunsEverything) {
+  ShardExecutor ex(4, /*queue_capacity=*/2);
+  std::vector<std::atomic<int>> counts(4);
+  std::vector<std::future<Status>> futures;
+  for (int round = 0; round < 500; ++round) {
+    for (uint32_t w = 0; w < 4; ++w) {
+      futures.push_back(ex.Submit(w, [&counts, w] {
+        counts[w].fetch_add(1, std::memory_order_relaxed);
+        return Status::OK();
+      }));
+    }
+  }
+  for (auto& f : futures) EXPECT_TRUE(f.get().ok());
+  for (uint32_t w = 0; w < 4; ++w) EXPECT_EQ(counts[w].load(), 500);
+}
+
+TEST(ShardExecutorTest, DestructorDrainsQueuedTasks) {
+  std::atomic<int> ran{0};
+  {
+    ShardExecutor ex(2);
+    for (int i = 0; i < 200; ++i) {
+      ex.Submit(static_cast<uint32_t>(i % 2), [&ran] {
+        ran.fetch_add(1, std::memory_order_relaxed);
+        return Status::OK();
+      });
+    }
+  }  // ~ShardExecutor joins after running everything
+  EXPECT_EQ(ran.load(), 200);
+}
+
+struct SeedArg {
+  uint64_t seed;
+};
+void SeededImage(PageId pid, MutBytes page, void* arg) {
+  Random r(static_cast<SeedArg*>(arg)->seed ^ (pid * 0x9E3779B9u));
+  r.Fill(page);
+}
+
+// The TSan stress test: four PDL chips, each driven from its own worker with
+// an interleaved ReadPage/WriteBack stream, shards progressing concurrently.
+// Thread safety comes from shard confinement alone -- the assertion inside
+// FlashDevice (and TSan) would flag any cross-shard leakage.
+TEST(ShardExecutorTest, ConcurrentShardedStoreStress) {
+  constexpr uint32_t kShards = 4;
+  constexpr uint32_t kPages = 120;
+  constexpr int kOpsPerShard = 400;
+  auto spec = methods::ParseMethodSpec("PDL(256B)");
+  ASSERT_TRUE(spec.ok());
+  std::unique_ptr<ftl::ShardedStore> store =
+      methods::CreateShardedStore(flash::FlashConfig::Small(8), kShards, *spec);
+  SeedArg arg{7};
+  ASSERT_TRUE(store->Format(kPages, &SeededImage, &arg).ok());
+  const uint32_t data_size = store->device()->geometry().data_size;
+
+  // Per-shard expected images (only its own worker touches them).
+  std::vector<std::vector<ByteBuffer>> shadow(kShards);
+  std::vector<std::vector<PageId>> inner_of(kShards);
+  for (PageId pid = 0; pid < kPages; ++pid) {
+    const uint32_t s = store->shard_of(pid);
+    shadow[s].emplace_back(data_size);
+    SeededImage(pid, shadow[s].back(), &arg);
+    inner_of[s].push_back(store->inner_pid(pid));
+  }
+
+  ShardExecutor ex(kShards);
+  std::vector<std::future<Status>> futures;
+  for (uint32_t s = 0; s < kShards; ++s) {
+    PageStore* inner = store->shard(s);
+    auto* my_shadow = &shadow[s];
+    auto* my_inner = &inner_of[s];
+    futures.push_back(ex.Submit(s, [inner, my_shadow, my_inner, s] {
+      Random r(1000 + s);
+      const uint32_t n = static_cast<uint32_t>(my_inner->size());
+      ByteBuffer buf((*my_shadow)[0].size());
+      for (int op = 0; op < kOpsPerShard; ++op) {
+        const uint32_t k = static_cast<uint32_t>(r.Uniform(n));
+        const PageId ipid = (*my_inner)[k];
+        if (r.Uniform(3) == 0) {
+          FLASHDB_RETURN_IF_ERROR(inner->ReadPage(ipid, buf));
+          if (!BytesEqual(buf, (*my_shadow)[k])) {
+            return Status::Corruption("stress shadow mismatch");
+          }
+        } else {
+          ByteBuffer& img = (*my_shadow)[k];
+          const uint32_t len = 1 + static_cast<uint32_t>(r.Uniform(100));
+          const uint32_t off =
+              static_cast<uint32_t>(r.Uniform(img.size() - len + 1));
+          r.Fill(MutBytes(img.data() + off, len));
+          FLASHDB_RETURN_IF_ERROR(inner->WriteBack(ipid, img));
+        }
+      }
+      return inner->Flush();
+    }));
+  }
+  for (auto& f : futures) EXPECT_TRUE(f.get().ok());
+
+  // Join complete: the main thread may verify every shard again.
+  ByteBuffer buf(data_size);
+  for (uint32_t s = 0; s < kShards; ++s) {
+    for (size_t k = 0; k < inner_of[s].size(); ++k) {
+      ASSERT_TRUE(store->shard(s)->ReadPage(inner_of[s][k], buf).ok());
+      EXPECT_TRUE(BytesEqual(buf, shadow[s][k])) << "shard " << s;
+    }
+  }
+}
+
+// Same engine exercised through the driver's RunParallel with verification
+// enabled -- batched WriteBacks, reads racing across shards, every read
+// checked against the shadow database.
+TEST(ShardExecutorTest, RunParallelVerifiedStress) {
+  constexpr uint32_t kShards = 4;
+  auto spec = methods::ParseMethodSpec("PDL(256B)");
+  ASSERT_TRUE(spec.ok());
+  std::unique_ptr<ftl::ShardedStore> store =
+      methods::CreateShardedStore(flash::FlashConfig::Small(8), kShards, *spec);
+  workload::WorkloadParams params;
+  params.verify = true;
+  params.pct_update_ops = 70.0;
+  workload::UpdateDriver driver(store.get(), params);
+  ASSERT_TRUE(driver.LoadDatabase(200).ok());
+  workload::Schedule schedule = driver.MakeSchedule(1500);
+  ShardExecutor ex(kShards);
+  workload::RunStats stats;
+  ASSERT_TRUE(driver.RunParallel(schedule, 16, &ex, &stats).ok());
+  EXPECT_EQ(stats.operations, 1500u);
+}
+
+}  // namespace
+}  // namespace flashdb
