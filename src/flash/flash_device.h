@@ -42,7 +42,8 @@ inline constexpr PhysAddr kNullAddr = 0xFFFFFFFFu;
 /// owning thread of a single-chip setup or the one ShardExecutor worker its
 /// shard is pinned to. Confinement hand-off (e.g. main thread formats, a
 /// worker then runs the workload) is legal as long as the hand-off itself is
-/// synchronized (ShardExecutor's submit/future edges provide this). Every
+/// synchronized (ShardExecutor's submit / future-or-callback completion
+/// edges provide this). Every
 /// mutating operation asserts that no second thread is inside the device
 /// concurrently, so a violated contract aborts deterministically instead of
 /// corrupting the emulated cells.

@@ -17,9 +17,13 @@ ShardExecutor::ShardExecutor(uint32_t num_workers, size_t queue_capacity) {
   }
 }
 
-ShardExecutor::~ShardExecutor() {
+ShardExecutor::~ShardExecutor() { Shutdown(); }
+
+void ShardExecutor::Shutdown() {
   stop_.store(true, std::memory_order_release);
   for (auto& w : workers_) WakeIfSleeping(w.get());
+  // join() is the idempotence guard: a second Shutdown() sees every thread
+  // already non-joinable and returns without touching worker state.
   for (auto& w : workers_) {
     if (w->thread.joinable()) w->thread.join();
   }
@@ -27,10 +31,32 @@ ShardExecutor::~ShardExecutor() {
 
 std::future<Status> ShardExecutor::Submit(uint32_t worker,
                                           std::function<Status()> fn) {
-  assert(worker < workers_.size());
+  auto promise = std::make_shared<std::promise<Status>>();
+  std::future<Status> future = promise->get_future();
+  const Status submitted = SubmitWithCallback(
+      worker, std::move(fn),
+      [promise](const Status& st) { promise->set_value(st); });
+  // Rejected submissions surface through the future rather than a broken
+  // promise, so callers that only inspect futures still see the failure.
+  if (!submitted.ok()) promise->set_value(submitted);
+  return future;
+}
+
+Status ShardExecutor::SubmitWithCallback(
+    uint32_t worker, std::function<Status()> fn,
+    std::function<void(const Status&)> done) {
+  if (worker >= workers_.size()) {
+    return Status::InvalidArgument("no such worker: " +
+                                   std::to_string(worker));
+  }
+  if (stop_.load(std::memory_order_acquire)) {
+    // After Shutdown() the ring has no consumer; enqueueing would leave the
+    // task stranded forever. Fail fast instead.
+    return Status::Aborted("executor is shut down");
+  }
   Worker* w = workers_[worker].get();
-  std::packaged_task<Status()> task(std::move(fn));
-  std::future<Status> future = task.get_future();
+  w->submitted.fetch_add(1, std::memory_order_release);
+  Task task{std::move(fn), std::move(done)};
   // Backpressure: a full ring means the shard is behind; yield until the
   // consumer frees a slot. The producer is unique, so the retry cannot race
   // with another push.
@@ -39,7 +65,7 @@ std::future<Status> ShardExecutor::Submit(uint32_t worker,
     std::this_thread::yield();
   }
   WakeIfSleeping(w);
-  return future;
+  return Status::OK();
 }
 
 void ShardExecutor::WakeIfSleeping(Worker* w) {
@@ -57,18 +83,41 @@ void ShardExecutor::WakeIfSleeping(Worker* w) {
   }
 }
 
+void ShardExecutor::RunTask(Worker* w, Task* task) {
+  Status st;
+  try {
+    st = task->fn();
+  } catch (const std::exception& e) {
+    // Escaping the worker loop would std::terminate; deliver the failure
+    // through the normal completion path instead.
+    st = Status::Aborted(std::string("task threw: ") + e.what());
+  } catch (...) {
+    st = Status::Aborted("task threw a non-std exception");
+  }
+  if (task->done) {
+    try {
+      task->done(st);
+    } catch (...) {
+      // Completion callbacks must not throw; swallowing here beats
+      // std::terminate taking down the whole pool.
+      assert(false && "completion callback threw");
+    }
+  }
+  w->completed.fetch_add(1, std::memory_order_release);
+}
+
 void ShardExecutor::WorkerLoop(Worker* w) {
   for (;;) {
-    std::packaged_task<Status()> task;
+    Task task;
     if (w->queue.TryPop(&task)) {
-      task();
+      RunTask(w, &task);
       continue;
     }
     // Ring empty: spin briefly (tasks arrive in bursts), then park.
     bool ran = false;
     for (int spin = 0; spin < 64 && !ran; ++spin) {
       if (w->queue.TryPop(&task)) {
-        task();
+        RunTask(w, &task);
         ran = true;
         break;
       }
@@ -78,7 +127,7 @@ void ShardExecutor::WorkerLoop(Worker* w) {
     if (stop_.load(std::memory_order_acquire)) {
       // Drain-before-exit: stop only takes effect on an empty ring.
       if (w->queue.TryPop(&task)) {
-        task();
+        RunTask(w, &task);
         continue;
       }
       return;

@@ -16,14 +16,24 @@
 // multi-chip FTLs use for per-channel request queues. FlashDevice carries a
 // concurrency assertion that catches violations of this contract.
 //
-// Completion is reported through std::future<Status>: Submit() returns the
-// future of the task's Status, and callers gather per-shard results after
-// joining a batch of futures.
+// Completion is reported two ways:
+//   * Submit() returns a std::future<Status>; callers gather per-shard
+//     results after joining a batch of futures (windowed execution).
+//   * SubmitWithCallback() runs a completion callback on the worker thread
+//     right after the task, allocating no future -- the building block for
+//     continuous (pipelined) submission, where the producer keeps a bounded
+//     number of batches in flight per shard and backpressure is a credit
+//     counter instead of a global join.
+//
+// Per-worker monotonic submitted/completed counters make queue depth and
+// cross-shard lag observable while a run is in progress (see
+// submitted_count / completed_count / in_flight).
 
 #ifndef FLASHDB_FTL_SHARD_EXECUTOR_H_
 #define FLASHDB_FTL_SHARD_EXECUTOR_H_
 
 #include <atomic>
+#include <cassert>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -84,7 +94,7 @@ class ShardExecutor {
   /// the queue depth is backpressure, not a correctness limit.
   explicit ShardExecutor(uint32_t num_workers, size_t queue_capacity = 1024);
 
-  /// Joins every worker after running all queued tasks to completion.
+  /// Calls Shutdown(): joins every worker after draining the queued tasks.
   ~ShardExecutor();
 
   ShardExecutor(const ShardExecutor&) = delete;
@@ -96,23 +106,72 @@ class ShardExecutor {
 
   /// Enqueues `fn` on worker `worker`; tasks submitted to the same worker run
   /// in submission order, on that worker's thread. Must be called from one
-  /// thread at a time (single producer).
+  /// thread at a time (single producer). After Shutdown() the returned
+  /// future is immediately ready with an Aborted status (nothing enqueues).
+  /// An exception escaping `fn` is converted to an Aborted status, not
+  /// rethrown at get().
   std::future<Status> Submit(uint32_t worker, std::function<Status()> fn);
 
+  /// Future-free form for continuous submission: after `fn` runs on worker
+  /// `worker`, `done` runs on the same thread with fn's Status. `done` must
+  /// not throw (a thrown exception is dropped, asserting in debug). Returns
+  /// non-OK -- and enqueues nothing, `done` never runs -- when `worker` is
+  /// out of range or the executor has shut down, so producers can stop
+  /// streaming instead of deadlocking on a ring nobody drains.
+  Status SubmitWithCallback(uint32_t worker, std::function<Status()> fn,
+                            std::function<void(const Status&)> done);
+
+  /// Drains every already-queued task (in submission order), then joins the
+  /// workers. Deterministic: tasks present in a ring at shutdown always run;
+  /// tasks submitted afterwards are rejected, never dropped silently.
+  /// Idempotent; must not race with concurrent Submit* calls (same
+  /// single-producer contract as submission).
+  void Shutdown();
+
+  /// Monotonic count of tasks ever submitted to / completed by `worker`.
+  /// `completed` includes the completion callback: a task counts once its
+  /// `done` has returned. Safe to read from any thread while workers run.
+  uint64_t submitted_count(uint32_t worker) const {
+    assert(worker < workers_.size());
+    return workers_[worker]->submitted.load(std::memory_order_acquire);
+  }
+  uint64_t completed_count(uint32_t worker) const {
+    assert(worker < workers_.size());
+    return workers_[worker]->completed.load(std::memory_order_acquire);
+  }
+  /// Tasks queued or running on `worker` right now. Exact when read from the
+  /// producer thread or from inside one of the worker's own tasks; a lagging
+  /// snapshot from anywhere else.
+  uint64_t in_flight(uint32_t worker) const {
+    // Read completed first so the difference never goes negative.
+    const uint64_t done = completed_count(worker);
+    return submitted_count(worker) - done;
+  }
+
  private:
+  /// One queued unit of work: the task body plus an optional completion
+  /// callback run on the worker thread right after it.
+  struct Task {
+    std::function<Status()> fn;
+    std::function<void(const Status&)> done;
+  };
+
   struct Worker {
     explicit Worker(size_t queue_capacity) : queue(queue_capacity) {}
 
-    SpscQueue<std::packaged_task<Status()>> queue;
+    SpscQueue<Task> queue;
     /// Set by the worker (under `mutex`) just before it parks; lets the
     /// producer skip the lock+notify entirely while the worker is busy.
     std::atomic<bool> sleeping{false};
+    std::atomic<uint64_t> submitted{0};
+    std::atomic<uint64_t> completed{0};
     std::mutex mutex;
     std::condition_variable cv;
     std::thread thread;
   };
 
   void WorkerLoop(Worker* w);
+  void RunTask(Worker* w, Task* task);
   /// Wakes `w` if (and only if) it parked on its condition variable.
   void WakeIfSleeping(Worker* w);
 

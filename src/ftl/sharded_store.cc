@@ -162,6 +162,29 @@ uint64_t ShardedStore::parallel_time_us() const {
   return m;
 }
 
+std::vector<ShardedStore::ShardProgress> ShardedStore::shard_progress() {
+  std::vector<ShardProgress> progress(num_shards());
+  for (uint32_t i = 0; i < num_shards(); ++i) {
+    const flash::FlashStats s = shards_[i].store->stats();
+    progress[i].clock_us = shards_[i].device->clock().now_us();
+    progress[i].reads = s.total.reads;
+    progress[i].writes = s.total.writes;
+    progress[i].erases = s.total.erases;
+  }
+  return progress;
+}
+
+uint64_t ShardedStore::shard_lag_us() const {
+  uint64_t lo = UINT64_MAX;
+  uint64_t hi = 0;
+  for (const Shard& s : shards_) {
+    const uint64_t c = s.device->clock().now_us();
+    lo = std::min(lo, c);
+    hi = std::max(hi, c);
+  }
+  return hi - lo;
+}
+
 uint64_t ShardedStore::total_work_us() const {
   uint64_t sum = 0;
   for (const Shard& s : shards_) sum += s.device->clock().now_us();

@@ -1,9 +1,13 @@
 #include "workload/update_driver.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <condition_variable>
 #include <future>
+#include <mutex>
 #include <string>
+#include <thread>
 
 #include "ftl/shard_executor.h"
 #include "ftl/sharded_store.h"
@@ -25,6 +29,23 @@ UpdateDriver::UpdateDriver(PageStore* store, const WorkloadParams& params)
       rng_(params.seed),
       data_size_(store->device()->geometry().data_size) {
   scratch_.resize(data_size_);
+  if (params_.hot_shard_pct > 0) {
+    auto* sharded = dynamic_cast<ftl::ShardedStore*>(store_);
+    if (sharded != nullptr && sharded->num_shards() > 1) {
+      hot_pid_stride_ = sharded->num_shards();
+    }
+  }
+}
+
+PageId UpdateDriver::DrawPid() {
+  if (hot_pid_stride_ != 0 &&
+      rng_.NextDouble() * 100.0 < params_.hot_shard_pct) {
+    // Pids congruent to 0 mod the shard count all land on shard 0: the
+    // number of such pids in [0, num_pages_) is ceil(num_pages_ / stride).
+    const uint32_t count = (num_pages_ + hot_pid_stride_ - 1) / hot_pid_stride_;
+    return hot_pid_stride_ * static_cast<PageId>(rng_.Uniform(count));
+  }
+  return static_cast<PageId>(rng_.Uniform(num_pages_));
 }
 
 Status UpdateDriver::LoadDatabase(uint32_t num_pages) {
@@ -108,8 +129,7 @@ Status UpdateDriver::Warmup(double erases_per_block, uint64_t max_ops) {
   const uint64_t start = store_->total_erases();
   uint64_t ops = 0;
   while (store_->total_erases() - start < target && ops < max_ops) {
-    FLASHDB_RETURN_IF_ERROR(
-        UpdateOperation(static_cast<PageId>(rng_.Uniform(num_pages_))));
+    FLASHDB_RETURN_IF_ERROR(UpdateOperation(DrawPid()));
     ++ops;
   }
   return Status::OK();
@@ -119,7 +139,7 @@ Status UpdateDriver::Run(uint64_t num_ops, RunStats* out) {
   const flash::FlashStats stats0 = store_->stats();
 
   for (uint64_t i = 0; i < num_ops; ++i) {
-    const PageId pid = static_cast<PageId>(rng_.Uniform(num_pages_));
+    const PageId pid = DrawPid();
     if (rng_.NextDouble() * 100.0 < params_.pct_update_ops) {
       FLASHDB_RETURN_IF_ERROR(UpdateOperation(pid));
       out->update_ops++;
@@ -149,7 +169,7 @@ Schedule UpdateDriver::MakeSchedule(uint64_t num_ops) {
   schedule.reserve(num_ops);
   for (uint64_t i = 0; i < num_ops; ++i) {
     PlannedOp op;
-    op.pid = static_cast<PageId>(rng_.Uniform(num_pages_));
+    op.pid = DrawPid();
     op.is_update = rng_.NextDouble() * 100.0 < params_.pct_update_ops;
     if (op.is_update) {
       op.updates.resize(params_.updates_till_write);
@@ -313,6 +333,154 @@ Status UpdateDriver::RunParallel(const Schedule& schedule, uint32_t batch_size,
     if (!st.ok() && first_error.ok()) first_error = st;
   }
   FLASHDB_RETURN_IF_ERROR(first_error);
+  AccumulateRunStats(stats0, schedule, out);
+  return Status::OK();
+}
+
+Status UpdateDriver::RunPipelined(const Schedule& schedule,
+                                  uint32_t batch_size, uint32_t max_inflight,
+                                  ftl::ShardExecutor* executor,
+                                  RunStats* out) {
+  if (batch_size == 0) {
+    return Status::InvalidArgument("batch_size must be > 0");
+  }
+  if (max_inflight == 0) {
+    return Status::InvalidArgument("max_inflight must be > 0");
+  }
+  auto* sharded = dynamic_cast<ftl::ShardedStore*>(store_);
+  if (sharded == nullptr) {
+    return Status::InvalidArgument("RunPipelined needs a ShardedStore");
+  }
+  if (executor == nullptr ||
+      executor->num_workers() < sharded->num_shards()) {
+    return Status::InvalidArgument("executor must have one worker per shard");
+  }
+  const flash::FlashStats stats0 = store_->stats();
+  std::vector<ShardStream> streams = PartitionSchedule(schedule);
+  const uint32_t n = static_cast<uint32_t>(streams.size());
+
+  // Credit accounting shared between the submitting thread and the workers'
+  // completion callbacks. The hot path is lock-free: callbacks return
+  // credits with atomic decrements and only take the mutex to wake a parked
+  // producer (same Dekker-style handshake as the executor's own park/wake)
+  // or to record the first error. The release-decrements of
+  // `inflight_total` paired with this thread's acquire-load of 0 also
+  // publish the workers' device mutations before the stats snapshot below.
+  struct Control {
+    std::vector<std::atomic<uint32_t>> inflight;
+    std::atomic<bool> producer_waiting{false};
+    std::atomic<bool> has_error{false};
+    std::mutex mu;  // guards first_error; wake-up serialization
+    std::condition_variable cv;
+    Status first_error;
+
+    explicit Control(uint32_t n) : inflight(n) {}
+
+    void OnComplete(uint32_t shard, const Status& st) {
+      if (!st.ok()) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (first_error.ok()) first_error = st;
+        has_error.store(true, std::memory_order_release);
+      }
+      inflight[shard].fetch_sub(1, std::memory_order_release);
+      // Producer-side pairing: it sets producer_waiting, fences, then
+      // re-checks credits before parking; the fence here makes it
+      // impossible for both sides to read stale values (lost wakeup).
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      if (producer_waiting.load(std::memory_order_relaxed)) {
+        std::lock_guard<std::mutex> lock(mu);
+        cv.notify_one();
+      }
+    }
+
+    /// Parks the producer until `ready` (a credit/progress predicate over
+    /// the atomics) holds. Cold path only, so the std::function indirection
+    /// does not matter.
+    void WaitFor(const std::function<bool()>& ready) {
+      std::unique_lock<std::mutex> lock(mu);
+      producer_waiting.store(true, std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      cv.wait(lock, ready);
+      producer_waiting.store(false, std::memory_order_relaxed);
+    }
+  } ctl(n);
+
+  std::vector<size_t> next_begin(n, 0);  // submission cursor per shard
+  bool stop_submitting = false;
+  while (!stop_submitting) {
+    // Round-robin pass: give every shard with spare credit its next window.
+    // Interleaving submission across shards (instead of finishing one shard
+    // first) is what keeps every chip fed when one of them is hot.
+    bool submitted_any = false;
+    bool work_left = false;
+    for (uint32_t i = 0; i < n && !stop_submitting; ++i) {
+      ShardStream* s = &streams[i];
+      if (next_begin[i] >= s->ops.size()) continue;
+      if (ctl.has_error.load(std::memory_order_acquire)) {
+        stop_submitting = true;
+        break;
+      }
+      work_left = true;
+      // Only this thread increments, so load-then-add cannot overshoot.
+      if (ctl.inflight[i].load(std::memory_order_acquire) >= max_inflight) {
+        continue;  // no credit
+      }
+      ctl.inflight[i].fetch_add(1, std::memory_order_relaxed);
+      const size_t begin = next_begin[i];
+      const size_t end = std::min(s->ops.size(), begin + batch_size);
+      next_begin[i] = end;
+      const Status submitted = executor->SubmitWithCallback(
+          i, [this, s, begin, end] { return RunShardWindow(s, begin, end); },
+          [&ctl, i](const Status& st) { ctl.OnComplete(i, st); });
+      if (!submitted.ok()) {
+        // Nothing was enqueued and the callback will never run: hand the
+        // credit back and stop streaming.
+        ctl.inflight[i].fetch_sub(1, std::memory_order_relaxed);
+        {
+          std::lock_guard<std::mutex> lock(ctl.mu);
+          if (ctl.first_error.ok()) ctl.first_error = submitted;
+          ctl.has_error.store(true, std::memory_order_release);
+        }
+        stop_submitting = true;
+        break;
+      }
+      submitted_any = true;
+    }
+    if (!work_left) break;
+    if (!submitted_any && !stop_submitting) {
+      // Every remaining shard is at its credit limit: park until a
+      // completion returns a credit somewhere. This is the per-shard
+      // backpressure point -- no barrier, just "some credit came back".
+      ctl.WaitFor([&] {
+        if (ctl.has_error.load(std::memory_order_acquire)) return true;
+        for (uint32_t i = 0; i < n; ++i) {
+          if (next_begin[i] < streams[i].ops.size() &&
+              ctl.inflight[i].load(std::memory_order_acquire) <
+                  max_inflight) {
+            return true;
+          }
+        }
+        return false;
+      });
+    }
+  }
+
+  // Drain: the in-flight windows reference `streams` (and their callbacks
+  // reference `ctl`) on this stack frame, so everything must finish before
+  // we return -- error or not. Quiescence comes from the *executor's*
+  // counters, not from ctl's credits: `completed` only increments after a
+  // task's completion callback has fully returned, so equality here proves
+  // no worker can touch ctl (or a stream) again. A credit-based drain would
+  // race -- a callback may still be inside ctl's mutex right after handing
+  // back the credit that makes the count hit zero. The acquire loads pair
+  // with the workers' release increments and also publish their device
+  // mutations to this thread before the stats snapshot below.
+  for (uint32_t i = 0; i < n; ++i) {
+    while (executor->completed_count(i) != executor->submitted_count(i)) {
+      std::this_thread::yield();  // tail is at most max_inflight windows
+    }
+  }
+  FLASHDB_RETURN_IF_ERROR(ctl.first_error);
   AccumulateRunStats(stats0, schedule, out);
   return Status::OK();
 }

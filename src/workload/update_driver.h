@@ -39,6 +39,13 @@ struct WorkloadParams {
   uint32_t updates_till_write = 1;     ///< N_updates_till_write
   double pct_update_ops = 100.0;       ///< %UpdateOps (Exp. 4)
   uint64_t seed = 42;
+  /// Shard-targeted skew (beyond the paper): this percentage of operations
+  /// draws its pid from shard 0's residue class (pid % num_shards == 0)
+  /// instead of uniformly, turning shard 0 into a deliberate hotspot --
+  /// exactly the one-slow-chip scenario pipelined execution is built to
+  /// absorb. 0 (the default) keeps the uniform draw and consumes the RNG
+  /// identically to older versions; ignored on a non-sharded store.
+  double hot_shard_pct = 0.0;
   /// Maintain an in-memory shadow database and verify every page read
   /// against it (tests; costs RAM proportional to the database).
   bool verify = false;
@@ -133,8 +140,28 @@ class UpdateDriver {
   /// store must be a ShardedStore and `executor` must have at least
   /// num_shards() workers; per-shard device state, stats, and virtual clocks
   /// end up bit-identical to RunBatched on the same schedule.
+  ///
+  /// Submission is shard-sequential (all of shard 0's windows, then shard
+  /// 1's, ...): with bounded executor rings a hot shard head-of-line blocks
+  /// the producer and the remaining chips sit idle -- the steady-state
+  /// weakness RunPipelined exists to remove.
   Status RunParallel(const Schedule& schedule, uint32_t batch_size,
                      ftl::ShardExecutor* executor, RunStats* out);
+
+  /// Continuous submission mode: streams the schedule's windows round-robin
+  /// across the shards, keeping at most `max_inflight` windows outstanding
+  /// per shard (a per-shard credit counter, returned by completion callbacks
+  /// on the worker threads -- no global join anywhere in the run). Windows of
+  /// one shard are still submitted in schedule order, so per-shard device
+  /// state, stats, and virtual clocks stay bit-identical to RunBatched /
+  /// RunParallel on the same schedule; only the wall-clock interleaving
+  /// across shards changes. On the first window error submission stops and
+  /// the in-flight windows are drained before the error returns.
+  /// `max_inflight` should not exceed the executor's ring capacity or
+  /// submission degrades to blocking pushes.
+  Status RunPipelined(const Schedule& schedule, uint32_t batch_size,
+                      uint32_t max_inflight, ftl::ShardExecutor* executor,
+                      RunStats* out);
 
   /// One full update operation against page `pid`.
   Status UpdateOperation(PageId pid);
@@ -181,10 +208,17 @@ class UpdateDriver {
   /// ApplyOneUpdate and MakeSchedule, so the two paths stay draw-for-draw
   /// identical by construction.
   void DrawUpdateCmd(uint32_t* offset, ByteBuffer* data);
+  /// Draws the target pid of one operation -- uniform, or shard-0-skewed
+  /// when params_.hot_shard_pct is set. The single pid source behind Run,
+  /// Warmup, and MakeSchedule.
+  PageId DrawPid();
 
   PageStore* store_;
   WorkloadParams params_;
   Random rng_;
+  /// Pid stride of the hot residue class: num_shards() when hot_shard_pct
+  /// is active on a sharded store, 0 when the draw is uniform.
+  uint32_t hot_pid_stride_ = 0;
   uint32_t num_pages_ = 0;
   uint32_t data_size_;
   ByteBuffer scratch_;

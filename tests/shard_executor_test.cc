@@ -7,8 +7,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <future>
 #include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "common/random.h"
@@ -94,6 +100,165 @@ TEST(ShardExecutorTest, DestructorDrainsQueuedTasks) {
     }
   }  // ~ShardExecutor joins after running everything
   EXPECT_EQ(ran.load(), 200);
+}
+
+// Regression: Shutdown() with a backlog still in the rings must run every
+// queued task, in submission order, before the workers exit -- a stalled
+// first task must not get the rest dropped.
+TEST(ShardExecutorTest, ShutdownDrainsQueuedTasksDeterministically) {
+  ShardExecutor ex(2);
+  std::vector<int> order;  // worker 0 only: single consumer, no lock needed
+  std::vector<std::future<Status>> futures;
+  futures.push_back(ex.Submit(0, [] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    return Status::OK();
+  }));
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(ex.Submit(0, [&order, i] {
+      order.push_back(i);
+      return Status::OK();
+    }));
+  }
+  // The backlog sits behind the sleeper when shutdown begins.
+  ex.Shutdown();
+  for (auto& f : futures) EXPECT_TRUE(f.get().ok());
+  ASSERT_EQ(order.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(order[i], i);
+  EXPECT_EQ(ex.completed_count(0), 101u);
+}
+
+// Regression: submission after Shutdown() must fail fast -- before the fix a
+// task pushed onto a consumer-less ring stranded its future forever.
+TEST(ShardExecutorTest, SubmitAfterShutdownFailsFast) {
+  ShardExecutor ex(2);
+  ex.Shutdown();
+  std::future<Status> f = ex.Submit(0, [] { return Status::OK(); });
+  ASSERT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  EXPECT_EQ(f.get().code(), StatusCode::kAborted);
+  bool callback_ran = false;
+  const Status st = ex.SubmitWithCallback(
+      1, [] { return Status::OK(); },
+      [&callback_ran](const Status&) { callback_ran = true; });
+  EXPECT_EQ(st.code(), StatusCode::kAborted);
+  EXPECT_FALSE(callback_ran);
+  ex.Shutdown();  // idempotent
+}
+
+TEST(ShardExecutorTest, TaskExceptionBecomesAbortedStatus) {
+  ShardExecutor ex(1);
+  std::future<Status> f =
+      ex.Submit(0, []() -> Status { throw std::runtime_error("boom"); });
+  const Status st = f.get();
+  EXPECT_EQ(st.code(), StatusCode::kAborted);
+  EXPECT_NE(st.message().find("boom"), std::string::npos);
+  // The worker survives the throw and keeps serving tasks.
+  EXPECT_TRUE(ex.Submit(0, [] { return Status::OK(); }).get().ok());
+}
+
+TEST(ShardExecutorTest, SubmitToBadWorkerFailsFast) {
+  ShardExecutor ex(2);
+  std::future<Status> f = ex.Submit(7, [] { return Status::OK(); });
+  ASSERT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  EXPECT_TRUE(f.get().IsInvalidArgument());
+}
+
+TEST(ShardExecutorTest, CallbackRunsOnWorkerWithStatusAndCounters) {
+  ShardExecutor ex(1);
+  std::promise<void> done_signal;
+  std::thread::id callback_thread;
+  Status observed;
+  ASSERT_TRUE(ex.SubmitWithCallback(
+                    0, [] { return Status::Corruption("expected"); },
+                    [&](const Status& st) {
+                      callback_thread = std::this_thread::get_id();
+                      observed = st;
+                      done_signal.set_value();
+                    })
+                  .ok());
+  done_signal.get_future().wait();
+  EXPECT_TRUE(observed.IsCorruption());
+  EXPECT_NE(callback_thread, std::this_thread::get_id());
+  ex.Shutdown();
+  EXPECT_EQ(ex.submitted_count(0), 1u);
+  EXPECT_EQ(ex.completed_count(0), 1u);
+  EXPECT_EQ(ex.in_flight(0), 0u);
+}
+
+// The backpressure stress test: worker 0 is artificially slow while three
+// fast siblings churn. A credit-gated producer (the same protocol
+// UpdateDriver::RunPipelined uses) keeps at most K windows outstanding per
+// worker; each task samples its own worker's in_flight() -- exact on the
+// worker thread -- and the maximum observed depth must never exceed K. Ends
+// with Shutdown() while the slow ring is still backed up: drain must
+// complete without deadlock. Run under TSan this also proves the counter
+// and callback paths race-free.
+TEST(ShardExecutorTest, CreditGatedProducerNeverExceedsDepthK) {
+  constexpr uint32_t kWorkers = 4;
+  constexpr uint32_t kDepth = 3;
+  constexpr int kTasksPerWorker = 60;
+  ShardExecutor ex(kWorkers, /*queue_capacity=*/kDepth);
+  std::vector<std::atomic<uint64_t>> max_seen(kWorkers);
+  std::atomic<uint32_t> credits_used[kWorkers] = {};
+  std::mutex mu;
+  std::condition_variable cv;
+
+  int submitted[kWorkers] = {};
+  int completed_total = 0;
+  auto all_submitted = [&] {
+    for (uint32_t w = 0; w < kWorkers; ++w) {
+      if (submitted[w] < kTasksPerWorker) return false;
+    }
+    return true;
+  };
+  while (!all_submitted()) {
+    bool progress = false;
+    for (uint32_t w = 0; w < kWorkers; ++w) {
+      if (submitted[w] >= kTasksPerWorker) continue;
+      if (credits_used[w].load(std::memory_order_acquire) >= kDepth) continue;
+      credits_used[w].fetch_add(1, std::memory_order_acq_rel);
+      ASSERT_TRUE(ex.SubmitWithCallback(
+                        w,
+                        [&ex, &max_seen, w] {
+                          const uint64_t depth = ex.in_flight(w);
+                          uint64_t prev =
+                              max_seen[w].load(std::memory_order_relaxed);
+                          while (prev < depth &&
+                                 !max_seen[w].compare_exchange_weak(
+                                     prev, depth, std::memory_order_relaxed)) {
+                          }
+                          if (w == 0) {  // the deliberately slow shard
+                            std::this_thread::sleep_for(
+                                std::chrono::milliseconds(2));
+                          }
+                          return Status::OK();
+                        },
+                        [&, w](const Status& st) {
+                          EXPECT_TRUE(st.ok());
+                          credits_used[w].fetch_sub(1,
+                                                    std::memory_order_acq_rel);
+                          std::lock_guard<std::mutex> lock(mu);
+                          ++completed_total;
+                          cv.notify_one();
+                        })
+                      .ok());
+      ++submitted[w];
+      progress = true;
+    }
+    if (!progress) {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait_for(lock, std::chrono::milliseconds(5));
+    }
+  }
+  // Shutdown while worker 0's ring is still backed up: deterministic drain.
+  ex.Shutdown();
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    EXPECT_EQ(completed_total, static_cast<int>(kWorkers) * kTasksPerWorker);
+  }
+  for (uint32_t w = 0; w < kWorkers; ++w) {
+    EXPECT_LE(max_seen[w].load(), kDepth) << "worker " << w;
+    EXPECT_EQ(ex.completed_count(w), static_cast<uint64_t>(kTasksPerWorker));
+  }
 }
 
 struct SeedArg {

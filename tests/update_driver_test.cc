@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "ftl/shard_executor.h"
 #include "ftl/sharded_store.h"
 #include "methods/method_factory.h"
@@ -291,6 +294,158 @@ TEST(UpdateDriverParallelTest, RunParallelIsDeterministicAcrossRuns) {
   for (uint32_t s = 0; s < kShards; ++s) {
     EXPECT_EQ(clocks[0][s], clocks[1][s]) << "shard " << s;
   }
+}
+
+TEST(UpdateDriverPipelinedTest, MatchesRunBatchedPerShardClocks) {
+  // Continuous credit-gated submission must leave every chip's device state
+  // exactly where the sequential batched replay leaves it -- for shallow and
+  // deep in-flight windows alike, on a skewed pid distribution.
+  auto spec = methods::ParseMethodSpec("PDL(256B)");
+  ASSERT_TRUE(spec.ok());
+  constexpr uint32_t kShards = 4;
+  WorkloadParams params;
+  params.verify = true;
+  params.pct_update_ops = 75.0;
+  params.hot_shard_pct = 50.0;  // shard 0 is the deliberate hotspot
+
+  auto prepare = [&](std::unique_ptr<ftl::ShardedStore>* store,
+                     std::unique_ptr<UpdateDriver>* driver) {
+    *store = methods::CreateShardedStore(FlashConfig::Small(8), kShards,
+                                         *spec);
+    *driver = std::make_unique<UpdateDriver>(store->get(), params);
+    ASSERT_TRUE((*driver)->LoadDatabase(150).ok());
+  };
+
+  for (uint32_t depth : {1u, 2u, 8u}) {
+    std::unique_ptr<ftl::ShardedStore> store_seq, store_pipe;
+    std::unique_ptr<UpdateDriver> driver_seq, driver_pipe;
+    prepare(&store_seq, &driver_seq);
+    prepare(&store_pipe, &driver_pipe);
+
+    Schedule schedule_seq = driver_seq->MakeSchedule(800);
+    Schedule schedule_pipe = driver_pipe->MakeSchedule(800);
+
+    RunStats stats_seq, stats_pipe;
+    ASSERT_TRUE(driver_seq->RunBatched(schedule_seq, 8, &stats_seq).ok());
+    // Ring capacity == depth: credits, not blocking pushes, are the
+    // backpressure.
+    ftl::ShardExecutor executor(kShards, depth);
+    ASSERT_TRUE(driver_pipe
+                    ->RunPipelined(schedule_pipe, 8, depth, &executor,
+                                   &stats_pipe)
+                    .ok());
+
+    for (uint32_t s = 0; s < kShards; ++s) {
+      EXPECT_EQ(store_seq->shard_device(s)->clock().now_us(),
+                store_pipe->shard_device(s)->clock().now_us())
+          << "depth " << depth << " shard " << s;
+    }
+    EXPECT_EQ(stats_seq.read_step.total_us(),
+              stats_pipe.read_step.total_us());
+    EXPECT_EQ(stats_seq.write_step.total_us(),
+              stats_pipe.write_step.total_us());
+    EXPECT_EQ(stats_seq.gc.total_us(), stats_pipe.gc.total_us());
+    EXPECT_EQ(stats_seq.erases, stats_pipe.erases);
+    EXPECT_EQ(stats_pipe.operations, 800u);
+
+    ByteBuffer a(store_seq->device()->geometry().data_size);
+    ByteBuffer b(a.size());
+    for (PageId pid = 0; pid < 150; ++pid) {
+      ASSERT_TRUE(store_seq->ReadPage(pid, a).ok());
+      ASSERT_TRUE(store_pipe->ReadPage(pid, b).ok());
+      EXPECT_TRUE(BytesEqual(a, b)) << "pid " << pid;
+    }
+  }
+}
+
+TEST(UpdateDriverPipelinedTest, HotShardSkewLandsOnShardZero) {
+  auto spec = methods::ParseMethodSpec("OPU");
+  ASSERT_TRUE(spec.ok());
+  constexpr uint32_t kShards = 4;
+  auto store =
+      methods::CreateShardedStore(FlashConfig::Small(8), kShards, *spec);
+  WorkloadParams params;
+  params.hot_shard_pct = 60.0;
+  UpdateDriver driver(store.get(), params);
+  ASSERT_TRUE(driver.LoadDatabase(160).ok());
+  Schedule schedule = driver.MakeSchedule(4000);
+  uint64_t on_hot = 0;
+  for (const PlannedOp& op : schedule) {
+    ASSERT_LT(op.pid, 160u);
+    if (store->shard_of(op.pid) == 0) ++on_hot;
+  }
+  // 60% pinned + 1/4 of the uniform remainder = 70% expected on shard 0.
+  EXPECT_NEAR(static_cast<double>(on_hot) / 4000.0, 0.70, 0.04);
+
+  // Executing the skewed schedule must make the hotspot observable through
+  // the per-shard progress counters: shard 0's clock and write count pull
+  // ahead of every sibling, and the clock spread is exactly shard_lag_us.
+  RunStats stats;
+  ASSERT_TRUE(driver.RunBatched(schedule, 8, &stats).ok());
+  std::vector<ftl::ShardedStore::ShardProgress> progress =
+      store->shard_progress();
+  ASSERT_EQ(progress.size(), kShards);
+  uint64_t min_clock = progress[0].clock_us;
+  uint64_t max_clock = progress[0].clock_us;
+  for (uint32_t s = 1; s < kShards; ++s) {
+    EXPECT_GT(progress[0].clock_us, progress[s].clock_us) << "shard " << s;
+    EXPECT_GT(progress[0].writes, progress[s].writes) << "shard " << s;
+    min_clock = std::min(min_clock, progress[s].clock_us);
+    max_clock = std::max(max_clock, progress[s].clock_us);
+  }
+  EXPECT_EQ(store->shard_lag_us(), max_clock - min_clock);
+}
+
+TEST(UpdateDriverPipelinedTest, ZeroSkewKeepsUniformDrawIdentical) {
+  // hot_shard_pct = 0 must not change the RNG stream: schedules drawn with
+  // and without the field present are bit-identical.
+  auto spec = methods::ParseMethodSpec("OPU");
+  ASSERT_TRUE(spec.ok());
+  auto store_a =
+      methods::CreateShardedStore(FlashConfig::Small(8), 4, *spec);
+  auto store_b =
+      methods::CreateShardedStore(FlashConfig::Small(8), 4, *spec);
+  WorkloadParams params;  // hot_shard_pct defaults to 0
+  UpdateDriver driver_a(store_a.get(), params);
+  UpdateDriver driver_b(store_b.get(), params);
+  ASSERT_TRUE(driver_a.LoadDatabase(120).ok());
+  ASSERT_TRUE(driver_b.LoadDatabase(120).ok());
+  Schedule sa = driver_a.MakeSchedule(300);
+  Schedule sb = driver_b.MakeSchedule(300);
+  ASSERT_EQ(sa.size(), sb.size());
+  for (size_t i = 0; i < sa.size(); ++i) {
+    EXPECT_EQ(sa[i].pid, sb[i].pid) << "op " << i;
+  }
+}
+
+TEST(UpdateDriverPipelinedTest, RejectsBadArguments) {
+  auto spec = methods::ParseMethodSpec("OPU");
+  ASSERT_TRUE(spec.ok());
+  auto sharded =
+      methods::CreateShardedStore(FlashConfig::Small(8), 4, *spec);
+  WorkloadParams params;
+  UpdateDriver driver(sharded.get(), params);
+  ASSERT_TRUE(driver.LoadDatabase(50).ok());
+  Schedule schedule = driver.MakeSchedule(10);
+  ftl::ShardExecutor executor(4);
+  RunStats stats;
+  EXPECT_TRUE(driver.RunPipelined(schedule, 0, 2, &executor, &stats)
+                  .IsInvalidArgument());  // batch_size 0
+  EXPECT_TRUE(driver.RunPipelined(schedule, 4, 0, &executor, &stats)
+                  .IsInvalidArgument());  // max_inflight 0
+  EXPECT_TRUE(driver.RunPipelined(schedule, 4, 2, nullptr, &stats)
+                  .IsInvalidArgument());  // no executor
+  ftl::ShardExecutor short_executor(2);
+  EXPECT_TRUE(driver.RunPipelined(schedule, 4, 2, &short_executor, &stats)
+                  .IsInvalidArgument());  // 2 workers < 4 shards
+
+  FlashDevice dev(FlashConfig::Small(8));
+  auto flat = MakeStore(&dev, "OPU");
+  UpdateDriver flat_driver(flat.get(), params);
+  ASSERT_TRUE(flat_driver.LoadDatabase(50).ok());
+  Schedule s2 = flat_driver.MakeSchedule(10);
+  EXPECT_TRUE(flat_driver.RunPipelined(s2, 4, 2, &executor, &stats)
+                  .IsInvalidArgument());  // flat store
 }
 
 TEST(UpdateDriverParallelTest, RejectsFlatStoreAndShortExecutor) {

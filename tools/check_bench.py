@@ -1,0 +1,277 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over the benches' --json dumps.
+
+Every bench emits, via --json=<path>, one JSON object mapping table names to
+arrays of row objects whose cells are strings (see harness::JsonDump). This
+script compares such a dump against a checked-in baseline and enforces three
+kinds of checks:
+
+  --rule  TABLE:COLUMN:DIRECTION:fail=F:warn=W
+      Per-row comparison against the baseline row with the same key (--keys).
+      DIRECTION is `higher` (bigger is better, e.g. kops/s) or `lower`
+      (smaller is better, e.g. us/op). A regression worse than F percent
+      fails the gate; worse than W percent prints a warning. `fail=none`
+      makes the rule warn-only -- the right setting for wall-clock metrics
+      whose baseline was recorded on different hardware. Virtual-time
+      metrics are deterministic for a fixed seed/flags, so they can be gated
+      tightly.
+
+  --require TABLE:COLUMN=VALUE
+      Every current row's COLUMN must equal VALUE exactly (e.g. the benches'
+      determinism column must say "ok"). Independent of the baseline.
+
+  --min   TABLE:COLUMN:THRESHOLD[:where=COL=VAL,COL2=VAL2]
+      Current-run absolute floor on a numeric column, optionally restricted
+      to rows matching the `where` filter. Machine-relative metrics computed
+      within one run (e.g. pipelined-over-parallel speedup) belong here.
+
+  --keys  TABLE:COL1,COL2,...
+      Declares the identity columns used to join baseline and current rows
+      for --rule checks. A key present in the baseline but missing from the
+      current dump fails the gate (coverage loss); a key only in the current
+      dump prints a warning suggesting a baseline refresh.
+
+  --update
+      Instead of checking, copy the current dump over the baseline path --
+      the documented way to refresh baselines after an intentional change.
+
+Exit status: 0 when every check passes (warnings allowed), 1 otherwise.
+Numeric cells may carry unit suffixes ("1.25x"): the leading float is used.
+"""
+
+import argparse
+import json
+import re
+import shutil
+import sys
+
+_FLOAT_RE = re.compile(r"^\s*([+-]?\d+(?:\.\d+)?(?:[eE][+-]?\d+)?)")
+
+
+def parse_number(cell):
+    """Leading float of a cell string, or None when there is none."""
+    m = _FLOAT_RE.match(cell)
+    return float(m.group(1)) if m else None
+
+
+def load_dump(path):
+    with open(path, "r", encoding="utf-8") as f:
+        data = json.load(f)
+    if not isinstance(data, dict):
+        raise ValueError(f"{path}: expected a JSON object of tables")
+    return data
+
+
+def row_key(row, key_cols):
+    return tuple(row.get(c, "") for c in key_cols)
+
+
+class Gate:
+    def __init__(self):
+        self.failures = []
+        self.warnings = []
+
+    def fail(self, msg):
+        self.failures.append(msg)
+        print(f"FAIL  {msg}")
+
+    def warn(self, msg):
+        self.warnings.append(msg)
+        print(f"warn  {msg}")
+
+    def ok(self, msg):
+        print(f"ok    {msg}")
+
+
+def split_rule(spec):
+    """TABLE:COLUMN:DIRECTION:fail=F:warn=W -> parsed dict.
+
+    COLUMN may itself contain ':'-free text only; the bench columns do.
+    """
+    parts = spec.split(":")
+    if len(parts) < 3:
+        raise ValueError(f"bad --rule {spec!r}")
+    table, column, direction = parts[0], parts[1], parts[2]
+    if direction not in ("higher", "lower"):
+        raise ValueError(f"bad direction in --rule {spec!r}")
+    fail = 10.0
+    warn = 5.0
+    for extra in parts[3:]:
+        k, _, v = extra.partition("=")
+        if k == "fail":
+            fail = None if v == "none" else float(v)
+        elif k == "warn":
+            warn = float(v)
+        else:
+            raise ValueError(f"bad option {extra!r} in --rule {spec!r}")
+    return {"table": table, "column": column, "direction": direction,
+            "fail": fail, "warn": warn}
+
+
+def split_require(spec):
+    head, _, value = spec.partition("=")
+    table, _, column = head.partition(":")
+    if not table or not column:
+        raise ValueError(f"bad --require {spec!r}")
+    return {"table": table, "column": column, "value": value}
+
+
+def split_min(spec):
+    parts = spec.split(":")
+    if len(parts) < 3:
+        raise ValueError(f"bad --min {spec!r}")
+    table, column, threshold = parts[0], parts[1], float(parts[2])
+    where = {}
+    for extra in parts[3:]:
+        k, _, v = extra.partition("=")
+        if k != "where":
+            raise ValueError(f"bad option in --min {spec!r}")
+        for clause in v.split(","):
+            col, _, val = clause.partition("=")
+            where[col] = val
+    return {"table": table, "column": column, "threshold": threshold,
+            "where": where}
+
+
+def matches(row, where):
+    return all(row.get(c) == v for c, v in where.items())
+
+
+def describe(row, key_cols):
+    if key_cols:
+        return "/".join(row.get(c, "?") for c in key_cols)
+    return "/".join(v for v in row.values() if v)[:60]
+
+
+def check_rule(gate, rule, baseline, current, keys):
+    table = rule["table"]
+    if table not in current:
+        gate.fail(f"{table}: missing from current dump")
+        return
+    if table not in baseline:
+        gate.fail(f"{table}: missing from baseline (refresh baselines?)")
+        return
+    key_cols = keys.get(table, [])
+    base_rows = {row_key(r, key_cols): r for r in baseline[table]}
+    cur_rows = {row_key(r, key_cols): r for r in current[table]}
+    for key, brow in base_rows.items():
+        label = f"{table}[{describe(brow, key_cols)}].{rule['column']}"
+        crow = cur_rows.get(key)
+        if crow is None:
+            gate.fail(f"{label}: row present in baseline but not in current "
+                      f"run (coverage loss)")
+            continue
+        bval = parse_number(brow.get(rule["column"], ""))
+        cval = parse_number(crow.get(rule["column"], ""))
+        if bval is None or cval is None:
+            gate.fail(f"{label}: non-numeric cell "
+                      f"(baseline {brow.get(rule['column'])!r}, "
+                      f"current {crow.get(rule['column'])!r})")
+            continue
+        if bval == 0:
+            gate.ok(f"{label}: baseline is 0, skipping ratio")
+            continue
+        if rule["direction"] == "higher":
+            regression_pct = (bval - cval) / bval * 100.0
+        else:
+            regression_pct = (cval - bval) / bval * 100.0
+        detail = (f"{label}: baseline {bval:g}, current {cval:g} "
+                  f"({regression_pct:+.1f}% regression)")
+        if rule["fail"] is not None and regression_pct > rule["fail"]:
+            gate.fail(detail)
+        elif regression_pct > rule["warn"]:
+            gate.warn(detail)
+        else:
+            gate.ok(detail)
+    for key in cur_rows:
+        if key not in base_rows:
+            gate.warn(f"{table}[{'/'.join(key)}]: new row not in baseline -- "
+                      f"refresh with --update after review")
+
+
+def check_require(gate, req, current, keys):
+    table = req["table"]
+    if table not in current:
+        gate.fail(f"{table}: missing from current dump")
+        return
+    key_cols = keys.get(table, [])
+    for row in current[table]:
+        got = row.get(req["column"], "")
+        label = f"{table}[{describe(row, key_cols)}].{req['column']}"
+        if got == req["value"]:
+            gate.ok(f"{label} == {req['value']!r}")
+        else:
+            gate.fail(f"{label}: expected {req['value']!r}, got {got!r}")
+
+
+def check_min(gate, rule, current):
+    table = rule["table"]
+    if table not in current:
+        gate.fail(f"{table}: missing from current dump")
+        return
+    hit = False
+    for row in current[table]:
+        if not matches(row, rule["where"]):
+            continue
+        hit = True
+        val = parse_number(row.get(rule["column"], ""))
+        label = f"{table}[{describe(row, list(rule['where']))}].{rule['column']}"
+        if val is None:
+            gate.fail(f"{label}: non-numeric cell "
+                      f"{row.get(rule['column'])!r}")
+        elif val < rule["threshold"]:
+            gate.fail(f"{label}: {val:g} < floor {rule['threshold']:g}")
+        else:
+            gate.ok(f"{label}: {val:g} >= {rule['threshold']:g}")
+    if not hit:
+        gate.fail(f"{table}: no row matches --min filter {rule['where']}")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", required=True,
+                    help="checked-in baseline JSON (bench/baselines/...)")
+    ap.add_argument("--current", required=True,
+                    help="freshly produced --json dump")
+    ap.add_argument("--keys", action="append", default=[],
+                    metavar="TABLE:COL1,COL2")
+    ap.add_argument("--rule", action="append", default=[],
+                    metavar="TABLE:COLUMN:DIRECTION[:fail=F][:warn=W]")
+    ap.add_argument("--require", action="append", default=[],
+                    metavar="TABLE:COLUMN=VALUE")
+    ap.add_argument("--min", action="append", default=[], dest="mins",
+                    metavar="TABLE:COLUMN:THRESHOLD[:where=C=V,...]")
+    ap.add_argument("--update", action="store_true",
+                    help="copy current over baseline instead of checking")
+    args = ap.parse_args()
+
+    if args.update:
+        shutil.copyfile(args.current, args.baseline)
+        print(f"baseline refreshed: {args.current} -> {args.baseline}")
+        return 0
+
+    keys = {}
+    for spec in args.keys:
+        table, _, cols = spec.partition(":")
+        keys[table] = [c for c in cols.split(",") if c]
+
+    gate = Gate()
+    try:
+        baseline = load_dump(args.baseline)
+        current = load_dump(args.current)
+        for spec in args.rule:
+            check_rule(gate, split_rule(spec), baseline, current, keys)
+        for spec in args.require:
+            check_require(gate, split_require(spec), current, keys)
+        for spec in args.mins:
+            check_min(gate, split_min(spec), current)
+    except (OSError, ValueError, json.JSONDecodeError) as e:
+        gate.fail(str(e))
+
+    print(f"\n{len(gate.failures)} failure(s), {len(gate.warnings)} "
+          f"warning(s)")
+    return 1 if gate.failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

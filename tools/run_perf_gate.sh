@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Canonical perf-gate bench invocations. CI runs this before
+# tools/check_bench.py, and a baseline refresh runs exactly the same flags --
+# the virtual-time columns gated tightly by CI are only reproducible when the
+# schedule (ops/seed/skew/batch) matches the baseline bit-for-bit.
+#
+# Usage: tools/run_perf_gate.sh [build-dir] [out-dir]
+set -euo pipefail
+
+BUILD_DIR=${1:-build}
+OUT_DIR=${2:-bench-json}
+mkdir -p "$OUT_DIR"
+
+"$BUILD_DIR/exp9_parallel" --ops=2000 --warmup-max=3000 --batch=8 \
+    --json="$OUT_DIR/exp9_parallel.json"
+
+# min-of-3 wall clock per point: scheduler/frequency noise only adds time,
+# so the minimum is the stable estimator the speedup floor gates on.
+"$BUILD_DIR/exp10_pipeline" --ops=4000 --warmup-max=3000 --hot=40 --reps=3 \
+    --json="$OUT_DIR/exp10_pipeline.json"
