@@ -94,14 +94,6 @@ Result<PreparedRun> Prepare(const harness::ExperimentEnv& env,
   return run;
 }
 
-std::vector<uint64_t> ShardClocks(ftl::ShardedStore* store) {
-  std::vector<uint64_t> clocks(store->num_shards());
-  for (uint32_t i = 0; i < store->num_shards(); ++i) {
-    clocks[i] = store->shard_device(i)->clock().now_us();
-  }
-  return clocks;
-}
-
 /// One measured point. `depth` == 0 selects RunParallel; > 0 selects
 /// RunPipelined with that in-flight depth. Wall-clock is the minimum over
 /// `reps` identically-prepared executions (min, not mean: scheduler and
@@ -162,7 +154,7 @@ Result<PipelinePoint> RunPoint(const harness::ExperimentEnv& env,
         ref.driver->RunBatched(ref.schedule, batch_size, &ref_stats));
     point.checked = true;
     point.deterministic =
-        ShardClocks(run_store) == ShardClocks(ref.store.get());
+        run_store->shard_clocks() == ref.store->shard_clocks();
   }
   return point;
 }

@@ -84,14 +84,6 @@ Result<PreparedRun> Prepare(const harness::ExperimentEnv& env,
   return run;
 }
 
-std::vector<uint64_t> ShardClocks(ftl::ShardedStore* store) {
-  std::vector<uint64_t> clocks(store->num_shards());
-  for (uint32_t i = 0; i < store->num_shards(); ++i) {
-    clocks[i] = store->shard_device(i)->clock().now_us();
-  }
-  return clocks;
-}
-
 Result<ParallelPoint> RunParallelPoint(const harness::ExperimentEnv& env,
                                        const methods::MethodSpec& spec,
                                        uint32_t num_shards,
@@ -136,8 +128,8 @@ Result<ParallelPoint> RunParallelPoint(const harness::ExperimentEnv& env,
     FLASHDB_RETURN_IF_ERROR(
         ref.driver->RunBatched(ref.schedule, batch_size, &ref_stats));
     point.checked = true;
-    point.deterministic = ShardClocks(run.store.get()) ==
-                          ShardClocks(ref.store.get());
+    point.deterministic =
+        run.store->shard_clocks() == ref.store->shard_clocks();
   }
   return point;
 }

@@ -45,18 +45,16 @@ int main() {
       std::printf("  %-10s run failed\n", spec.ToString().c_str());
       continue;
     }
-    const auto& wear = dev.stats().block_erase_counts;
-    const uint64_t total = dev.stats().total.erases;
-    const uint32_t worst = dev.stats().max_block_erases();
-    const double mean =
-        static_cast<double>(total) / static_cast<double>(kBlocks);
+    const flash::WearSummary wear = store->wear();
+    const uint64_t total = wear.total;
+    const uint32_t worst = wear.max;
+    const double mean = wear.mean;
     const double erase_per_op =
         static_cast<double>(total) / static_cast<double>(ops);
     const double life =
         worst == 0 ? 0
                    : static_cast<double>(ops) * kEnduranceCycles /
                          static_cast<double>(worst);
-    (void)wear;
     if (worst == 0) {
       std::printf("  %-10s %8llu %10.4f %10u %10.1f   (no erase needed yet)\n",
                   spec.ToString().c_str(),

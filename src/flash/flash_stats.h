@@ -7,6 +7,7 @@
 #define FLASHDB_FLASH_FLASH_STATS_H_
 
 #include <array>
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
@@ -19,8 +20,9 @@ enum class OpCategory : int {
   kWriteStep,    ///< The "writing step" (reflecting a page into flash).
   kGc,           ///< Garbage collection / IPL merging traffic.
   kRecovery,     ///< Crash-recovery scans.
+  kMigrate,      ///< Cross-shard wear-leveling bucket migration traffic.
 };
-inline constexpr int kNumOpCategories = 5;
+inline constexpr int kNumOpCategories = 6;
 
 /// Counters for one category (or the total).
 struct OpCounters {
@@ -56,18 +58,50 @@ struct OpCounters {
   }
 };
 
+/// Distribution summary of per-block erase counts -- the wear-leveling
+/// observable. Flat wear (cv near 0, max near mean) means the device ages
+/// uniformly; a high max/mean or cv means one region wears out first.
+struct WearSummary {
+  uint64_t total = 0;  ///< Sum of erase counts.
+  uint32_t max = 0;    ///< Most-worn block.
+  uint32_t min = 0;    ///< Least-worn block.
+  double mean = 0;     ///< Erases per block.
+  double stddev = 0;   ///< Population standard deviation.
+
+  /// Coefficient of variation (stddev / mean); 0 when nothing was erased.
+  double cv() const { return mean > 0 ? stddev / mean : 0; }
+};
+
+/// Summarizes a per-block erase-count vector (possibly the concatenation of
+/// several chips' counts, as ShardedStore::stats() produces).
+inline WearSummary SummarizeWear(const std::vector<uint32_t>& erase_counts) {
+  WearSummary w;
+  if (erase_counts.empty()) return w;
+  w.min = erase_counts[0];
+  for (uint32_t e : erase_counts) {
+    w.total += e;
+    w.max = e > w.max ? e : w.max;
+    w.min = e < w.min ? e : w.min;
+  }
+  w.mean = static_cast<double>(w.total) /
+           static_cast<double>(erase_counts.size());
+  double var = 0;
+  for (uint32_t e : erase_counts) {
+    const double d = static_cast<double>(e) - w.mean;
+    var += d * d;
+  }
+  w.stddev = std::sqrt(var / static_cast<double>(erase_counts.size()));
+  return w;
+}
+
 /// Snapshot-friendly statistics block owned by the device.
 struct FlashStats {
   OpCounters total;
   std::array<OpCounters, kNumOpCategories> by_category;
   std::vector<uint32_t> block_erase_counts;  ///< Per-block wear (longevity).
 
-  /// Maximum erase count over all blocks (wear hot spot).
-  uint32_t max_block_erases() const {
-    uint32_t m = 0;
-    for (uint32_t e : block_erase_counts) m = e > m ? e : m;
-    return m;
-  }
+  /// Wear distribution over all blocks in the snapshot (max/min/mean/cv).
+  WearSummary wear() const { return SummarizeWear(block_erase_counts); }
 
   /// Resets all counters (geometry-sized vectors keep their size).
   void Reset() {

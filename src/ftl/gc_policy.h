@@ -50,6 +50,16 @@ struct GcScoreContext {
 };
 
 /// See file comment.
+///
+/// Thread-safety: stateless and const; an instance may be shared across
+/// stores, but each PickVictim call reads a BlockManager that follows the
+/// shard-confinement contract, so call it only from the owning shard's
+/// thread (see flash_device.h).
+///
+/// Determinism: PickVictim is a pure function of the manager's occupancy
+/// state and the score context; ties break toward the lowest block index,
+/// so victim sequences -- and therefore GC traffic and virtual clocks --
+/// are reproducible run-over-run.
 class GcPolicy {
  public:
   virtual ~GcPolicy() = default;

@@ -32,6 +32,17 @@
 namespace flashdb::ftl {
 
 /// See file comment.
+///
+/// Thread-safety: none (plain vectors, no synchronization). The table is
+/// part of a single-chip store's private state and inherits the
+/// shard-confinement contract: touched only by the shard's worker thread,
+/// or by the submitting thread while that worker is quiescent (see
+/// flash_device.h).
+///
+/// Determinism: pure bookkeeping -- every mutation is a deterministic
+/// function of the store's (deterministic) operation sequence, and replay
+/// arbitration is by on-flash timestamps, so recovery rebuilds identical
+/// tables from identical flash images.
 class MappingTable {
  public:
   /// `track_diffs` enables the differential-page side tables (PDL); stores

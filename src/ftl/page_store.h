@@ -145,6 +145,11 @@ class PageStore {
   /// Total erase count across every underlying device. Cheaper than stats()
   /// (no snapshot copy); polled by steady-state warmup loops.
   virtual uint64_t total_erases() { return device()->stats().total.erases; }
+
+  /// Wear distribution over every underlying device's blocks -- the
+  /// erase-count surfacing wear-leveling policies and longevity reports
+  /// consume (ShardedStore concatenates its chips' per-block counts).
+  virtual flash::WearSummary wear() { return stats().wear(); }
 };
 
 /// RAII switch of the accounting category at the store boundary; unlike

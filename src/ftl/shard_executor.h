@@ -87,6 +87,18 @@ class SpscQueue {
 };
 
 /// See file comment.
+///
+/// Thread-safety: submission (Submit / SubmitWithCallback / Shutdown) is
+/// single-producer -- one thread at a time, never racing Shutdown().
+/// Completion counters are safe to read from any thread. Task bodies run
+/// thread-confined on their worker: a task submitted to worker `i` may
+/// freely touch shard `i`'s store and device, nothing else's.
+///
+/// Determinism: tasks of one worker run in submission order, always --
+/// including the drain on Shutdown(). The executor adds no ordering between
+/// workers, which is exactly what the virtual-clock determinism invariant
+/// needs: per-shard sequences are fixed, cross-shard wall-clock
+/// interleaving is free (see docs/ARCHITECTURE.md).
 class ShardExecutor {
  public:
   /// Spawns `num_workers` threads, each with a task ring of

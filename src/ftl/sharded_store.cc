@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "ftl/shard_executor.h"
+
 namespace flashdb::ftl {
 
 namespace {
@@ -32,6 +34,7 @@ ShardedStore::ShardedStore(std::vector<Shard> shards)
   }
   name_ = "Sharded[" + std::to_string(shards_.size()) + "x" +
           std::string(shards_[0].store->name()) + "]";
+  router_ = std::make_unique<ShardRouter>(num_shards());
 }
 
 Status ShardedStore::Format(uint32_t num_logical_pages,
@@ -53,6 +56,12 @@ Status ShardedStore::Format(uint32_t num_logical_pages,
   }
   num_pages_ = num_logical_pages;
   formatted_ = true;
+  // A freshly formatted database starts on the legacy striping (the
+  // initializer above placed pages accordingly). The erase baseline is
+  // seeded with the chips' current counters so wear accumulated before this
+  // (re)format cannot trigger an immediate rebalance.
+  router_->Reset(num_pages_);
+  SeedRouterEraseBaseline();
   return Status::OK();
 }
 
@@ -104,6 +113,20 @@ Status ShardedStore::Flush() {
 }
 
 Status ShardedStore::Recover() {
+  // The routing table is volatile: recovery can only restore the identity
+  // (legacy striping) assignment. An instance that migrated buckets cannot
+  // re-derive where they went from flash alone, and this guard necessarily
+  // covers only *same-instance* recovery -- a fresh process starts with a
+  // fresh identity router and cannot tell a migrated image from a legacy
+  // one, so recovering such an image mis-associates pids silently. Until
+  // the table is persisted (spare-area epoch record, see ROADMAP.md),
+  // migrated stores must be treated as non-recoverable.
+  if (router_ != nullptr && !router_->is_identity()) {
+    return Status::InvalidArgument(
+        "cannot Recover() after bucket migrations: the routing table is "
+        "volatile and recovery would restore legacy striping over migrated "
+        "data");
+  }
   uint32_t total = 0;
   for (Shard& s : shards_) {
     FLASHDB_RETURN_IF_ERROR(s.store->Recover());
@@ -122,6 +145,128 @@ Status ShardedStore::Recover() {
   }
   num_pages_ = total;
   formatted_ = true;
+  // Same baseline seeding as Format(): the recovered chips keep their
+  // cumulative erase counters, and only post-recovery wear should count
+  // toward the delta trigger.
+  router_->Reset(num_pages_);
+  SeedRouterEraseBaseline();
+  return Status::OK();
+}
+
+void ShardedStore::SeedRouterEraseBaseline() {
+  router_->SeedEraseBaseline(shard_erases());
+}
+
+std::vector<uint64_t> ShardedStore::shard_erases() {
+  std::vector<uint64_t> erases(num_shards());
+  for (uint32_t i = 0; i < num_shards(); ++i) {
+    erases[i] = shards_[i].store->total_erases();
+  }
+  return erases;
+}
+
+std::vector<uint64_t> ShardedStore::shard_clocks() const {
+  std::vector<uint64_t> clocks(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    clocks[i] = shards_[i].device->clock().now_us();
+  }
+  return clocks;
+}
+
+Status ShardedStore::MigrateBuckets(std::span<const ShardRouter::Swap> swaps,
+                                    ShardExecutor* executor) {
+  if (!formatted_) return Status::InvalidArgument("store not formatted");
+  if (executor != nullptr && executor->num_workers() < num_shards()) {
+    return Status::InvalidArgument("executor must have one worker per shard");
+  }
+  const uint32_t stride = router_->buckets_per_shard();
+  const uint32_t data_size = shards_[0].device->geometry().data_size;
+  for (const ShardRouter::Swap& swap : swaps) {
+    if (swap.bucket_a >= router_->num_buckets() ||
+        swap.bucket_b >= router_->num_buckets()) {
+      return Status::InvalidArgument("bucket index out of range");
+    }
+    const uint32_t m = router_->bucket_size(swap.bucket_a);
+    if (m != router_->bucket_size(swap.bucket_b)) {
+      return Status::InvalidArgument(
+          "bucket swap with mismatched page counts");
+    }
+    const uint32_t shard_a = router_->bucket_shard(swap.bucket_a);
+    const uint32_t shard_b = router_->bucket_shard(swap.bucket_b);
+    if (shard_a == shard_b) {
+      return Status::InvalidArgument("bucket swap within a single shard");
+    }
+    const uint32_t slot_a = router_->bucket_slot(swap.bucket_a);
+    const uint32_t slot_b = router_->bucket_slot(swap.bucket_b);
+    if (m == 0) {  // both buckets empty: a pure routing-table update
+      router_->CommitSwap(swap);
+      continue;
+    }
+
+    // Copy protocol: capture both buckets' images, commit the assignment,
+    // then write each image set to its exchanged slots. Per shard the device
+    // sees [m reads, then m writes] in slot order -- identical whether the
+    // two shards run inline here or on their executor workers, which is what
+    // keeps migration inside the bit-determinism envelope.
+    std::vector<ByteBuffer> images_a(m);
+    std::vector<ByteBuffer> images_b(m);
+    auto read_bucket = [&](uint32_t shard, uint32_t slot,
+                           std::vector<ByteBuffer>* images) -> Status {
+      PageStore* s = shards_[shard].store.get();
+      StoreCategoryScope cat(s, flash::OpCategory::kMigrate);
+      for (uint32_t k = 0; k < m; ++k) {
+        (*images)[k].resize(data_size);
+        FLASHDB_RETURN_IF_ERROR(s->ReadPage(slot + k * stride, (*images)[k]));
+      }
+      return Status::OK();
+    };
+    auto write_bucket = [&](uint32_t shard, uint32_t slot,
+                            const std::vector<ByteBuffer>& images) -> Status {
+      PageStore* s = shards_[shard].store.get();
+      StoreCategoryScope cat(s, flash::OpCategory::kMigrate);
+      std::vector<PageWrite> writes;
+      writes.reserve(m);
+      for (uint32_t k = 0; k < m; ++k) {
+        writes.push_back(PageWrite{slot + k * stride, images[k]});
+      }
+      return s->WriteBatch(writes);
+    };
+
+    Status write_a;
+    Status write_b;
+    if (executor != nullptr) {
+      auto ra = executor->Submit(
+          shard_a, [&] { return read_bucket(shard_a, slot_a, &images_a); });
+      auto rb = executor->Submit(
+          shard_b, [&] { return read_bucket(shard_b, slot_b, &images_b); });
+      const Status read_a = ra.get();
+      const Status read_b = rb.get();
+      FLASHDB_RETURN_IF_ERROR(read_a);  // nothing written yet: store intact
+      FLASHDB_RETURN_IF_ERROR(read_b);
+      router_->CommitSwap(swap);
+      auto wa = executor->Submit(
+          shard_a, [&] { return write_bucket(shard_a, slot_a, images_b); });
+      auto wb = executor->Submit(
+          shard_b, [&] { return write_bucket(shard_b, slot_b, images_a); });
+      write_a = wa.get();
+      write_b = wb.get();
+    } else {
+      FLASHDB_RETURN_IF_ERROR(read_bucket(shard_a, slot_a, &images_a));
+      FLASHDB_RETURN_IF_ERROR(read_bucket(shard_b, slot_b, &images_b));
+      router_->CommitSwap(swap);
+      write_a = write_bucket(shard_a, slot_a, images_b);
+      write_b = write_bucket(shard_b, slot_b, images_a);
+    }
+    if (!write_a.ok() || !write_b.ok()) {
+      // A half-written swap has no rollback (there is no undo log): one
+      // slot set may hold the other bucket's images. Returning the error
+      // alone would leave a store that *silently* serves wrong pages to any
+      // caller that keeps using it, so make it unusable instead -- every
+      // subsequent operation fails fast until the caller reformats.
+      formatted_ = false;
+      return !write_a.ok() ? write_a : write_b;
+    }
+  }
   return Status::OK();
 }
 

@@ -2,10 +2,14 @@
 // each running on its own FlashDevice -- the multi-chip scaling layer on top
 // of the single-chip page-update methods.
 //
-// Logical page `pid` lives on shard `pid % N` as inner page `pid / N`
-// (round-robin striping, so uniform and skewed workloads both spread load).
-// All shards must share the same page geometry. The shards are independent
-// chips: each runs its own allocation, garbage collection and recovery.
+// Logical-to-physical placement is delegated to a ShardRouter
+// (ftl/shard_router.h). Its default (identity) assignment reproduces the
+// classic round-robin striping -- page `pid` on shard `pid % N` as inner page
+// `pid / N` -- bit-for-bit; with wear leveling enabled the router migrates
+// hot pid buckets between chips via MigrateBuckets(), and shard_of() /
+// inner_pid() reflect the current assignment. All shards must share the same
+// page geometry. The shards are independent chips: each runs its own
+// allocation, garbage collection and recovery.
 //
 // Accounting is aggregated two ways, matching how a multi-chip deployment is
 // measured:
@@ -21,14 +25,28 @@
 #define FLASHDB_FTL_SHARDED_STORE_H_
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "ftl/page_store.h"
+#include "ftl/shard_router.h"
 
 namespace flashdb::ftl {
 
+class ShardExecutor;
+
 /// See file comment.
+///
+/// Thread-safety: shard confinement (see ftl/shard_executor.h). The
+/// aggregating methods here run on the submitting thread and touch every
+/// chip; they are only legal while the shard workers are quiescent. Inner
+/// stores obtained via shard() are safe to drive from their own worker.
+///
+/// Determinism: all routing and aggregation is pure bookkeeping over the
+/// shards' deterministic virtual clocks; two runs with the same schedule,
+/// seed, and migration sequence produce bit-identical per-shard state
+/// regardless of wall-clock interleaving.
 class ShardedStore : public PageStore {
  public:
   /// One shard: an inner store bound to its device. `owned_device` may be
@@ -71,16 +89,53 @@ class ShardedStore : public PageStore {
   PageStore* shard(uint32_t i) { return shards_[i].store.get(); }
   flash::FlashDevice* shard_device(uint32_t i) { return shards_[i].device; }
 
-  /// The striping map, public so parallel drivers can partition work per
-  /// shard without round-tripping every page through this object.
-  uint32_t shard_of(PageId pid) const { return pid % num_shards(); }
-  PageId inner_pid(PageId pid) const { return pid / num_shards(); }
+  /// The placement map, public so parallel drivers can partition work per
+  /// shard without round-tripping every page through this object. Delegates
+  /// to the ShardRouter: identical to the legacy `pid % N` / `pid / N`
+  /// striping until a bucket migration commits. Only valid between
+  /// migrations (the driver re-partitions each epoch).
+  uint32_t shard_of(PageId pid) const { return router_->shard_of(pid); }
+  PageId inner_pid(PageId pid) const { return router_->inner_pid(pid); }
+
+  /// The pid -> (shard, local pid) indirection layer. Use
+  /// router()->EnableRebalancing() to turn on cross-shard wear leveling;
+  /// mutations (heat, swaps) follow the same quiescence contract as the
+  /// aggregating methods above.
+  ShardRouter* router() { return router_.get(); }
+  const ShardRouter* router() const { return router_.get(); }
+
+  /// Executes (and commits) the planned bucket swaps: for each swap, both
+  /// buckets' pages are read via the current assignment, the router is
+  /// updated, and the images are written to the exchanged slots -- contents
+  /// observed through ReadPage(pid) are unchanged. With `executor` non-null
+  /// the reads/writes of each chip are submitted to that chip's worker
+  /// (batched copy, two tasks per shard per swap); with null they run inline
+  /// on the calling thread in the same per-shard order, so the two paths
+  /// leave bit-identical device state. Traffic is accounted under
+  /// OpCategory::kMigrate. Requires quiescent shards at entry (epoch
+  /// boundary); the call returns with the shards quiescent again.
+  ///
+  /// Failure semantics: an error before any write leaves the store intact.
+  /// A write error mid-swap cannot be rolled back (no undo log), so the
+  /// store is invalidated (every subsequent operation fails until a
+  /// reformat) rather than left silently serving the wrong bucket's pages.
+  Status MigrateBuckets(std::span<const ShardRouter::Swap> swaps,
+                        ShardExecutor* executor);
 
   /// Elapsed virtual time with the shards operating in parallel (max of the
   /// shard clocks).
   uint64_t parallel_time_us() const;
   /// Total device busy time across all shards (sum of the shard clocks).
   uint64_t total_work_us() const;
+
+  /// Cumulative erase count per shard (cheap: no stats snapshot). The input
+  /// of the router's wear trigger; same quiescence contract as stats().
+  std::vector<uint64_t> shard_erases();
+
+  /// Virtual clock per shard -- the quantity the benches' determinism
+  /// cross-checks compare bit-for-bit against a sequential replay. Same
+  /// quiescence contract as stats().
+  std::vector<uint64_t> shard_clocks() const;
 
   /// Per-shard progress snapshot, the raw material for observing skew: a hot
   /// shard shows up as a clock (and op count) pulling ahead of the others.
@@ -98,6 +153,10 @@ class ShardedStore : public PageStore {
   uint64_t shard_lag_us() const;
 
  private:
+  /// Points the router's erase-delta trigger at the chips' current
+  /// cumulative counters (Format/Recover on possibly pre-worn devices).
+  void SeedRouterEraseBaseline();
+
   /// Logical pages striped onto shard `i` out of `total`.
   uint32_t ShardPageCount(uint32_t i, uint32_t total) const {
     const uint32_t s = num_shards();
@@ -106,6 +165,7 @@ class ShardedStore : public PageStore {
 
   std::vector<Shard> shards_;
   std::string name_;
+  std::unique_ptr<ShardRouter> router_;
   uint32_t num_pages_ = 0;
   bool formatted_ = false;
 };

@@ -61,6 +61,11 @@ class BufferPool {
   uint32_t num_frames() const { return num_frames_; }
   PageStore* store() { return store_; }
 
+  /// Wear distribution of the underlying flash (pass-through to the store):
+  /// lets a DBMS surface device-lifetime telemetry without reaching around
+  /// the buffer manager.
+  flash::WearSummary device_wear() { return store_->wear(); }
+
  private:
   struct Frame {
     PageId pid = 0;

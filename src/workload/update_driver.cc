@@ -183,7 +183,7 @@ Schedule UpdateDriver::MakeSchedule(uint64_t num_ops) {
 }
 
 std::vector<UpdateDriver::ShardStream> UpdateDriver::PartitionSchedule(
-    const Schedule& schedule) {
+    ChunkSpan chunk) {
   auto* sharded = dynamic_cast<ftl::ShardedStore*>(store_);
   const uint32_t n = sharded != nullptr ? sharded->num_shards() : 1;
   std::vector<ShardStream> streams(n);
@@ -192,7 +192,7 @@ std::vector<UpdateDriver::ShardStream> UpdateDriver::PartitionSchedule(
     s.store = sharded != nullptr ? sharded->shard(i) : store_;
     s.scratch.resize(data_size_);
   }
-  for (const PlannedOp& op : schedule) {
+  for (const PlannedOp& op : chunk) {
     const uint32_t shard = sharded != nullptr ? sharded->shard_of(op.pid) : 0;
     ShardStream& s = streams[shard];
     s.ops.push_back(&op);
@@ -275,7 +275,61 @@ void UpdateDriver::AccumulateRunStats(const flash::FlashStats& before,
       before.by_category[static_cast<int>(flash::OpCategory::kWriteStep)];
   out->gc += after.by_category[static_cast<int>(flash::OpCategory::kGc)] -
              before.by_category[static_cast<int>(flash::OpCategory::kGc)];
+  out->migrate +=
+      after.by_category[static_cast<int>(flash::OpCategory::kMigrate)] -
+      before.by_category[static_cast<int>(flash::OpCategory::kMigrate)];
   out->erases += after.total.erases - before.total.erases;
+}
+
+Status UpdateDriver::RunEpochs(
+    const Schedule& schedule, ftl::ShardExecutor* executor, RunStats* out,
+    const std::function<Status(ChunkSpan)>& run_chunk) {
+  const flash::FlashStats stats0 = store_->stats();
+  auto* sharded = dynamic_cast<ftl::ShardedStore*>(store_);
+  const uint64_t epoch = params_.rebalance_epoch_ops;
+  const bool leveling =
+      sharded != nullptr && sharded->router()->rebalancing_enabled();
+  const ChunkSpan all(schedule);
+  if (epoch == 0) {
+    FLASHDB_RETURN_IF_ERROR(run_chunk(all));
+  } else {
+    // Epoch splitting applies whenever it is configured -- even with the
+    // router disabled -- so a leveling-off reference run sees the exact same
+    // window boundaries (and therefore virtual clocks) as a leveling-on run
+    // that happens to plan zero migrations.
+    for (size_t begin = 0; begin < all.size(); begin += epoch) {
+      const ChunkSpan chunk =
+          all.subspan(begin, std::min<size_t>(epoch, all.size() - begin));
+      FLASHDB_RETURN_IF_ERROR(run_chunk(chunk));
+      // Rebalance between epochs only: a trailing migration could not
+      // benefit any operation of this run.
+      if (leveling && begin + epoch < all.size()) {
+        FLASHDB_RETURN_IF_ERROR(RebalanceEpoch(chunk, executor, out));
+      }
+    }
+  }
+  AccumulateRunStats(stats0, schedule, out);
+  return Status::OK();
+}
+
+Status UpdateDriver::RebalanceEpoch(ChunkSpan chunk,
+                                    ftl::ShardExecutor* executor,
+                                    RunStats* out) {
+  auto* sharded = static_cast<ftl::ShardedStore*>(store_);
+  ftl::ShardRouter* router = sharded->router();
+  // The epoch's write heat comes from the executed schedule itself, not from
+  // device counters: it is the same in every execution mode by construction.
+  std::vector<uint64_t> heat(router->num_buckets(), 0);
+  for (const PlannedOp& op : chunk) {
+    if (op.is_update) heat[router->bucket_of(op.pid)]++;
+  }
+  router->AddEpochHeat(heat);
+  const std::vector<ftl::ShardRouter::Swap> plan =
+      router->PlanRebalance(sharded->shard_erases());
+  if (plan.empty()) return Status::OK();
+  FLASHDB_RETURN_IF_ERROR(sharded->MigrateBuckets(plan, executor));
+  out->migrations += plan.size();
+  return Status::OK();
 }
 
 Status UpdateDriver::RunBatched(const Schedule& schedule, uint32_t batch_size,
@@ -283,8 +337,13 @@ Status UpdateDriver::RunBatched(const Schedule& schedule, uint32_t batch_size,
   if (batch_size == 0) {
     return Status::InvalidArgument("batch_size must be > 0");
   }
-  const flash::FlashStats stats0 = store_->stats();
-  std::vector<ShardStream> streams = PartitionSchedule(schedule);
+  return RunEpochs(schedule, nullptr, out, [this, batch_size](ChunkSpan c) {
+    return RunBatchedChunk(c, batch_size);
+  });
+}
+
+Status UpdateDriver::RunBatchedChunk(ChunkSpan chunk, uint32_t batch_size) {
+  std::vector<ShardStream> streams = PartitionSchedule(chunk);
   // Shards are independent chips, so running them one after another produces
   // the same per-shard device state (and virtual clocks) as any interleaving
   // -- including RunParallel's.
@@ -294,7 +353,6 @@ Status UpdateDriver::RunBatched(const Schedule& schedule, uint32_t batch_size,
       FLASHDB_RETURN_IF_ERROR(RunShardWindow(&s, begin, end));
     }
   }
-  AccumulateRunStats(stats0, schedule, out);
   return Status::OK();
 }
 
@@ -311,8 +369,15 @@ Status UpdateDriver::RunParallel(const Schedule& schedule, uint32_t batch_size,
       executor->num_workers() < sharded->num_shards()) {
     return Status::InvalidArgument("executor must have one worker per shard");
   }
-  const flash::FlashStats stats0 = store_->stats();
-  std::vector<ShardStream> streams = PartitionSchedule(schedule);
+  return RunEpochs(schedule, executor, out,
+                   [this, batch_size, executor](ChunkSpan c) {
+                     return RunParallelChunk(c, batch_size, executor);
+                   });
+}
+
+Status UpdateDriver::RunParallelChunk(ChunkSpan chunk, uint32_t batch_size,
+                                      ftl::ShardExecutor* executor) {
+  std::vector<ShardStream> streams = PartitionSchedule(chunk);
   // One task per window, all windows of shard i on worker i: each chip's
   // pipeline is thread-confined to its worker and windows run in schedule
   // order, so per-shard execution is bit-identical to RunBatched.
@@ -326,15 +391,13 @@ Status UpdateDriver::RunParallel(const Schedule& schedule, uint32_t batch_size,
     }
   }
   // Gather every window's Status; the future joins also publish the workers'
-  // device mutations to this thread before the stats snapshot below.
+  // device mutations to this thread before the caller's stats snapshot.
   Status first_error = Status::OK();
   for (auto& f : futures) {
     const Status st = f.get();
     if (!st.ok() && first_error.ok()) first_error = st;
   }
-  FLASHDB_RETURN_IF_ERROR(first_error);
-  AccumulateRunStats(stats0, schedule, out);
-  return Status::OK();
+  return first_error;
 }
 
 Status UpdateDriver::RunPipelined(const Schedule& schedule,
@@ -355,8 +418,17 @@ Status UpdateDriver::RunPipelined(const Schedule& schedule,
       executor->num_workers() < sharded->num_shards()) {
     return Status::InvalidArgument("executor must have one worker per shard");
   }
-  const flash::FlashStats stats0 = store_->stats();
-  std::vector<ShardStream> streams = PartitionSchedule(schedule);
+  return RunEpochs(schedule, executor, out,
+                   [this, batch_size, max_inflight, executor](ChunkSpan c) {
+                     return RunPipelinedChunk(c, batch_size, max_inflight,
+                                              executor);
+                   });
+}
+
+Status UpdateDriver::RunPipelinedChunk(ChunkSpan chunk, uint32_t batch_size,
+                                       uint32_t max_inflight,
+                                       ftl::ShardExecutor* executor) {
+  std::vector<ShardStream> streams = PartitionSchedule(chunk);
   const uint32_t n = static_cast<uint32_t>(streams.size());
 
   // Credit accounting shared between the submitting thread and the workers'
@@ -474,15 +546,14 @@ Status UpdateDriver::RunPipelined(const Schedule& schedule,
   // race -- a callback may still be inside ctl's mutex right after handing
   // back the credit that makes the count hit zero. The acquire loads pair
   // with the workers' release increments and also publish their device
-  // mutations to this thread before the stats snapshot below.
+  // mutations to this thread before the caller's stats snapshot (and before
+  // any epoch-boundary rebalancing touches the chips).
   for (uint32_t i = 0; i < n; ++i) {
     while (executor->completed_count(i) != executor->submitted_count(i)) {
       std::this_thread::yield();  // tail is at most max_inflight windows
     }
   }
-  FLASHDB_RETURN_IF_ERROR(ctl.first_error);
-  AccumulateRunStats(stats0, schedule, out);
-  return Status::OK();
+  return ctl.first_error;
 }
 
 }  // namespace flashdb::workload

@@ -19,6 +19,8 @@
 #define FLASHDB_WORKLOAD_UPDATE_DRIVER_H_
 
 #include <cstdint>
+#include <functional>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -46,6 +48,18 @@ struct WorkloadParams {
   /// absorb. 0 (the default) keeps the uniform draw and consumes the RNG
   /// identically to older versions; ignored on a non-sharded store.
   double hot_shard_pct = 0.0;
+  /// Wear-leveling epoch length for the scheduled modes (RunBatched /
+  /// RunParallel / RunPipelined): every this-many operations the driver
+  /// quiesces the shards at a window boundary, feeds the epoch's per-bucket
+  /// write counts to the store's ShardRouter, and executes any bucket
+  /// migrations the router plans -- then re-partitions the rest of the
+  /// schedule under the new assignment. 0 (the default) disables epoch
+  /// splitting entirely. Splitting applies whenever this is non-zero -- even
+  /// with the router disabled, so leveling-off reference runs share the
+  /// leveling-on runs' window boundaries -- but migrations only happen on a
+  /// ShardedStore whose router has rebalancing enabled, at identical
+  /// virtual-time points in all three modes (determinism is preserved).
+  uint64_t rebalance_epoch_ops = 0;
   /// Maintain an in-memory shadow database and verify every page read
   /// against it (tests; costs RAM proportional to the database).
   bool verify = false;
@@ -58,6 +72,8 @@ struct RunStats {
   flash::OpCounters read_step;    ///< Reading-step device traffic.
   flash::OpCounters write_step;   ///< Writing-step device traffic (no GC).
   flash::OpCounters gc;           ///< Garbage collection / merging traffic.
+  flash::OpCounters migrate;      ///< Wear-leveling migration traffic.
+  uint64_t migrations = 0;        ///< Bucket swaps committed during the run.
   uint64_t erases = 0;            ///< Total erase operations in the run.
 
   /// Paper-style per-operation figures (microseconds).
@@ -74,6 +90,12 @@ struct RunStats {
   }
   double overall_us_per_op() const {
     return read_us_per_op() + write_us_per_op();
+  }
+  /// Wear-leveling copy cost, reported separately from the paper-style
+  /// read/write breakdown (the paper has no migration traffic).
+  double migrate_us_per_op() const {
+    return operations == 0 ? 0 : static_cast<double>(migrate.total_us()) /
+                                     static_cast<double>(operations);
   }
   double erases_per_op() const {
     return operations == 0
@@ -192,14 +214,42 @@ class UpdateDriver {
     std::unordered_map<PageId, size_t> latest;  ///< inner pid -> queue slot.
   };
 
-  /// Splits `schedule` into per-shard streams (one stream for a flat store).
-  std::vector<ShardStream> PartitionSchedule(const Schedule& schedule);
+  /// One contiguous slice of a schedule: the unit the epoch wrapper hands to
+  /// the chunk runners, and the whole schedule when epochs are off.
+  using ChunkSpan = std::span<const PlannedOp>;
+
+  /// Splits `chunk` into per-shard streams (one stream for a flat store)
+  /// using the store's *current* pid routing -- must be re-done after any
+  /// bucket migration.
+  std::vector<ShardStream> PartitionSchedule(ChunkSpan chunk);
   /// Executes ops [begin, end) of `s` and flushes the queued write-backs.
   Status RunShardWindow(ShardStream* s, size_t begin, size_t end);
   Status FlushShardWindow(ShardStream* s);
   /// Folds the device-stats delta and schedule counts into `*out`.
   void AccumulateRunStats(const flash::FlashStats& before,
                           const Schedule& schedule, RunStats* out);
+
+  /// The common run skeleton: snapshots stats, splits `schedule` into
+  /// wear-leveling epochs (params_.rebalance_epoch_ops; one chunk when
+  /// disabled), alternates `run_chunk` with RebalanceEpoch, and accumulates
+  /// into `*out`. `executor` (may be null) executes migration copies.
+  Status RunEpochs(const Schedule& schedule, ftl::ShardExecutor* executor,
+                   RunStats* out,
+                   const std::function<Status(ChunkSpan)>& run_chunk);
+  /// Epoch boundary (shards quiescent): feeds the finished chunk's write
+  /// heat to the router, plans against per-shard erase counts, and executes
+  /// the planned bucket migrations.
+  Status RebalanceEpoch(ChunkSpan chunk, ftl::ShardExecutor* executor,
+                        RunStats* out);
+
+  /// Mode bodies, one chunk at a time (validation and accounting live in the
+  /// public wrappers / RunEpochs).
+  Status RunBatchedChunk(ChunkSpan chunk, uint32_t batch_size);
+  Status RunParallelChunk(ChunkSpan chunk, uint32_t batch_size,
+                          ftl::ShardExecutor* executor);
+  Status RunPipelinedChunk(ChunkSpan chunk, uint32_t batch_size,
+                           uint32_t max_inflight,
+                           ftl::ShardExecutor* executor);
 
   /// Applies one in-memory update command to `page`, notifying the store.
   Status ApplyOneUpdate(PageId pid, MutBytes page);

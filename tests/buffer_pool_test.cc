@@ -22,6 +22,26 @@ class BufferPoolTest : public ::testing::Test {
   methods::OpuStore store_;
 };
 
+TEST_F(BufferPoolTest, DeviceWearSurfacesStoreWear) {
+  BufferPool pool(&store_, 4);
+  // Dirty every page repeatedly so the small chip must erase.
+  for (int round = 0; round < 60; ++round) {
+    for (PageId pid = 0; pid < 100; ++pid) {
+      ASSERT_TRUE(pool.WithPage(pid, [round](MutBytes page) {
+                        page[0] = static_cast<uint8_t>(round);
+                        return Status::OK();
+                      })
+                      .ok());
+    }
+  }
+  ASSERT_TRUE(pool.FlushAll().ok());
+  const flash::WearSummary wear = pool.device_wear();
+  EXPECT_EQ(wear.total, dev_.stats().total.erases);
+  EXPECT_GT(wear.total, 0u);
+  EXPECT_GE(wear.max, wear.min);
+  EXPECT_GT(wear.mean, 0.0);
+}
+
 TEST_F(BufferPoolTest, HitAvoidsDeviceRead) {
   BufferPool pool(&store_, 4);
   auto noop = [](ConstBytes) { return Status::OK(); };

@@ -1,0 +1,374 @@
+// Unit tests for ftl::ShardRouter and cross-shard wear leveling: routing
+// identity, swap bookkeeping, migration content equivalence, erase-count
+// convergence under skew, and bit-determinism across execution modes.
+
+#include "ftl/shard_router.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "ftl/shard_executor.h"
+#include "ftl/sharded_store.h"
+#include "methods/method_factory.h"
+#include "workload/update_driver.h"
+
+namespace flashdb::ftl {
+namespace {
+
+using flash::FlashConfig;
+using workload::RunStats;
+using workload::Schedule;
+using workload::UpdateDriver;
+using workload::WorkloadParams;
+
+TEST(ShardRouterTest, IdentityMappingMatchesLegacyStriping) {
+  for (uint32_t shards : {1u, 2u, 4u, 5u}) {
+    for (uint32_t buckets : {1u, 4u, 8u}) {
+      ShardRouter router(shards, buckets);
+      for (uint32_t pages : {1u, 97u, 160u, 256u}) {
+        router.Reset(pages);
+        for (PageId pid = 0; pid < pages; ++pid) {
+          EXPECT_EQ(router.shard_of(pid), pid % shards)
+              << shards << "x" << buckets << " pid " << pid;
+          EXPECT_EQ(router.inner_pid(pid), pid / shards)
+              << shards << "x" << buckets << " pid " << pid;
+        }
+        // Bucket sizes partition the pid space.
+        uint64_t sum = 0;
+        for (uint32_t b = 0; b < router.num_buckets(); ++b) {
+          sum += router.bucket_size(b);
+        }
+        EXPECT_EQ(sum, pages);
+        EXPECT_TRUE(router.is_identity());
+      }
+    }
+  }
+}
+
+TEST(ShardRouterTest, EnableRebalancingValidates) {
+  ShardRouter router(4);
+  WearLevelConfig bad;
+  bad.max_erase_ratio = 0.5;
+  EXPECT_FALSE(router.EnableRebalancing(bad).ok());
+  bad = WearLevelConfig{};
+  bad.buckets_per_shard = 0;
+  EXPECT_FALSE(router.EnableRebalancing(bad).ok());
+
+  WearLevelConfig good;
+  good.buckets_per_shard = 4;
+  ASSERT_TRUE(router.EnableRebalancing(good).ok());
+  EXPECT_TRUE(router.rebalancing_enabled());
+  EXPECT_EQ(router.buckets_per_shard(), 4u);
+
+  // Reconfiguring is legal until a swap commits, then refused.
+  router.Reset(64);
+  router.CommitSwap(ShardRouter::Swap{0, 1});
+  EXPECT_FALSE(router.EnableRebalancing(good).ok());
+}
+
+TEST(ShardRouterTest, SwapBookkeeping) {
+  ShardRouter router(2, 2);  // buckets: 0 -> (s0,g0), 1 -> (s1,g0),
+  router.Reset(8);           //          2 -> (s0,g1), 3 -> (s1,g1)
+  ASSERT_EQ(router.num_buckets(), 4u);
+  ASSERT_EQ(router.bucket_size(0), 2u);  // pids {0, 4}
+
+  router.CommitSwap(ShardRouter::Swap{0, 1});
+  EXPECT_FALSE(router.is_identity());
+  EXPECT_EQ(router.swaps_committed(), 1u);
+  EXPECT_EQ(router.bucket_shard(0), 1u);
+  EXPECT_EQ(router.bucket_shard(1), 0u);
+  // Bucket 0's pids {0, 4} now live on shard 1 in slot class 0.
+  EXPECT_EQ(router.shard_of(0), 1u);
+  EXPECT_EQ(router.inner_pid(0), 0u);
+  EXPECT_EQ(router.shard_of(4), 1u);
+  EXPECT_EQ(router.inner_pid(4), 2u);
+  // Bucket 2 (pids {2, 6}) is untouched: shard 0, slot class 1.
+  EXPECT_EQ(router.shard_of(2), 0u);
+  EXPECT_EQ(router.inner_pid(2), 1u);
+
+  // Swapping back restores the identity routing function (the committed-swap
+  // counter keeps counting; identity is a property of the mapping history).
+  router.CommitSwap(ShardRouter::Swap{0, 1});
+  EXPECT_EQ(router.shard_of(0), 0u);
+  EXPECT_EQ(router.inner_pid(4), 2u);
+}
+
+TEST(ShardRouterTest, PlanRebalancePairsHotWithCold) {
+  ShardRouter router(2, 2);
+  router.Reset(8);
+  WearLevelConfig cfg;
+  cfg.buckets_per_shard = 2;
+  cfg.max_erase_ratio = 1.5;
+  cfg.min_total_erases = 1;
+  ASSERT_TRUE(router.EnableRebalancing(cfg).ok());
+
+  const std::vector<uint64_t> heat = {100, 1, 50, 1};
+  router.AddEpochHeat(heat);
+
+  // Below the trigger ratio: no plan (this also advances the delta
+  // baseline to {10, 9}).
+  const std::vector<uint64_t> balanced = {10, 9};
+  EXPECT_TRUE(router.PlanRebalance(balanced).empty());
+
+  // Worn shard 0 (delta {100, 2} since the baseline): the hottest bucket of
+  // shard 0 swaps with a cold bucket of shard 1, and no second swap improves
+  // the predicted balance.
+  const std::vector<uint64_t> skewed = {110, 11};
+  const std::vector<ShardRouter::Swap> plan = router.PlanRebalance(skewed);
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_EQ(plan[0].bucket_a, 0u);
+  EXPECT_EQ(router.bucket_shard(plan[0].bucket_b), 1u);
+  // Planning is pure: nothing committed.
+  EXPECT_TRUE(router.is_identity());
+}
+
+TEST(ShardRouterTest, SeededBaselineIgnoresHistoricalWear) {
+  ShardRouter router(2, 2);
+  router.Reset(8);
+  WearLevelConfig cfg;
+  cfg.buckets_per_shard = 2;
+  cfg.max_erase_ratio = 1.5;
+  cfg.min_total_erases = 1;
+  ASSERT_TRUE(router.EnableRebalancing(cfg).ok());
+  router.AddEpochHeat(std::vector<uint64_t>{100, 1, 50, 1});
+
+  // A remounted store seeds the baseline with the chips' historical wear
+  // (ShardedStore::Format/Recover); a heavily skewed history must not
+  // trigger by itself when the wear accrued *since* is balanced...
+  router.SeedEraseBaseline(std::vector<uint64_t>{10000, 10});
+  EXPECT_TRUE(
+      router.PlanRebalance(std::vector<uint64_t>{10010, 20}).empty());
+  // ...while a fresh post-seed imbalance still does.
+  EXPECT_FALSE(
+      router.PlanRebalance(std::vector<uint64_t>{10110, 22}).empty());
+}
+
+TEST(ShardRouterTest, DisabledRouterNeverPlans) {
+  ShardRouter router(4, 8);
+  router.Reset(1024);
+  std::vector<uint64_t> heat(router.num_buckets(), 5);
+  router.AddEpochHeat(heat);
+  const std::vector<uint64_t> erases = {1000, 1, 1, 1};
+  EXPECT_TRUE(router.PlanRebalance(erases).empty());
+}
+
+// Writes a distinctive image per pid, migrates buckets (inline and via
+// executor), and verifies every logical page reads back unchanged.
+TEST(ShardRouterTest, MigrationPreservesContents) {
+  auto spec = methods::ParseMethodSpec("OPU");
+  ASSERT_TRUE(spec.ok());
+  constexpr uint32_t kShards = 4;
+  auto store =
+      methods::CreateShardedStore(FlashConfig::Small(8), kShards, *spec);
+  WearLevelConfig cfg;
+  cfg.buckets_per_shard = 8;
+  ASSERT_TRUE(store->router()->EnableRebalancing(cfg).ok());
+
+  constexpr uint32_t kPages = 160;  // 160 / (4*8) = 5 pids per bucket
+  ASSERT_TRUE(store->Format(kPages, nullptr, nullptr).ok());
+  const uint32_t data_size = store->device()->geometry().data_size;
+  ByteBuffer image(data_size);
+  for (PageId pid = 0; pid < kPages; ++pid) {
+    std::fill(image.begin(), image.end(),
+              static_cast<uint8_t>(0x5A ^ (pid & 0xFF)));
+    ASSERT_TRUE(store->WriteBack(pid, image).ok());
+  }
+
+  // Inline migration: swap two hot-shard buckets off shard 0.
+  const std::vector<ShardRouter::Swap> inline_swaps = {
+      ShardRouter::Swap{0, 1},   // shard 0 <-> shard 1
+      ShardRouter::Swap{4, 2}};  // shard 0 <-> shard 2
+  ASSERT_TRUE(store->MigrateBuckets(inline_swaps, nullptr).ok());
+  EXPECT_EQ(store->router()->swaps_committed(), 2u);
+  EXPECT_EQ(store->shard_of(0), 1u);
+  EXPECT_EQ(store->shard_of(4), 2u);
+
+  // Executor-submitted migration of a further bucket pair.
+  {
+    ShardExecutor executor(kShards);
+    const std::vector<ShardRouter::Swap> exec_swaps = {
+        ShardRouter::Swap{8, 3}};  // shard 0 <-> shard 3
+    ASSERT_TRUE(store->MigrateBuckets(exec_swaps, &executor).ok());
+  }
+  EXPECT_EQ(store->router()->swaps_committed(), 3u);
+
+  ByteBuffer read_back(data_size);
+  for (PageId pid = 0; pid < kPages; ++pid) {
+    std::fill(image.begin(), image.end(),
+              static_cast<uint8_t>(0x5A ^ (pid & 0xFF)));
+    ASSERT_TRUE(store->ReadPage(pid, read_back).ok());
+    EXPECT_TRUE(BytesEqual(image, read_back)) << "pid " << pid;
+  }
+
+  // Migration traffic was accounted to its own category.
+  const flash::FlashStats stats = store->stats();
+  EXPECT_GT(stats.by_category[static_cast<int>(flash::OpCategory::kMigrate)]
+                .total_ops(),
+            0u);
+
+  // Recovery is refused after migration: the routing table is volatile.
+  EXPECT_FALSE(store->Recover().ok());
+}
+
+TEST(ShardRouterTest, MismatchedSwapSizesRejected) {
+  auto spec = methods::ParseMethodSpec("OPU");
+  ASSERT_TRUE(spec.ok());
+  auto store = methods::CreateShardedStore(FlashConfig::Small(8), 2, *spec);
+  WearLevelConfig cfg;
+  cfg.buckets_per_shard = 2;
+  ASSERT_TRUE(store->router()->EnableRebalancing(cfg).ok());
+  // 9 pages over 4 buckets: bucket 0 holds 3 pids, buckets 1-3 hold 2.
+  ASSERT_TRUE(store->Format(9, nullptr, nullptr).ok());
+  const std::vector<ShardRouter::Swap> bad = {ShardRouter::Swap{0, 1}};
+  EXPECT_FALSE(store->MigrateBuckets(bad, nullptr).ok());
+  const std::vector<ShardRouter::Swap> good = {ShardRouter::Swap{2, 1}};
+  EXPECT_TRUE(store->MigrateBuckets(good, nullptr).ok());
+}
+
+struct PreparedRun {
+  std::unique_ptr<ShardedStore> store;
+  std::unique_ptr<UpdateDriver> driver;
+};
+
+/// Steady-state skewed setup shared by the convergence/determinism tests.
+/// `threshold` <= 0 leaves wear leveling off.
+PreparedRun PrepareSkewed(double hot_pct, double threshold,
+                          uint64_t epoch_ops, uint64_t ops_for_schedule,
+                          Schedule* schedule) {
+  auto spec = methods::ParseMethodSpec("OPU");
+  EXPECT_TRUE(spec.ok());
+  PreparedRun run;
+  run.store = methods::CreateShardedStore(FlashConfig::Small(8), 4, *spec);
+  if (threshold > 0) {
+    WearLevelConfig cfg;
+    cfg.buckets_per_shard = 8;
+    cfg.max_erase_ratio = threshold;
+    cfg.min_total_erases = 32;
+    EXPECT_TRUE(run.store->router()->EnableRebalancing(cfg).ok());
+  }
+  WorkloadParams params;
+  params.hot_shard_pct = hot_pct;
+  params.rebalance_epoch_ops = epoch_ops;
+  params.verify = true;  // shadow-checks every read against the migrations
+  run.driver = std::make_unique<UpdateDriver>(run.store.get(), params);
+  EXPECT_TRUE(run.driver->LoadDatabase(160).ok());
+  EXPECT_TRUE(run.driver->Warmup(1.0, 4000).ok());
+  *schedule = run.driver->MakeSchedule(ops_for_schedule);
+  return run;
+}
+
+double EraseDeltaRatio(const std::vector<uint64_t>& before,
+                       const std::vector<uint64_t>& after) {
+  uint64_t max_d = 0;
+  uint64_t min_d = UINT64_MAX;
+  for (size_t i = 0; i < before.size(); ++i) {
+    const uint64_t d = after[i] - before[i];
+    max_d = std::max(max_d, d);
+    min_d = std::min(min_d, d);
+  }
+  return min_d == 0 ? 1e9
+                    : static_cast<double>(max_d) / static_cast<double>(min_d);
+}
+
+// Under a 90% shard-0 hotspot, wear leveling must migrate hot buckets off
+// the worn chip and pull the per-shard erase ratio far below the unleveled
+// run's (shadow verification proves content stays intact throughout).
+TEST(ShardRouterTest, EraseCountsConvergeUnderSkew) {
+  Schedule schedule_off;
+  PreparedRun off = PrepareSkewed(90.0, 0.0, 400, 4000, &schedule_off);
+  const std::vector<uint64_t> off_before = off.store->shard_erases();
+  RunStats stats_off;
+  ASSERT_TRUE(off.driver->RunBatched(schedule_off, 8, &stats_off).ok());
+  const double ratio_off =
+      EraseDeltaRatio(off_before, off.store->shard_erases());
+  EXPECT_EQ(stats_off.migrations, 0u);
+
+  Schedule schedule_on;
+  PreparedRun on = PrepareSkewed(90.0, 1.25, 400, 4000, &schedule_on);
+  const std::vector<uint64_t> on_before = on.store->shard_erases();
+  RunStats stats_on;
+  ASSERT_TRUE(on.driver->RunBatched(schedule_on, 8, &stats_on).ok());
+  const double ratio_on =
+      EraseDeltaRatio(on_before, on.store->shard_erases());
+
+  EXPECT_GT(stats_on.migrations, 0u);
+  EXPECT_GT(stats_on.migrate.total_us(), 0u);
+  EXPECT_GT(ratio_off, 3.0);  // unleveled skew concentrates erases
+  EXPECT_LT(ratio_on, ratio_off / 2);
+  EXPECT_LT(ratio_on, 2.0);
+}
+
+// hot_shard_pct = 0 with wear leveling armed must keep the legacy routing:
+// no migrations, and device state bit-identical to a store whose router was
+// never enabled (same epoch windowing, so the comparison isolates routing).
+TEST(ShardRouterTest, ZeroSkewStaysLegacyBitIdentical) {
+  Schedule schedule_plain;
+  PreparedRun plain = PrepareSkewed(0.0, 0.0, 400, 2000, &schedule_plain);
+  RunStats stats_plain;
+  ASSERT_TRUE(plain.driver->RunBatched(schedule_plain, 8, &stats_plain).ok());
+
+  Schedule schedule_armed;
+  PreparedRun armed = PrepareSkewed(0.0, 1.25, 400, 2000, &schedule_armed);
+  RunStats stats_armed;
+  ASSERT_TRUE(armed.driver->RunBatched(schedule_armed, 8, &stats_armed).ok());
+
+  EXPECT_EQ(stats_armed.migrations, 0u);
+  EXPECT_TRUE(armed.store->router()->is_identity());
+  EXPECT_EQ(plain.store->shard_clocks(), armed.store->shard_clocks());
+  EXPECT_EQ(plain.store->shard_erases(), armed.store->shard_erases());
+}
+
+// Bucket migrations happen at epoch boundaries in every execution mode, so
+// sequential, windowed-parallel, and pipelined runs of the same schedule
+// stay bit-identical even while migrating under concurrent window
+// submission (TSan exercises the executor paths).
+TEST(ShardRouterTest, MigrationIsDeterministicAcrossModes) {
+  Schedule schedule_seq;
+  PreparedRun seq = PrepareSkewed(90.0, 1.25, 400, 3000, &schedule_seq);
+  RunStats stats_seq;
+  ASSERT_TRUE(seq.driver->RunBatched(schedule_seq, 8, &stats_seq).ok());
+
+  Schedule schedule_par;
+  PreparedRun par = PrepareSkewed(90.0, 1.25, 400, 3000, &schedule_par);
+  RunStats stats_par;
+  {
+    ShardExecutor executor(4);
+    ASSERT_TRUE(
+        par.driver->RunParallel(schedule_par, 8, &executor, &stats_par).ok());
+  }
+
+  Schedule schedule_pipe;
+  PreparedRun pipe = PrepareSkewed(90.0, 1.25, 400, 3000, &schedule_pipe);
+  RunStats stats_pipe;
+  {
+    ShardExecutor executor(4, 8);
+    ASSERT_TRUE(pipe.driver
+                    ->RunPipelined(schedule_pipe, 8, 4, &executor,
+                                   &stats_pipe)
+                    .ok());
+  }
+
+  EXPECT_GT(stats_seq.migrations, 0u);
+  EXPECT_EQ(stats_seq.migrations, stats_par.migrations);
+  EXPECT_EQ(stats_seq.migrations, stats_pipe.migrations);
+  EXPECT_EQ(seq.store->shard_clocks(), par.store->shard_clocks());
+  EXPECT_EQ(seq.store->shard_clocks(), pipe.store->shard_clocks());
+  EXPECT_EQ(seq.store->shard_erases(), par.store->shard_erases());
+  EXPECT_EQ(seq.store->shard_erases(), pipe.store->shard_erases());
+  EXPECT_EQ(stats_seq.migrate.total_us(), stats_par.migrate.total_us());
+  EXPECT_EQ(stats_seq.migrate.total_us(), stats_pipe.migrate.total_us());
+
+  // And the logical contents agree everywhere.
+  ByteBuffer a(seq.store->device()->geometry().data_size);
+  ByteBuffer b(a.size());
+  for (PageId pid = 0; pid < 160; ++pid) {
+    ASSERT_TRUE(seq.store->ReadPage(pid, a).ok());
+    ASSERT_TRUE(pipe.store->ReadPage(pid, b).ok());
+    EXPECT_TRUE(BytesEqual(a, b)) << "pid " << pid;
+  }
+}
+
+}  // namespace
+}  // namespace flashdb::ftl

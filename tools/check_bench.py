@@ -25,6 +25,11 @@ kinds of checks:
       to rows matching the `where` filter. Machine-relative metrics computed
       within one run (e.g. pipelined-over-parallel speedup) belong here.
 
+  --max   TABLE:COLUMN:THRESHOLD[:where=COL=VAL,COL2=VAL2]
+      Absolute ceiling, mirror of --min. Deterministic quality metrics with
+      a hard acceptance bound (e.g. exp11's wear-leveled erase ratio)
+      belong here.
+
   --keys  TABLE:COL1,COL2,...
       Declares the identity columns used to join baseline and current rows
       for --rule checks. A key present in the baseline but missing from the
@@ -119,13 +124,13 @@ def split_require(spec):
 def split_min(spec):
     parts = spec.split(":")
     if len(parts) < 3:
-        raise ValueError(f"bad --min {spec!r}")
+        raise ValueError(f"bad --min/--max {spec!r}")
     table, column, threshold = parts[0], parts[1], float(parts[2])
     where = {}
     for extra in parts[3:]:
         k, _, v = extra.partition("=")
         if k != "where":
-            raise ValueError(f"bad option in --min {spec!r}")
+            raise ValueError(f"bad option in --min/--max {spec!r}")
         for clause in v.split(","):
             col, _, val = clause.partition("=")
             where[col] = val
@@ -204,7 +209,9 @@ def check_require(gate, req, current, keys):
             gate.fail(f"{label}: expected {req['value']!r}, got {got!r}")
 
 
-def check_min(gate, rule, current):
+def check_bound(gate, rule, current, ceiling):
+    """--min (ceiling=False) / --max (ceiling=True) absolute-bound checks."""
+    kind = "--max" if ceiling else "--min"
     table = rule["table"]
     if table not in current:
         gate.fail(f"{table}: missing from current dump")
@@ -219,12 +226,15 @@ def check_min(gate, rule, current):
         if val is None:
             gate.fail(f"{label}: non-numeric cell "
                       f"{row.get(rule['column'])!r}")
-        elif val < rule["threshold"]:
+        elif ceiling and val > rule["threshold"]:
+            gate.fail(f"{label}: {val:g} > ceiling {rule['threshold']:g}")
+        elif not ceiling and val < rule["threshold"]:
             gate.fail(f"{label}: {val:g} < floor {rule['threshold']:g}")
         else:
-            gate.ok(f"{label}: {val:g} >= {rule['threshold']:g}")
+            op = "<=" if ceiling else ">="
+            gate.ok(f"{label}: {val:g} {op} {rule['threshold']:g}")
     if not hit:
-        gate.fail(f"{table}: no row matches --min filter {rule['where']}")
+        gate.fail(f"{table}: no row matches {kind} filter {rule['where']}")
 
 
 def main():
@@ -240,6 +250,8 @@ def main():
     ap.add_argument("--require", action="append", default=[],
                     metavar="TABLE:COLUMN=VALUE")
     ap.add_argument("--min", action="append", default=[], dest="mins",
+                    metavar="TABLE:COLUMN:THRESHOLD[:where=C=V,...]")
+    ap.add_argument("--max", action="append", default=[], dest="maxs",
                     metavar="TABLE:COLUMN:THRESHOLD[:where=C=V,...]")
     ap.add_argument("--update", action="store_true",
                     help="copy current over baseline instead of checking")
@@ -264,7 +276,9 @@ def main():
         for spec in args.require:
             check_require(gate, split_require(spec), current, keys)
         for spec in args.mins:
-            check_min(gate, split_min(spec), current)
+            check_bound(gate, split_min(spec), current, ceiling=False)
+        for spec in args.maxs:
+            check_bound(gate, split_min(spec), current, ceiling=True)
     except (OSError, ValueError, json.JSONDecodeError) as e:
         gate.fail(str(e))
 

@@ -18,3 +18,9 @@ mkdir -p "$OUT_DIR"
 # so the minimum is the stable estimator the speedup floor gates on.
 "$BUILD_DIR/exp10_pipeline" --ops=4000 --warmup-max=3000 --hot=40 --reps=3 \
     --json="$OUT_DIR/exp10_pipeline.json"
+
+# Wear leveling needs erase activity to act on: a small chip (16
+# blocks/shard) driven well past GC steady state, so cold shards erase too
+# and the max/min erase-delta ratio is meaningful rather than x/0.
+"$BUILD_DIR/exp11_wear" --blocks=64 --ops=6000 --warmup-max=8000 --epoch=500 \
+    --json="$OUT_DIR/exp11_wear.json"
