@@ -14,10 +14,22 @@ struct FlashGeometry {
   uint32_t pages_per_block = 64;    ///< Npage
   uint32_t data_size = 2048;        ///< Sdata (bytes per page, data area)
   uint32_t spare_size = 64;         ///< Sspare (bytes per page, spare area)
+  /// Blocks at the tail of the chip reserved for durable metadata (the
+  /// ftl::MetaJournal region). The FTL's allocator, GC, and recovery scans
+  /// see only the leading num_data_blocks(); the meta region is owned by
+  /// whoever journals on the device. 0 (the default) reserves nothing and
+  /// reproduces the historical all-data layout bit-for-bit.
+  uint32_t meta_blocks = 0;
 
   uint32_t total_pages() const { return num_blocks * pages_per_block; }
+  /// Blocks available to the page-update method (excludes the meta region).
+  uint32_t num_data_blocks() const { return num_blocks - meta_blocks; }
+  /// Pages of the data region: physical addresses [0, data_pages()).
+  uint32_t data_pages() const { return num_data_blocks() * pages_per_block; }
+  /// First physical page of the meta region (== data_pages()).
+  uint32_t first_meta_page() const { return data_pages(); }
   uint64_t data_capacity_bytes() const {
-    return static_cast<uint64_t>(total_pages()) * data_size;
+    return static_cast<uint64_t>(data_pages()) * data_size;
   }
 };
 
@@ -60,6 +72,15 @@ struct FlashConfig {
   static FlashConfig Small(uint32_t num_blocks = 256) {
     FlashConfig cfg;
     cfg.geometry.num_blocks = num_blocks;
+    return cfg;
+  }
+
+  /// Returns a copy with `meta_blocks` tail blocks reserved for the durable
+  /// metadata journal (ftl::MetaJournal). The reservation comes out of
+  /// num_blocks, so the data region shrinks accordingly.
+  FlashConfig WithMetaBlocks(uint32_t meta_blocks) const {
+    FlashConfig cfg = *this;
+    cfg.geometry.meta_blocks = meta_blocks;
     return cfg;
   }
 };

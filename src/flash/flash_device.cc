@@ -19,6 +19,13 @@ FlashDevice::ConfinementScope::ConfinementScope(const FlashDevice* dev)
 
 FlashDevice::FlashDevice(const FlashConfig& config) : config_(config) {
   const auto& g = config_.geometry;
+  if (g.meta_blocks >= g.num_blocks) {
+    std::fprintf(stderr,
+                 "FlashDevice: meta_blocks (%u) must leave at least one data "
+                 "block (num_blocks %u)\n",
+                 g.meta_blocks, g.num_blocks);
+    std::abort();
+  }
   data_.assign(static_cast<size_t>(g.total_pages()) * g.data_size, 0xFF);
   spare_.assign(static_cast<size_t>(g.total_pages()) * g.spare_size, 0xFF);
   data_programs_.assign(g.total_pages(), 0);

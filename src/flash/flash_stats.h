@@ -21,8 +21,9 @@ enum class OpCategory : int {
   kGc,           ///< Garbage collection / IPL merging traffic.
   kRecovery,     ///< Crash-recovery scans.
   kMigrate,      ///< Cross-shard wear-leveling bucket migration traffic.
+  kMeta,         ///< Durable-metadata journal appends (ftl::MetaJournal).
 };
-inline constexpr int kNumOpCategories = 6;
+inline constexpr int kNumOpCategories = 7;
 
 /// Counters for one category (or the total).
 struct OpCounters {

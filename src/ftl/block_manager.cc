@@ -23,7 +23,10 @@ void BlockManager::Reset() {
   block_obsolete_.assign(g.num_blocks, 0);
   block_programmed_.assign(g.num_blocks, 0);
   free_blocks_.clear();
-  for (uint32_t b = 0; b < g.num_blocks; ++b) free_blocks_.push_back(b);
+  // Only the data region is allocatable: the trailing meta_blocks (if any)
+  // belong to the durable-metadata journal and must never be handed to the
+  // page-update method or erased by GC.
+  for (uint32_t b = 0; b < g.num_data_blocks(); ++b) free_blocks_.push_back(b);
   std::fill(open_block_.begin(), open_block_.end(), -1);
   std::fill(next_page_.begin(), next_page_.end(), 0);
 }
@@ -71,7 +74,7 @@ void BlockManager::FinalizeRecovery() {
   free_blocks_.clear();
   std::fill(open_block_.begin(), open_block_.end(), -1);
   std::fill(next_page_.begin(), next_page_.end(), 0);
-  for (uint32_t b = 0; b < g.num_blocks; ++b) {
+  for (uint32_t b = 0; b < g.num_data_blocks(); ++b) {
     uint32_t programmed = 0;
     uint32_t obsolete = 0;
     for (uint32_t p = 0; p < pages_per_block_; ++p) {
@@ -148,7 +151,7 @@ uint64_t BlockManager::CountValidPages() const {
 
 uint64_t BlockManager::usable_pages() const {
   const auto& g = dev_->geometry();
-  return static_cast<uint64_t>(g.num_blocks - gc_reserve_blocks_) *
+  return static_cast<uint64_t>(g.num_data_blocks() - gc_reserve_blocks_) *
          pages_per_block_;
 }
 

@@ -70,7 +70,10 @@ void MappingTable::EndReplay(uint32_t num_pids) {
 Status ForEachProgrammedSpare(
     flash::FlashDevice* dev,
     const std::function<Status(flash::PhysAddr, const SpareInfo&)>& fn) {
-  const uint32_t total = dev->geometry().total_pages();
+  // Scan the data region only: the trailing meta blocks (if reserved) hold
+  // MetaJournal frames, which are not the store's pages -- replaying them
+  // here would mark them obsolete and corrupt the journal.
+  const uint32_t total = dev->geometry().data_pages();
   ByteBuffer spare(dev->geometry().spare_size);
   for (flash::PhysAddr addr = 0; addr < total; ++addr) {
     FLASHDB_RETURN_IF_ERROR(dev->ReadSpare(addr, spare));

@@ -166,11 +166,13 @@ class MappingTable {
   bool any_pid_ = false;
 };
 
-/// Full-chip recovery scan shared by every method that rebuilds its tables
-/// from the spare areas: reads each page's spare in physical order and calls
-/// `fn` for every *programmed* page (erased pages are skipped). Decode
-/// results are passed through verbatim, including CRC failures -- filtering
-/// is the store's policy.
+/// Data-region recovery scan shared by every method that rebuilds its tables
+/// from the spare areas: reads each page's spare in physical order over
+/// [0, geometry().data_pages()) and calls `fn` for every *programmed* page
+/// (erased pages are skipped). Reserved meta blocks are excluded -- they
+/// belong to the MetaJournal, not to the store. Decode results are passed
+/// through verbatim, including CRC failures -- filtering is the store's
+/// policy.
 Status ForEachProgrammedSpare(
     flash::FlashDevice* dev,
     const std::function<Status(flash::PhysAddr, const SpareInfo&)>& fn);

@@ -27,12 +27,12 @@ void ShardRouter::Reset(uint32_t num_pages) {
 }
 
 Status ShardRouter::EnableRebalancing(const WearLevelConfig& config) {
-  if (!is_identity()) {
-    return Status::InvalidArgument(
-        "cannot reconfigure wear leveling after buckets have migrated");
-  }
   if (config.buckets_per_shard == 0) {
     return Status::InvalidArgument("buckets_per_shard must be > 0");
+  }
+  if (!is_identity() && config.buckets_per_shard != buckets_per_shard_) {
+    return Status::InvalidArgument(
+        "cannot change bucket granularity after buckets have migrated");
   }
   if (config.max_erase_ratio < 1.0) {
     return Status::InvalidArgument("max_erase_ratio must be >= 1.0");
@@ -54,6 +54,65 @@ Status ShardRouter::EnableRebalancing(const WearLevelConfig& config) {
     erase_baseline_ = baseline;
   }
   enabled_ = true;
+  return Status::OK();
+}
+
+Status ShardRouter::Restore(uint32_t num_pages, uint32_t buckets_per_shard,
+                            std::span<const uint32_t> shard_of_bucket,
+                            std::span<const uint32_t> slot_of_bucket,
+                            uint64_t swaps_committed,
+                            std::span<const uint64_t> erase_baseline) {
+  if (buckets_per_shard == 0) {
+    return Status::InvalidArgument("buckets_per_shard must be > 0");
+  }
+  const uint32_t buckets = num_shards_ * buckets_per_shard;
+  if (shard_of_bucket.size() != buckets || slot_of_bucket.size() != buckets) {
+    return Status::InvalidArgument(
+        "restored assignment has " + std::to_string(shard_of_bucket.size()) +
+        " buckets, expected " + std::to_string(buckets));
+  }
+  if (erase_baseline.size() != num_shards_) {
+    return Status::InvalidArgument("restored erase baseline has " +
+                                   std::to_string(erase_baseline.size()) +
+                                   " shards, expected " +
+                                   std::to_string(num_shards_));
+  }
+  // Equal-size swaps permute (shard, slot) pairs: every pair must appear
+  // exactly once, with slots in [0, buckets_per_shard), and each bucket must
+  // fit its slot class exactly (the slot's identity occupant has the same
+  // page count).
+  const auto size_of = [&](uint32_t b) {
+    return num_pages > b ? (num_pages - b - 1) / buckets + 1 : 0;
+  };
+  std::vector<uint8_t> seen(buckets, 0);
+  for (uint32_t b = 0; b < buckets; ++b) {
+    if (shard_of_bucket[b] >= num_shards_ ||
+        slot_of_bucket[b] >= buckets_per_shard) {
+      return Status::Corruption("restored assignment out of range at bucket " +
+                                std::to_string(b));
+    }
+    const uint32_t pair =
+        shard_of_bucket[b] * buckets_per_shard + slot_of_bucket[b];
+    if (seen[pair]++) {
+      return Status::Corruption(
+          "restored assignment is not a permutation: duplicate (shard, slot) "
+          "at bucket " + std::to_string(b));
+    }
+    const uint32_t identity_occupant =
+        slot_of_bucket[b] * num_shards_ + shard_of_bucket[b];
+    if (size_of(b) != size_of(identity_occupant)) {
+      return Status::Corruption("restored bucket " + std::to_string(b) +
+                                " does not fit its slot class");
+    }
+  }
+  buckets_per_shard_ = buckets_per_shard;
+  num_buckets_ = buckets;
+  num_pages_ = num_pages;
+  shard_of_bucket_.assign(shard_of_bucket.begin(), shard_of_bucket.end());
+  slot_of_bucket_.assign(slot_of_bucket.begin(), slot_of_bucket.end());
+  heat_.assign(num_buckets_, 0.0);
+  erase_baseline_.assign(erase_baseline.begin(), erase_baseline.end());
+  swaps_committed_ = swaps_committed;
   return Status::OK();
 }
 

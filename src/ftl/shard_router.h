@@ -37,11 +37,12 @@
 // (AddEpochHeat / CommitSwap) only at epoch boundaries while the shard
 // workers are quiescent -- the same confinement contract as the devices.
 //
-// Durability: the routing table is volatile. Recovery after a crash restores
-// the identity assignment, which is only correct when no swap was committed
-// in the crashed epoch; ShardedStore::Recover() refuses on instances that
-// have migrated. Persisting the table (e.g. in a spare-area epoch record) is
-// future work tracked in ROADMAP.md.
+// Durability: the in-RAM table is volatile, but ShardedStore persists a
+// snapshot of it (assignment + swap counter + erase baseline) in the
+// ftl::MetaJournal at Format() and at every committed migration epoch;
+// Recover() re-installs the newest valid snapshot via Restore(). A store
+// without a journal falls back to the identity assignment and therefore
+// refuses recovery after migrations (see ShardedStore::Recover()).
 
 #ifndef FLASHDB_FTL_SHARD_ROUTER_H_
 #define FLASHDB_FTL_SHARD_ROUTER_H_
@@ -95,9 +96,26 @@ class ShardRouter {
   /// Called by ShardedStore::Format / Recover.
   void Reset(uint32_t num_pages);
 
-  /// Turns the rebalancing policy on. Only legal while the assignment is
-  /// still the identity (no committed swaps): changing bucket granularity
-  /// under migrated data would scramble the pid mapping.
+  /// Restores a persisted routing table (a MetaJournal snapshot record):
+  /// re-granulates to `buckets_per_shard`, installs the bucket assignment,
+  /// the swap counter, and the wear-trigger erase baseline, and zeroes the
+  /// (deliberately unpersisted, decaying) heat. Validates that the
+  /// assignment is a permutation consistent with equal-size swaps. Restoring
+  /// the baseline -- instead of re-seeding it from the chips' current
+  /// cumulative counters -- is what makes repeated Recover() cycles
+  /// idempotent: wear observed since the last persisted plan keeps counting
+  /// toward the delta trigger instead of being forgotten on every reboot.
+  Status Restore(uint32_t num_pages, uint32_t buckets_per_shard,
+                 std::span<const uint32_t> shard_of_bucket,
+                 std::span<const uint32_t> slot_of_bucket,
+                 uint64_t swaps_committed,
+                 std::span<const uint64_t> erase_baseline);
+
+  /// Turns the rebalancing policy on. Changing the bucket granularity is
+  /// only legal while the assignment is still the identity (no committed
+  /// swaps): re-granulating migrated data would scramble the pid mapping.
+  /// Re-enabling with the *current* granularity is always legal -- the path
+  /// a recovered (Restore()d) store takes.
   Status EnableRebalancing(const WearLevelConfig& config);
   bool rebalancing_enabled() const { return enabled_; }
   const WearLevelConfig& config() const { return config_; }
@@ -130,6 +148,10 @@ class ShardRouter {
   /// True while the assignment equals the legacy residue-class striping.
   bool is_identity() const { return swaps_committed_ == 0; }
   uint64_t swaps_committed() const { return swaps_committed_; }
+  /// The wear-trigger delta baseline (persisted in MetaJournal snapshots).
+  const std::vector<uint64_t>& erase_baseline() const {
+    return erase_baseline_;
+  }
 
   // --- Rebalancing (epoch boundaries only, shards quiescent) --------------
   /// Folds one epoch's per-bucket write counts into the decayed heat.

@@ -37,12 +37,55 @@ ShardedStore::ShardedStore(std::vector<Shard> shards)
   router_ = std::make_unique<ShardRouter>(num_shards());
 }
 
+Status ShardedStore::EnableMetaJournal() {
+  if (formatted_) {
+    return Status::InvalidArgument(
+        "EnableMetaJournal must be called before Format/Recover");
+  }
+  if (shards_[0].device->geometry().meta_blocks < 2) {
+    return Status::InvalidArgument(
+        "meta journal needs >= 2 reserved meta blocks on shard 0 "
+        "(FlashGeometry::meta_blocks)");
+  }
+  if (journal_ == nullptr) {
+    journal_ = std::make_unique<MetaJournal>(shards_[0].device);
+  }
+  return Status::OK();
+}
+
+MetaJournal::Record ShardedStore::SnapshotRecord() const {
+  MetaJournal::Record rec;
+  rec.type = MetaJournal::Record::Type::kSnapshot;
+  rec.epoch = journal_->next_epoch();
+  rec.num_pages = num_pages_;
+  rec.num_shards = num_shards();
+  rec.buckets_per_shard = router_->buckets_per_shard();
+  rec.swaps_committed = router_->swaps_committed();
+  rec.shard_of_bucket.resize(router_->num_buckets());
+  rec.slot_of_bucket.resize(router_->num_buckets());
+  for (uint32_t b = 0; b < router_->num_buckets(); ++b) {
+    rec.shard_of_bucket[b] = router_->bucket_shard(b);
+    rec.slot_of_bucket[b] = router_->bucket_slot(b);
+  }
+  rec.erase_baseline = router_->erase_baseline();
+  return rec;
+}
+
 Status ShardedStore::Format(uint32_t num_logical_pages,
                             PageInitializer initial, void* initial_arg) {
   if (num_logical_pages >= flash::kNullAddr) {
     return Status::InvalidArgument(
         "num_logical_pages collides with the reserved pid sentinel");
   }
+  // Crash ordering: wipe the journal *before* rewriting the chips. A crash
+  // before the wipe leaves the old journal over the old data (the previous
+  // generation stays fully recoverable); a crash anywhere inside the
+  // reformat leaves an empty journal, so Recover() refuses -- never a stale
+  // migrated snapshot silently restored over freshly striped pages.
+  if (journal_ != nullptr) {
+    FLASHDB_RETURN_IF_ERROR(journal_->Format());
+  }
+  formatted_ = false;
   for (uint32_t i = 0; i < num_shards(); ++i) {
     const uint32_t count = ShardPageCount(i, num_logical_pages);
     if (initial == nullptr) {
@@ -55,13 +98,19 @@ Status ShardedStore::Format(uint32_t num_logical_pages,
     }
   }
   num_pages_ = num_logical_pages;
-  formatted_ = true;
   // A freshly formatted database starts on the legacy striping (the
   // initializer above placed pages accordingly). The erase baseline is
   // seeded with the chips' current counters so wear accumulated before this
   // (re)format cannot trigger an immediate rebalance.
   router_->Reset(num_pages_);
   SeedRouterEraseBaseline();
+  if (journal_ != nullptr) {
+    // Epoch 0: the format record -- an identity snapshot with no redo
+    // payload, anchoring the epoch chain recovery validates against. Only a
+    // store whose anchor is durable may report itself formatted.
+    FLASHDB_RETURN_IF_ERROR(journal_->Append(SnapshotRecord()));
+  }
+  formatted_ = true;
   return Status::OK();
 }
 
@@ -112,28 +161,69 @@ Status ShardedStore::Flush() {
   return Status::OK();
 }
 
-Status ShardedStore::Recover() {
-  // The routing table is volatile: recovery can only restore the identity
-  // (legacy striping) assignment. An instance that migrated buckets cannot
-  // re-derive where they went from flash alone, and this guard necessarily
-  // covers only *same-instance* recovery -- a fresh process starts with a
-  // fresh identity router and cannot tell a migrated image from a legacy
-  // one, so recovering such an image mis-associates pids silently. Until
-  // the table is persisted (spare-area epoch record, see ROADMAP.md),
-  // migrated stores must be treated as non-recoverable.
-  if (router_ != nullptr && !router_->is_identity()) {
+Status ShardedStore::Recover(ShardExecutor* executor) {
+  if (executor != nullptr && executor->num_workers() < num_shards()) {
+    return Status::InvalidArgument("executor must have one worker per shard");
+  }
+  if (journal_ == nullptr && router_ != nullptr && !router_->is_identity()) {
+    // Without a journal the routing table is volatile: recovery can only
+    // restore identity striping, which mis-associates pids on a migrated
+    // image. (This guard necessarily covers only *same-instance* recovery;
+    // a fresh process over a migrated, journal-less image is silently
+    // wrong -- which is exactly why the journal exists.)
     return Status::InvalidArgument(
-        "cannot Recover() after bucket migrations: the routing table is "
-        "volatile and recovery would restore legacy striping over migrated "
-        "data");
+        "cannot Recover() after bucket migrations without a meta journal: "
+        "the routing table is volatile and recovery would restore legacy "
+        "striping over migrated data (see EnableMetaJournal)");
+  }
+
+  // From here on the store is mid-recovery: a failure below must not leave
+  // a usable instance with half-rebuilt routing.
+  formatted_ = false;
+
+  // Read the durable routing state first -- it is also the cross-check that
+  // the chips belong to this database generation.
+  MetaJournal::Recovered journal_state;
+  if (journal_ != nullptr) {
+    FLASHDB_ASSIGN_OR_RETURN(journal_state, journal_->Recover());
+    const MetaJournal::Record& snap = journal_state.snapshot;
+    if (snap.num_shards != num_shards()) {
+      return Status::Corruption(
+          "meta journal snapshot describes " +
+          std::to_string(snap.num_shards) + " shards, store has " +
+          std::to_string(num_shards()));
+    }
+  }
+
+  // Per-chip recovery: independent single-chip scans, dispatched to the
+  // shard workers when an executor is supplied. Shard confinement makes the
+  // parallel path safe, and each chip's operation sequence is identical to
+  // the sequential path, so recovered state is bit-identical either way.
+  if (executor != nullptr) {
+    std::vector<std::future<Status>> futures;
+    futures.reserve(num_shards());
+    for (uint32_t i = 0; i < num_shards(); ++i) {
+      PageStore* store = shards_[i].store.get();
+      futures.push_back(
+          executor->Submit(i, [store] { return store->Recover(); }));
+    }
+    Status first_error = Status::OK();
+    for (auto& f : futures) {
+      const Status st = f.get();
+      if (!st.ok() && first_error.ok()) first_error = st;
+    }
+    FLASHDB_RETURN_IF_ERROR(first_error);
+  } else {
+    for (Shard& s : shards_) {
+      FLASHDB_RETURN_IF_ERROR(s.store->Recover());
+    }
   }
   uint32_t total = 0;
-  for (Shard& s : shards_) {
-    FLASHDB_RETURN_IF_ERROR(s.store->Recover());
-    total += s.store->num_logical_pages();
-  }
+  for (Shard& s : shards_) total += s.store->num_logical_pages();
+
   // The shard page counts must be consistent with round-robin striping of
-  // `total` pages, or the chips belong to different databases.
+  // `total` pages (equal-size swaps keep them invariant), or the chips
+  // belong to different databases.
   for (uint32_t i = 0; i < num_shards(); ++i) {
     if (shards_[i].store->num_logical_pages() != ShardPageCount(i, total)) {
       return Status::Corruption(
@@ -143,6 +233,39 @@ Status ShardedStore::Recover() {
           " of " + std::to_string(total));
     }
   }
+
+  if (journal_ != nullptr) {
+    const MetaJournal::Record& snap = journal_state.snapshot;
+    if (snap.num_pages != total) {
+      return Status::Corruption(
+          "meta journal snapshot describes " + std::to_string(snap.num_pages) +
+          " pages, chips recovered " + std::to_string(total));
+    }
+    // Restoring the persisted snapshot (rather than re-seeding the wear
+    // baseline from the chips' cumulative counters) keeps repeated
+    // Format/Recover cycles idempotent: two consecutive Recover() calls
+    // yield bit-identical router state.
+    FLASHDB_RETURN_IF_ERROR(router_->Restore(
+        snap.num_pages, snap.buckets_per_shard, snap.shard_of_bucket,
+        snap.slot_of_bucket, snap.swaps_committed, snap.erase_baseline));
+    if (!journal_state.complete) {
+      // The newest epoch's copies may not have finished before the crash:
+      // replay them from the journal's redo payload (full-page images, so
+      // the replay is idempotent) and only then mark the epoch complete.
+      FLASHDB_RETURN_IF_ERROR(ApplyRedo(snap, executor));
+      MetaJournal::Record done;
+      done.type = MetaJournal::Record::Type::kComplete;
+      done.epoch = snap.epoch;
+      FLASHDB_RETURN_IF_ERROR(journal_->Append(done));
+    }
+    // Only a fully successful recovery may mark the store usable: a partial
+    // one (failed Restore or redo) would otherwise serve pids through the
+    // wrong routing.
+    num_pages_ = total;
+    formatted_ = true;
+    return Status::OK();
+  }
+
   num_pages_ = total;
   formatted_ = true;
   // Same baseline seeding as Format(): the recovered chips keep their
@@ -151,6 +274,51 @@ Status ShardedStore::Recover() {
   router_->Reset(num_pages_);
   SeedRouterEraseBaseline();
   return Status::OK();
+}
+
+Status ShardedStore::ApplyRedo(const MetaJournal::Record& snapshot,
+                               ShardExecutor* executor) {
+  const uint32_t data_size = shards_[0].device->geometry().data_size;
+  auto write_set = [&](const MetaJournal::RedoSet& set) -> Status {
+    if (set.shard >= num_shards()) {
+      return Status::Corruption("redo set names shard " +
+                                std::to_string(set.shard));
+    }
+    PageStore* s = shards_[set.shard].store.get();
+    StoreCategoryScope cat(s, flash::OpCategory::kMigrate);
+    std::vector<PageWrite> writes;
+    writes.reserve(set.inner_pids.size());
+    for (size_t k = 0; k < set.inner_pids.size(); ++k) {
+      if (set.images[k].size() != data_size) {
+        return Status::Corruption("redo image is not one page");
+      }
+      writes.push_back(PageWrite{set.inner_pids[k], set.images[k]});
+    }
+    FLASHDB_RETURN_IF_ERROR(s->WriteBatch(writes));
+    // The completion record appended after the redo asserts durability.
+    return s->Flush();
+  };
+  if (executor == nullptr) {
+    for (const MetaJournal::RedoSet& set : snapshot.redo) {
+      FLASHDB_RETURN_IF_ERROR(write_set(set));
+    }
+    return Status::OK();
+  }
+  // Out-of-range shards surface through the rejected submission's future
+  // (Submit enqueues nothing for a bad worker), so every future below is
+  // joined before any return -- no captured local can dangle.
+  std::vector<std::future<Status>> futures;
+  futures.reserve(snapshot.redo.size());
+  for (const MetaJournal::RedoSet& set : snapshot.redo) {
+    futures.push_back(executor->Submit(
+        set.shard, [&, set_ptr = &set] { return write_set(*set_ptr); }));
+  }
+  Status first_error = Status::OK();
+  for (auto& f : futures) {
+    const Status st = f.get();
+    if (!st.ok() && first_error.ok()) first_error = st;
+  }
+  return first_error;
 }
 
 void ShardedStore::SeedRouterEraseBaseline() {
@@ -198,8 +366,52 @@ Status ShardedStore::MigrateBuckets(std::span<const ShardRouter::Swap> swaps,
     }
     const uint32_t slot_a = router_->bucket_slot(swap.bucket_a);
     const uint32_t slot_b = router_->bucket_slot(swap.bucket_b);
-    if (m == 0) {  // both buckets empty: a pure routing-table update
+    std::vector<ByteBuffer> images_a(m);
+    std::vector<ByteBuffer> images_b(m);
+
+    // Durable intent: with a journal attached, the swap's snapshot record --
+    // the post-swap routing table plus the exact images the writes below
+    // will program -- is appended *before* any data page changes. A crash
+    // while the record is being appended tears it (recovery discards the
+    // tail and the store is still bit-identical to the previous epoch); once
+    // the record is fully on flash the epoch is committed and recovery rolls
+    // the swap forward by replaying the payload.
+    auto journal_swap = [&]() -> Status {
+      if (journal_ == nullptr) return Status::OK();
+      MetaJournal::Record rec = SnapshotRecord();
+      if (m > 0) {
+        rec.redo.resize(2);
+        rec.redo[0].shard = shard_a;
+        rec.redo[1].shard = shard_b;
+        for (uint32_t k = 0; k < m; ++k) {
+          rec.redo[0].inner_pids.push_back(slot_a + k * stride);
+          rec.redo[1].inner_pids.push_back(slot_b + k * stride);
+        }
+        rec.redo[0].images = images_b;  // bucket b's pages move to a's slots
+        rec.redo[1].images = images_a;
+      }
+      return journal_->Append(rec);
+    };
+    auto journal_complete = [&]() -> Status {
+      if (journal_ == nullptr) return Status::OK();
+      MetaJournal::Record done;
+      done.type = MetaJournal::Record::Type::kComplete;
+      done.epoch = journal_->next_epoch() - 1;
+      return journal_->Append(done);
+    };
+
+    if (m == 0) {  // both buckets empty: a routing-table-only epoch
       router_->CommitSwap(swap);
+      const Status journaled = journal_swap();
+      if (!journaled.ok()) {
+        formatted_ = false;  // router committed in RAM but not on flash
+        return journaled;
+      }
+      const Status completed = journal_complete();
+      if (!completed.ok()) {
+        formatted_ = false;
+        return completed;
+      }
       continue;
     }
 
@@ -208,8 +420,6 @@ Status ShardedStore::MigrateBuckets(std::span<const ShardRouter::Swap> swaps,
     // sees [m reads, then m writes] in slot order -- identical whether the
     // two shards run inline here or on their executor workers, which is what
     // keeps migration inside the bit-determinism envelope.
-    std::vector<ByteBuffer> images_a(m);
-    std::vector<ByteBuffer> images_b(m);
     auto read_bucket = [&](uint32_t shard, uint32_t slot,
                            std::vector<ByteBuffer>* images) -> Status {
       PageStore* s = shards_[shard].store.get();
@@ -229,7 +439,12 @@ Status ShardedStore::MigrateBuckets(std::span<const ShardRouter::Swap> swaps,
       for (uint32_t k = 0; k < m; ++k) {
         writes.push_back(PageWrite{slot + k * stride, images[k]});
       }
-      return s->WriteBatch(writes);
+      FLASHDB_RETURN_IF_ERROR(s->WriteBatch(writes));
+      // With a journal, the completion record appended after these writes
+      // asserts the copies are *durable* -- write-through any RAM-buffered
+      // differentials (PDL) before it can be written. Without a journal the
+      // legacy behavior is preserved bit-for-bit.
+      return journal_ != nullptr ? s->Flush() : Status::OK();
     };
 
     Status write_a;
@@ -244,6 +459,11 @@ Status ShardedStore::MigrateBuckets(std::span<const ShardRouter::Swap> swaps,
       FLASHDB_RETURN_IF_ERROR(read_a);  // nothing written yet: store intact
       FLASHDB_RETURN_IF_ERROR(read_b);
       router_->CommitSwap(swap);
+      const Status journaled = journal_swap();
+      if (!journaled.ok()) {
+        formatted_ = false;  // router committed in RAM but not on flash
+        return journaled;
+      }
       auto wa = executor->Submit(
           shard_a, [&] { return write_bucket(shard_a, slot_a, images_b); });
       auto wb = executor->Submit(
@@ -254,17 +474,29 @@ Status ShardedStore::MigrateBuckets(std::span<const ShardRouter::Swap> swaps,
       FLASHDB_RETURN_IF_ERROR(read_bucket(shard_a, slot_a, &images_a));
       FLASHDB_RETURN_IF_ERROR(read_bucket(shard_b, slot_b, &images_b));
       router_->CommitSwap(swap);
+      const Status journaled = journal_swap();
+      if (!journaled.ok()) {
+        formatted_ = false;  // router committed in RAM but not on flash
+        return journaled;
+      }
       write_a = write_bucket(shard_a, slot_a, images_b);
       write_b = write_bucket(shard_b, slot_b, images_a);
     }
     if (!write_a.ok() || !write_b.ok()) {
-      // A half-written swap has no rollback (there is no undo log): one
-      // slot set may hold the other bucket's images. Returning the error
-      // alone would leave a store that *silently* serves wrong pages to any
-      // caller that keeps using it, so make it unusable instead -- every
-      // subsequent operation fails fast until the caller reformats.
+      // A half-written swap cannot be rolled back in RAM: one slot set may
+      // hold the other bucket's images. Returning the error alone would
+      // leave a store that *silently* serves wrong pages to any caller that
+      // keeps using it, so make it unusable instead -- every subsequent
+      // operation fails fast. With a journal the committed snapshot + redo
+      // record means a fresh instance can still Recover() the exact
+      // post-swap state.
       formatted_ = false;
       return !write_a.ok() ? write_a : write_b;
+    }
+    const Status completed = journal_complete();
+    if (!completed.ok()) {
+      formatted_ = false;
+      return completed;
     }
   }
   return Status::OK();

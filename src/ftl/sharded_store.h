@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "ftl/meta_journal.h"
 #include "ftl/page_store.h"
 #include "ftl/shard_router.h"
 
@@ -75,7 +76,21 @@ class ShardedStore : public PageStore {
   /// per-shard partitioning anyway.
   Status WriteBatch(std::span<const PageWrite> writes) override;
   Status Flush() override;
-  Status Recover() override;
+  /// Sequential recovery (PageStore interface): Recover(nullptr).
+  Status Recover() override { return Recover(nullptr); }
+  /// Rebuilds the store from flash after a crash. With a meta journal
+  /// attached (EnableMetaJournal), the journal's newest valid snapshot seeds
+  /// the ShardRouter (routing table, swap counter, wear baseline) before the
+  /// per-chip recoveries run, so migrated instances recover correctly; if
+  /// the snapshot's migration epoch never completed, its redo payload is
+  /// replayed idempotently, restoring the exact committed-epoch state.
+  /// Without a journal, recovery restores identity striping and -- as before
+  /// -- refuses on a same-instance store that has migrated.
+  ///
+  /// `executor` (may be null) dispatches the per-chip Recover() calls and
+  /// redo writes to the shards' workers; shard confinement makes this safe,
+  /// and per-chip state is bit-identical to a sequential recovery.
+  Status Recover(ShardExecutor* executor);
   uint32_t num_logical_pages() const override { return num_pages_; }
   /// Representative device (shard 0) -- geometry inspection only.
   flash::FlashDevice* device() override { return shards_[0].device; }
@@ -104,6 +119,22 @@ class ShardedStore : public PageStore {
   ShardRouter* router() { return router_.get(); }
   const ShardRouter* router() const { return router_.get(); }
 
+  /// Attaches the durable-metadata journal (ftl::MetaJournal) on shard 0's
+  /// device, which must reserve >= 2 meta blocks
+  /// (FlashGeometry::meta_blocks). Call before Format()/Recover(). From then
+  /// on Format() writes an epoch-0 snapshot and every committed bucket swap
+  /// appends a snapshot (+ redo payload) and a completion record, making
+  /// crash recovery after migrations possible. Journal traffic is accounted
+  /// under OpCategory::kMeta on shard 0.
+  Status EnableMetaJournal();
+  bool meta_journal_enabled() const { return journal_ != nullptr; }
+  /// Migration epochs committed to the journal (0 = format snapshot only).
+  uint64_t journal_epochs() const {
+    return journal_ == nullptr || journal_->next_epoch() == 0
+               ? 0
+               : journal_->next_epoch() - 1;
+  }
+
   /// Executes (and commits) the planned bucket swaps: for each swap, both
   /// buckets' pages are read via the current assignment, the router is
   /// updated, and the images are written to the exchanged slots -- contents
@@ -116,9 +147,19 @@ class ShardedStore : public PageStore {
   /// boundary); the call returns with the shards quiescent again.
   ///
   /// Failure semantics: an error before any write leaves the store intact.
-  /// A write error mid-swap cannot be rolled back (no undo log), so the
-  /// store is invalidated (every subsequent operation fails until a
-  /// reformat) rather than left silently serving the wrong bucket's pages.
+  /// A write error mid-swap cannot be rolled back in RAM, so the store is
+  /// invalidated (every subsequent operation fails) rather than left
+  /// silently serving the wrong bucket's pages -- but with a meta journal
+  /// attached the swap's snapshot + redo record is already durable, so a
+  /// fresh instance can Recover() the exact committed state.
+  ///
+  /// With a journal each swap is one durable epoch: after both buckets are
+  /// read, a snapshot record (post-swap routing + the images about to be
+  /// written) is appended *before* any data-page write, and a completion
+  /// record after the copies drain. A crash while appending the snapshot
+  /// rolls the swap back (nothing was written); a crash after it rolls the
+  /// swap forward during recovery via the idempotent redo payload. Either
+  /// way recovery lands on a committed epoch, never a half-migrated state.
   Status MigrateBuckets(std::span<const ShardRouter::Swap> swaps,
                         ShardExecutor* executor);
 
@@ -157,6 +198,13 @@ class ShardedStore : public PageStore {
   /// cumulative counters (Format/Recover on possibly pre-worn devices).
   void SeedRouterEraseBaseline();
 
+  /// Builds a journal record snapshotting the router's *current* state.
+  MetaJournal::Record SnapshotRecord() const;
+  /// Replays a snapshot's redo payload (idempotent full-page writes),
+  /// inline or on the shards' workers.
+  Status ApplyRedo(const MetaJournal::Record& snapshot,
+                   ShardExecutor* executor);
+
   /// Logical pages striped onto shard `i` out of `total`.
   uint32_t ShardPageCount(uint32_t i, uint32_t total) const {
     const uint32_t s = num_shards();
@@ -166,6 +214,7 @@ class ShardedStore : public PageStore {
   std::vector<Shard> shards_;
   std::string name_;
   std::unique_ptr<ShardRouter> router_;
+  std::unique_ptr<MetaJournal> journal_;
   uint32_t num_pages_ = 0;
   bool formatted_ = false;
 };

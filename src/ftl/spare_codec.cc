@@ -55,6 +55,9 @@ SpareInfo DecodeSpare(ConstBytes spare) {
     case static_cast<uint8_t>(PageType::kOrig):
       info.type = PageType::kOrig;
       break;
+    case static_cast<uint8_t>(PageType::kMeta):
+      info.type = PageType::kMeta;
+      break;
     default:
       info.type = PageType::kInvalid;
       break;

@@ -29,6 +29,7 @@ enum class PageType : uint8_t {
   kData = 0xA6,  ///< Page-based methods' data page.
   kLog = 0x96,   ///< IPL log page.
   kOrig = 0x86,  ///< IPL original page.
+  kMeta = 0x3C,  ///< MetaJournal record frame (meta region only).
   kInvalid = 0x00,
 };
 

@@ -54,12 +54,12 @@ Status IplStore::Format(uint32_t num_logical_pages, PageInitializer initial,
   }
   const auto& g = dev_->geometry();
   num_groups_ = (num_logical_pages + orig_per_block_ - 1) / orig_per_block_;
-  if (num_groups_ + 1 > g.num_blocks) {
+  if (num_groups_ + 1 > g.num_data_blocks()) {
     return Status::NoSpace("IPL needs one block per " +
                            std::to_string(orig_per_block_) +
                            " logical pages plus one spare block");
   }
-  for (uint32_t b = 0; b < g.num_blocks; ++b) {
+  for (uint32_t b = 0; b < g.num_data_blocks(); ++b) {
     bool dirty = false;
     for (uint32_t p = 0; p < g.pages_per_block && !dirty; ++p) {
       dirty = !dev_->IsErased(dev_->AddrOf(b, p));
@@ -91,7 +91,7 @@ Status IplStore::Format(uint32_t num_logical_pages, PageInitializer initial,
           dev_->ProgramPage(dev_->AddrOf(grp, i), page, spare));
     }
   }
-  for (uint32_t b = num_groups_; b < g.num_blocks; ++b) {
+  for (uint32_t b = num_groups_; b < g.num_data_blocks(); ++b) {
     free_blocks_.push_back(b);
   }
   formatted_ = true;
@@ -380,7 +380,7 @@ Status IplStore::Recover() {
   uint32_t max_pid = 0;
   bool any = false;
 
-  for (uint32_t b = 0; b < g.num_blocks; ++b) {
+  for (uint32_t b = 0; b < g.num_data_blocks(); ++b) {
     if (dev_->IsErased(dev_->AddrOf(b, 0))) continue;  // free block
     FLASHDB_RETURN_IF_ERROR(dev_->ReadSpare(dev_->AddrOf(b, 0), spare));
     ftl::SpareInfo first = ftl::DecodeSpare(spare);
@@ -464,7 +464,7 @@ Status IplStore::Recover() {
   for (uint32_t b : losers) {
     FLASHDB_RETURN_IF_ERROR(dev_->EraseBlock(b));
   }
-  for (uint32_t b = 0; b < g.num_blocks; ++b) {
+  for (uint32_t b = 0; b < g.num_data_blocks(); ++b) {
     if (!used[b] && dev_->IsErased(dev_->AddrOf(b, 0))) {
       free_blocks_.push_back(b);
     }

@@ -21,10 +21,10 @@ Status IpuStore::Format(uint32_t num_logical_pages, PageInitializer initial,
         "num_logical_pages collides with the reserved pid sentinel");
   }
   const auto& g = dev_->geometry();
-  if (num_logical_pages > g.total_pages()) {
+  if (num_logical_pages > g.data_pages()) {
     return Status::NoSpace("IPU requires one physical page per logical page");
   }
-  for (uint32_t b = 0; b < g.num_blocks; ++b) {
+  for (uint32_t b = 0; b < g.num_data_blocks(); ++b) {
     bool dirty = false;
     for (uint32_t p = 0; p < g.pages_per_block && !dirty; ++p) {
       dirty = !dev_->IsErased(dev_->AddrOf(b, p));

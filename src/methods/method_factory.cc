@@ -114,6 +114,16 @@ std::unique_ptr<ftl::ShardedStore> CreateShardedStore(
   return std::make_unique<ftl::ShardedStore>(std::move(shards));
 }
 
+std::unique_ptr<ftl::ShardedStore> CreateShardedStoreOverDevices(
+    const std::vector<flash::FlashDevice*>& devices, const MethodSpec& spec) {
+  std::vector<ftl::ShardedStore::Shard> shards(devices.size());
+  for (size_t i = 0; i < devices.size(); ++i) {
+    shards[i].device = devices[i];
+    shards[i].store = CreateStore(devices[i], spec);
+  }
+  return std::make_unique<ftl::ShardedStore>(std::move(shards));
+}
+
 std::vector<MethodSpec> PaperMethodSet() {
   return {
       MethodSpec{MethodKind::kIpl, 18 * 1024},

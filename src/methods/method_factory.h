@@ -42,6 +42,13 @@ std::unique_ptr<ftl::ShardedStore> CreateShardedStore(
     const flash::FlashConfig& shard_config, uint32_t num_shards,
     const MethodSpec& spec);
 
+/// Builds a ShardedStore over caller-owned devices (the remount/recovery
+/// path: the devices -- and the flash images they hold -- outlive any one
+/// store instance). One `spec` store per device; all devices must share the
+/// page geometry.
+std::unique_ptr<ftl::ShardedStore> CreateShardedStoreOverDevices(
+    const std::vector<flash::FlashDevice*>& devices, const MethodSpec& spec);
+
 /// The six configurations evaluated in the paper's Experiment 1.
 std::vector<MethodSpec> PaperMethodSet();
 

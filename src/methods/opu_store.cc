@@ -15,7 +15,7 @@ OpuStore::OpuStore(flash::FlashDevice* dev, const OpuConfig& config)
       spare_size_(dev->geometry().spare_size),
       // Clamp the reserve on tiny chips (see PdlStore::EffectiveReserve).
       bm_(dev, std::min(config.gc_reserve_blocks,
-                        std::max(2u, dev->geometry().num_blocks / 8))),
+                        std::max(2u, dev->geometry().num_data_blocks() / 8))),
       map_(/*track_diffs=*/false),
       gc_policy_(ftl::MakeGcPolicy(config.gc_policy)) {}
 
@@ -26,7 +26,7 @@ Status OpuStore::Format(uint32_t num_logical_pages, PageInitializer initial,
         "num_logical_pages collides with the reserved pid sentinel");
   }
   const auto& g = dev_->geometry();
-  for (uint32_t b = 0; b < g.num_blocks; ++b) {
+  for (uint32_t b = 0; b < g.num_data_blocks(); ++b) {
     bool dirty = false;
     for (uint32_t p = 0; p < g.pages_per_block && !dirty; ++p) {
       dirty = !dev_->IsErased(dev_->AddrOf(b, p));
@@ -132,7 +132,7 @@ Status OpuStore::RunGcOnce() {
 Status OpuStore::Recover() {
   flash::CategoryScope cat(dev_, flash::OpCategory::kRecovery);
   const auto& g = dev_->geometry();
-  const uint32_t total = g.total_pages();
+  const uint32_t total = g.data_pages();
   bm_.Reset();
   clock_.Reset();
   map_.Reset(total, total);

@@ -26,7 +26,7 @@ PdlStore::PdlStore(flash::FlashDevice* dev, const PdlConfig& config)
       spare_size_(dev->geometry().spare_size),
       bm_(dev,
           EffectiveReserve(config.gc_reserve_blocks,
-                           dev->geometry().num_blocks),
+                           dev->geometry().num_data_blocks()),
           /*num_streams=*/2),
       buffer_(dev->geometry().data_size),
       map_(/*track_diffs=*/true),
@@ -60,8 +60,9 @@ Status PdlStore::Format(uint32_t num_logical_pages, PageInitializer initial,
   }
   FLASHDB_RETURN_IF_ERROR(ValidateConfig());
   const auto& g = dev_->geometry();
-  // Erase any previously programmed blocks so the chip starts clean.
-  for (uint32_t b = 0; b < g.num_blocks; ++b) {
+  // Erase any previously programmed data blocks so the chip starts clean
+  // (reserved meta blocks are the journal's, not ours).
+  for (uint32_t b = 0; b < g.num_data_blocks(); ++b) {
     bool dirty = false;
     for (uint32_t p = 0; p < g.pages_per_block && !dirty; ++p) {
       dirty = !dev_->IsErased(dev_->AddrOf(b, p));
@@ -426,7 +427,7 @@ Status PdlStore::Recover() {
   FLASHDB_RETURN_IF_ERROR(ValidateConfig());
   flash::CategoryScope cat(dev_, flash::OpCategory::kRecovery);
   const auto& g = dev_->geometry();
-  const uint32_t total = g.total_pages();
+  const uint32_t total = g.data_pages();
   bm_.Reset();
   clock_.Reset();
   buffer_.Clear();

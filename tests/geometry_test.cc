@@ -113,6 +113,44 @@ TEST(BlockManagerStreamsTest, StreamsUseDisjointOpenBlocks) {
   EXPECT_EQ(dev.PageInBlock(*a2), dev.PageInBlock(*a) + 1);
 }
 
+TEST(MetaGeometryTest, MetaRegionHelpersAndExclusion) {
+  FlashConfig cfg = FlashConfig::Small(16).WithMetaBlocks(4);
+  const auto& g = cfg.geometry;
+  EXPECT_EQ(g.num_data_blocks(), 12u);
+  EXPECT_EQ(g.data_pages(), 12u * g.pages_per_block);
+  EXPECT_EQ(g.first_meta_page(), g.data_pages());
+  EXPECT_EQ(g.total_pages(), 16u * g.pages_per_block);
+  EXPECT_EQ(g.data_capacity_bytes(),
+            static_cast<uint64_t>(g.data_pages()) * g.data_size);
+
+  // The allocator never hands out meta-region pages, even when exhausted.
+  FlashDevice dev(cfg);
+  ftl::BlockManager bm(&dev, 0);
+  uint64_t allocated = 0;
+  while (true) {
+    auto a = bm.AllocatePage(false, 0);
+    if (!a.ok()) break;
+    EXPECT_LT(*a, g.data_pages());
+    ++allocated;
+  }
+  EXPECT_EQ(allocated, g.data_pages());
+
+  // A journal-less store formatted on a meta-reserving chip sees only the
+  // data region (capacity checks, erase sweep, recovery scan).
+  auto spec = methods::ParseMethodSpec("OPU");
+  ASSERT_TRUE(spec.ok());
+  auto store = methods::CreateStore(&dev, *spec);
+  ASSERT_TRUE(store->Format(64, nullptr, nullptr).ok());
+  ByteBuffer buf(g.data_size);
+  ASSERT_TRUE(store->WriteBack(7, buf).ok());
+  ASSERT_TRUE(store->Recover().ok());
+  EXPECT_EQ(store->num_logical_pages(), 64u);
+  // Meta pages stayed erased through format, workload, and recovery.
+  for (uint32_t p = g.first_meta_page(); p < g.total_pages(); ++p) {
+    ASSERT_TRUE(dev.IsErased(p)) << "meta page " << p << " touched";
+  }
+}
+
 TEST(BlockManagerStreamsTest, InvalidStreamRejected) {
   FlashDevice dev(FlashConfig::Small(4));
   ftl::BlockManager bm(&dev, 1, /*num_streams=*/2);

@@ -62,10 +62,15 @@ TEST(ShardRouterTest, EnableRebalancingValidates) {
   EXPECT_TRUE(router.rebalancing_enabled());
   EXPECT_EQ(router.buckets_per_shard(), 4u);
 
-  // Reconfiguring is legal until a swap commits, then refused.
+  // After a swap commits, re-enabling at the current granularity stays legal
+  // (the journaled-recovery path depends on it) but re-granulating -- which
+  // would scramble the migrated pid mapping -- is refused.
   router.Reset(64);
   router.CommitSwap(ShardRouter::Swap{0, 1});
-  EXPECT_FALSE(router.EnableRebalancing(good).ok());
+  EXPECT_TRUE(router.EnableRebalancing(good).ok());
+  WearLevelConfig regranulate = good;
+  regranulate.buckets_per_shard = 8;
+  EXPECT_FALSE(router.EnableRebalancing(regranulate).ok());
 }
 
 TEST(ShardRouterTest, SwapBookkeeping) {
@@ -368,6 +373,244 @@ TEST(ShardRouterTest, MigrationIsDeterministicAcrossModes) {
     ASSERT_TRUE(pipe.store->ReadPage(pid, b).ok());
     EXPECT_TRUE(BytesEqual(a, b)) << "pid " << pid;
   }
+}
+
+// --- Durable routing: journaled recovery ----------------------------------
+
+TEST(ShardRouterTest, RestoreValidates) {
+  ShardRouter router(2, 2);
+  router.Reset(16);
+  // Wrong bucket-vector length.
+  std::vector<uint32_t> shards = {0, 1, 0};
+  std::vector<uint32_t> slots = {0, 0, 1};
+  std::vector<uint64_t> baseline = {0, 0};
+  EXPECT_FALSE(router.Restore(16, 2, shards, slots, 1, baseline).ok());
+  // Duplicate (shard, slot) pair.
+  shards = {0, 0, 1, 1};
+  slots = {0, 0, 0, 1};
+  EXPECT_FALSE(router.Restore(16, 2, shards, slots, 1, baseline).ok());
+  // Wrong baseline length.
+  shards = {1, 0, 0, 1};
+  slots = {0, 0, 1, 1};
+  EXPECT_FALSE(
+      router.Restore(16, 2, shards, slots, 1, std::vector<uint64_t>{3}).ok());
+  // A legal post-swap assignment (buckets 0 and 1 exchanged).
+  baseline = {11, 22};
+  ASSERT_TRUE(router.Restore(16, 2, shards, slots, 1, baseline).ok());
+  EXPECT_FALSE(router.is_identity());
+  EXPECT_EQ(router.swaps_committed(), 1u);
+  EXPECT_EQ(router.shard_of(0), 1u);
+  EXPECT_EQ(router.shard_of(1), 0u);
+  EXPECT_EQ(router.erase_baseline(), baseline);
+  // Re-enabling wear leveling at the restored granularity is legal; changing
+  // the granularity under migrated data is not.
+  WearLevelConfig cfg;
+  cfg.buckets_per_shard = 2;
+  EXPECT_TRUE(router.EnableRebalancing(cfg).ok());
+  cfg.buckets_per_shard = 4;
+  EXPECT_FALSE(router.EnableRebalancing(cfg).ok());
+}
+
+struct DurableRig {
+  std::vector<std::unique_ptr<flash::FlashDevice>> devices;
+  std::vector<flash::FlashDevice*> device_ptrs;
+  std::unique_ptr<ShardedStore> store;
+};
+
+/// Journal-enabled 2-shard store over caller-owned devices, formatted with
+/// distinctive per-pid images and migrated once (buckets 0 <-> 1).
+DurableRig BuildDurableRig(bool migrate, uint32_t shards = 2,
+                           uint32_t pages = 96) {
+  auto spec = methods::ParseMethodSpec("OPU");
+  EXPECT_TRUE(spec.ok());
+  DurableRig rig;
+  const FlashConfig cfg = FlashConfig::Small(12).WithMetaBlocks(4);
+  for (uint32_t i = 0; i < shards; ++i) {
+    rig.devices.push_back(std::make_unique<flash::FlashDevice>(cfg));
+    rig.device_ptrs.push_back(rig.devices.back().get());
+  }
+  rig.store = methods::CreateShardedStoreOverDevices(rig.device_ptrs, *spec);
+  EXPECT_TRUE(rig.store->EnableMetaJournal().ok());
+  EXPECT_TRUE(rig.store->Format(pages, nullptr, nullptr).ok());
+  ByteBuffer image(cfg.geometry.data_size);
+  for (PageId pid = 0; pid < pages; ++pid) {
+    std::fill(image.begin(), image.end(),
+              static_cast<uint8_t>(0xA7 ^ (pid & 0xFF)));
+    EXPECT_TRUE(rig.store->WriteBack(pid, image).ok());
+  }
+  if (migrate) {
+    const std::vector<ShardRouter::Swap> swaps = {ShardRouter::Swap{0, 1}};
+    EXPECT_TRUE(rig.store->MigrateBuckets(swaps, nullptr).ok());
+    EXPECT_EQ(rig.store->router()->swaps_committed(), 1u);
+  }
+  return rig;
+}
+
+TEST(ShardRouterTest, JournaledStoreRecoversAfterMigration) {
+  DurableRig rig = BuildDurableRig(/*migrate=*/true);
+  const uint32_t pages = rig.store->num_logical_pages();
+  rig.store.reset();  // crash: the in-RAM tables die, the devices survive
+
+  auto spec = methods::ParseMethodSpec("OPU");
+  ASSERT_TRUE(spec.ok());
+  auto recovered =
+      methods::CreateShardedStoreOverDevices(rig.device_ptrs, *spec);
+  ASSERT_TRUE(recovered->EnableMetaJournal().ok());
+  ASSERT_TRUE(recovered->Recover().ok());
+
+  EXPECT_EQ(recovered->num_logical_pages(), pages);
+  EXPECT_EQ(recovered->router()->swaps_committed(), 1u);
+  EXPECT_EQ(recovered->shard_of(0), 1u);  // the migrated routing survived
+  EXPECT_EQ(recovered->shard_of(1), 0u);
+  ByteBuffer expect(rig.devices[0]->geometry().data_size);
+  ByteBuffer got(expect.size());
+  for (PageId pid = 0; pid < pages; ++pid) {
+    std::fill(expect.begin(), expect.end(),
+              static_cast<uint8_t>(0xA7 ^ (pid & 0xFF)));
+    ASSERT_TRUE(recovered->ReadPage(pid, got).ok()) << pid;
+    EXPECT_TRUE(BytesEqual(expect, got)) << "pid " << pid;
+  }
+}
+
+// Regression for the wear-seeding path: recovery must be idempotent. The
+// legacy behavior re-seeded the router's erase-delta baseline from the
+// chips' *current* cumulative counters on every Recover(), silently
+// forgetting any imbalance accumulated since the last plan; with the journal
+// the persisted baseline is restored instead, so repeated Format/Recover
+// cycles leave bit-identical router state.
+TEST(ShardRouterTest, RecoveryIsIdempotentAcrossCycles) {
+  DurableRig rig = BuildDurableRig(/*migrate=*/true);
+  const std::vector<uint64_t> persisted_baseline =
+      rig.store->router()->erase_baseline();
+  rig.store.reset();
+
+  auto spec = methods::ParseMethodSpec("OPU");
+  ASSERT_TRUE(spec.ok());
+  std::vector<uint64_t> baselines[2];
+  std::vector<uint64_t> swap_counts;
+  for (int cycle = 0; cycle < 2; ++cycle) {
+    auto rec = methods::CreateShardedStoreOverDevices(rig.device_ptrs, *spec);
+    ASSERT_TRUE(rec->EnableMetaJournal().ok());
+    ASSERT_TRUE(rec->Recover().ok());
+    baselines[cycle] = rec->router()->erase_baseline();
+    swap_counts.push_back(rec->router()->swaps_committed());
+    // Recovery itself wears the chips (obsolete marks); the restored
+    // baseline must come from the journal, not from the current counters.
+    EXPECT_EQ(baselines[cycle], persisted_baseline) << "cycle " << cycle;
+  }
+  EXPECT_EQ(baselines[0], baselines[1]);
+  EXPECT_EQ(swap_counts[0], swap_counts[1]);
+}
+
+// The per-chip recoveries are independent scans: dispatching them to the
+// shard workers must produce bit-identical post-recovery state (contents,
+// clocks, erase counts) to a sequential recovery of an identical crash
+// image.
+TEST(ShardRouterTest, ParallelRecoveryMatchesSequential) {
+  constexpr uint32_t kShards = 4;
+  DurableRig seq_rig = BuildDurableRig(/*migrate=*/true, kShards, 160);
+  DurableRig par_rig = BuildDurableRig(/*migrate=*/true, kShards, 160);
+  seq_rig.store.reset();
+  par_rig.store.reset();
+
+  auto spec = methods::ParseMethodSpec("OPU");
+  ASSERT_TRUE(spec.ok());
+  auto seq =
+      methods::CreateShardedStoreOverDevices(seq_rig.device_ptrs, *spec);
+  ASSERT_TRUE(seq->EnableMetaJournal().ok());
+  ASSERT_TRUE(seq->Recover().ok());
+
+  auto par =
+      methods::CreateShardedStoreOverDevices(par_rig.device_ptrs, *spec);
+  ASSERT_TRUE(par->EnableMetaJournal().ok());
+  {
+    ShardExecutor executor(kShards);
+    ASSERT_TRUE(par->Recover(&executor).ok());
+  }
+
+  EXPECT_EQ(seq->shard_clocks(), par->shard_clocks());
+  EXPECT_EQ(seq->shard_erases(), par->shard_erases());
+  EXPECT_EQ(seq->router()->swaps_committed(),
+            par->router()->swaps_committed());
+  ByteBuffer a(seq_rig.devices[0]->geometry().data_size);
+  ByteBuffer b(a.size());
+  for (PageId pid = 0; pid < seq->num_logical_pages(); ++pid) {
+    ASSERT_TRUE(seq->ReadPage(pid, a).ok());
+    ASSERT_TRUE(par->ReadPage(pid, b).ok());
+    EXPECT_TRUE(BytesEqual(a, b)) << "pid " << pid;
+  }
+}
+
+// Journal appends happen on the submitting thread at drained epoch
+// boundaries, so a journaled store's migrations must stay inside the
+// bit-determinism envelope: sequential and threaded execution of the same
+// schedule leave identical chip clocks, swap counts, and journal epochs.
+TEST(ShardRouterTest, JournaledMigrationsStayDeterministicAcrossModes) {
+  auto spec = methods::ParseMethodSpec("OPU");
+  ASSERT_TRUE(spec.ok());
+  constexpr uint32_t kShards = 4;
+  auto build = [&](Schedule* schedule) {
+    struct Rig {
+      std::vector<std::unique_ptr<flash::FlashDevice>> devices;
+      std::unique_ptr<ShardedStore> store;
+      std::unique_ptr<UpdateDriver> driver;
+    };
+    Rig rig;
+    std::vector<flash::FlashDevice*> ptrs;
+    const FlashConfig cfg = FlashConfig::Small(12).WithMetaBlocks(4);
+    for (uint32_t i = 0; i < kShards; ++i) {
+      rig.devices.push_back(std::make_unique<flash::FlashDevice>(cfg));
+      ptrs.push_back(rig.devices.back().get());
+    }
+    rig.store = methods::CreateShardedStoreOverDevices(ptrs, *spec);
+    EXPECT_TRUE(rig.store->EnableMetaJournal().ok());
+    WearLevelConfig wl;
+    wl.buckets_per_shard = 8;
+    wl.max_erase_ratio = 1.25;
+    wl.min_total_erases = 32;
+    EXPECT_TRUE(rig.store->router()->EnableRebalancing(wl).ok());
+    WorkloadParams params;
+    params.hot_shard_pct = 90.0;
+    params.rebalance_epoch_ops = 400;
+    rig.driver = std::make_unique<UpdateDriver>(rig.store.get(), params);
+    EXPECT_TRUE(rig.driver->LoadDatabase(160).ok());
+    EXPECT_TRUE(rig.driver->Warmup(1.0, 4000).ok());
+    *schedule = rig.driver->MakeSchedule(3000);
+    return rig;
+  };
+
+  Schedule schedule_seq;
+  auto seq = build(&schedule_seq);
+  RunStats stats_seq;
+  ASSERT_TRUE(seq.driver->RunBatched(schedule_seq, 8, &stats_seq).ok());
+
+  Schedule schedule_par;
+  auto par = build(&schedule_par);
+  RunStats stats_par;
+  {
+    ShardExecutor executor(kShards);
+    ASSERT_TRUE(
+        par.driver->RunParallel(schedule_par, 8, &executor, &stats_par).ok());
+  }
+
+  EXPECT_GT(stats_seq.migrations, 0u);
+  EXPECT_EQ(stats_seq.migrations, stats_par.migrations);
+  EXPECT_EQ(seq.store->shard_clocks(), par.store->shard_clocks());
+  EXPECT_EQ(seq.store->shard_erases(), par.store->shard_erases());
+  EXPECT_EQ(seq.store->journal_epochs(), par.store->journal_epochs());
+  EXPECT_EQ(seq.store->journal_epochs(), stats_seq.migrations);
+}
+
+// A journal-less store keeps the legacy contract: same-instance recovery
+// after migrations is refused (the volatile table cannot be rebuilt).
+TEST(ShardRouterTest, JournallessMigratedStoreStillRefusesRecovery) {
+  auto spec = methods::ParseMethodSpec("OPU");
+  ASSERT_TRUE(spec.ok());
+  auto store = methods::CreateShardedStore(FlashConfig::Small(8), 2, *spec);
+  ASSERT_TRUE(store->Format(64, nullptr, nullptr).ok());
+  const std::vector<ShardRouter::Swap> swaps = {ShardRouter::Swap{0, 1}};
+  ASSERT_TRUE(store->MigrateBuckets(swaps, nullptr).ok());
+  EXPECT_FALSE(store->Recover().ok());
 }
 
 }  // namespace

@@ -24,3 +24,10 @@ mkdir -p "$OUT_DIR"
 # and the max/min erase-delta ratio is meaningful rather than x/0.
 "$BUILD_DIR/exp11_wear" --blocks=64 --ops=6000 --warmup-max=8000 --epoch=500 \
     --json="$OUT_DIR/exp11_wear.json"
+
+# Crash recovery of the journaled store: virtual recovery times are
+# deterministic for fixed seed/flags and gate tightly; the roundtrip and
+# determinism columns are the correctness acceptance (recovered state must
+# preserve swaps and read back bit-identical, sequential == executor).
+"$BUILD_DIR/exp12_recovery" --blocks=64 --ops=2000 --warmup-max=3000 \
+    --json="$OUT_DIR/exp12_recovery.json"
