@@ -49,6 +49,13 @@ struct PipelinePoint {
   double kops_per_sec = 0;
   double parallel_us_per_op = 0;
   double lag_ms = 0;
+  // Stall attribution: gc/meta are induced virtual-time device traffic
+  // (deterministic); wait_ms is the wall-clock the producer spent parked on
+  // per-shard credits (RunPipelined only, min over reps, noisy -- reported,
+  // never gated).
+  double gc_us_per_op = 0;
+  double meta_us_per_op = 0;
+  double wait_ms = 0;
   bool deterministic = true;
   bool checked = false;
 };
@@ -135,6 +142,12 @@ Result<PipelinePoint> RunPoint(const harness::ExperimentEnv& env,
         static_cast<double>(run.store->parallel_time_us() - parallel0) /
         static_cast<double>(env.measure_ops);
     point.lag_ms = static_cast<double>(run.store->shard_lag_us()) / 1000.0;
+    const double ops = static_cast<double>(env.measure_ops);
+    point.gc_us_per_op = static_cast<double>(stats.gc.total_us()) / ops;
+    point.meta_us_per_op = static_cast<double>(stats.meta.total_us()) / ops;
+    const double wait_ms =
+        static_cast<double>(stats.credit_wait_ns) / 1e6;
+    if (rep == 0 || wait_ms < point.wait_ms) point.wait_ms = wait_ms;
     last_store = std::move(run.store);
   }
   point.kops_per_sec =
@@ -201,7 +214,8 @@ int main(int argc, char** argv) {
 
   const std::vector<std::string> method_names = {"PDL(256B)", "OPU"};
   TablePrinter tbl({"Method", "Mode", "K", "wall_ms", "kops/s", "speedup",
-                    "lag_ms", "par us/op", "determinism"});
+                    "lag_ms", "par us/op", "gc us/op", "meta us/op",
+                    "wait_ms", "determinism"});
   int failures = 0;
   for (const std::string& name : method_names) {
     auto spec = methods::ParseMethodSpec(name);
@@ -234,6 +248,9 @@ int main(int argc, char** argv) {
                   TablePrinter::Num(speedup, 2) + "x",
                   TablePrinter::Num(point->lag_ms, 1),
                   TablePrinter::Num(point->parallel_us_per_op),
+                  TablePrinter::Num(point->gc_us_per_op),
+                  TablePrinter::Num(point->meta_us_per_op),
+                  TablePrinter::Num(point->wait_ms, 2),
                   point->checked ? (point->deterministic ? "ok" : "FAIL")
                                  : "-"});
     }

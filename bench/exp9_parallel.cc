@@ -39,6 +39,11 @@ struct ParallelPoint {
   double kops_per_sec = 0;
   double parallel_us_per_op = 0;
   double total_us_per_op = 0;
+  // Stall attribution (virtual time, deterministic): where the per-op cost
+  // beyond raw command latency went.
+  double gc_us_per_op = 0;
+  double meta_us_per_op = 0;
+  double plane_stall_us_per_op = 0;
   bool deterministic = true;
   bool checked = false;
 };
@@ -117,6 +122,11 @@ Result<ParallelPoint> RunParallelPoint(const harness::ExperimentEnv& env,
   point.total_us_per_op =
       static_cast<double>(run.store->total_work_us() - total0) /
       static_cast<double>(env.measure_ops);
+  const double ops = static_cast<double>(env.measure_ops);
+  point.gc_us_per_op = static_cast<double>(stats.gc.total_us()) / ops;
+  point.meta_us_per_op = static_cast<double>(stats.meta.total_us()) / ops;
+  point.plane_stall_us_per_op =
+      static_cast<double>(stats.plane_stall_us) / ops;
 
   if (check) {
     // Replay the identical schedule sequentially on an identically prepared
@@ -166,7 +176,8 @@ int main(int argc, char** argv) {
 
   const std::vector<std::string> method_names = {"PDL(256B)", "OPU"};
   TablePrinter tbl({"Method", "Shards", "Batch", "wall_ms", "kops/s",
-                    "speedup", "par us/op", "total us/op", "determinism"});
+                    "speedup", "par us/op", "total us/op", "gc us/op",
+                    "meta us/op", "stall us/op", "determinism"});
   int failures = 0;
   for (const std::string& name : method_names) {
     auto spec = methods::ParseMethodSpec(name);
@@ -194,6 +205,9 @@ int main(int argc, char** argv) {
                     TablePrinter::Num(speedup, 2) + "x",
                     TablePrinter::Num(point->parallel_us_per_op),
                     TablePrinter::Num(point->total_us_per_op),
+                    TablePrinter::Num(point->gc_us_per_op),
+                    TablePrinter::Num(point->meta_us_per_op),
+                    TablePrinter::Num(point->plane_stall_us_per_op),
                     point->checked ? (point->deterministic ? "ok" : "FAIL")
                                    : "-"});
       }

@@ -19,6 +19,13 @@ class SimClock {
   /// Advances the clock by `us` microseconds.
   void Advance(uint64_t us) { now_us_ += us; }
 
+  /// Advances the clock to absolute time `t_us` if it lies in the future;
+  /// a monotonic max used by the per-plane device model, where the chip
+  /// clock is the completion time of the latest-finishing plane.
+  void AdvanceTo(uint64_t t_us) {
+    if (t_us > now_us_) now_us_ = t_us;
+  }
+
   /// Resets to time zero (used between experiment phases).
   void Reset() { now_us_ = 0; }
 

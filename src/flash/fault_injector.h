@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <stdexcept>
+#include <vector>
 
 namespace flashdb::flash {
 
@@ -35,6 +36,15 @@ class FaultInjector {
   /// Called after a mutating operation was applied. Throw PowerLossError to
   /// simulate a crash with the operation fully applied (atomic programming).
   virtual void AfterMutation(OpKind kind, uint32_t addr) = 0;
+
+  /// Called after validation, before a mutation is applied. Returning true
+  /// makes the device fail the operation with Status::IOError and leave the
+  /// cells untouched -- the model for a worn-out block whose erase no longer
+  /// completes (a *grown* bad block). Unlike power loss this is a recoverable
+  /// per-operation error the FTL must handle in-line. Default: never fail.
+  virtual bool FailMutation(OpKind /*kind*/, uint32_t /*addr*/) {
+    return false;
+  }
 };
 
 /// Cuts power when a countdown of mutating operations reaches zero.
@@ -69,6 +79,55 @@ class CountdownFaultInjector : public FaultInjector {
   uint64_t remaining_;
   bool cut_after_apply_;
   bool armed_ = true;
+};
+
+/// Fails the Nth erase the device attempts (0 = the next one), simulating a
+/// block wearing out mid-workload. Which block grows bad is therefore decided
+/// by the workload itself -- deterministic for a fixed schedule -- and the
+/// injector records it for the test to inspect. A block that has failed once
+/// keeps failing on every later erase (a worn-out block stays worn out), so
+/// the per-block retry after a failed multi-plane command re-discovers the
+/// same bad block; other blocks succeed until Arm() schedules another
+/// failure.
+class EraseFailureInjector : public FaultInjector {
+ public:
+  explicit EraseFailureInjector(uint32_t pages_per_block)
+      : pages_per_block_(pages_per_block) {}
+
+  void BeforeMutation(OpKind, uint32_t) override {}
+  void AfterMutation(OpKind, uint32_t) override {}
+
+  bool FailMutation(OpKind kind, uint32_t addr) override {
+    if (kind != OpKind::kErase) return false;
+    const uint32_t block = addr / pages_per_block_;
+    for (uint32_t b : failed_blocks_) {
+      if (b == block) return true;
+    }
+    if (!armed_) return false;
+    if (countdown_ > 0) {
+      --countdown_;
+      return false;
+    }
+    armed_ = false;
+    failed_blocks_.push_back(block);
+    return true;
+  }
+
+  /// Schedules the `skip_erases`-th erase from now to fail.
+  void Arm(uint64_t skip_erases = 0) {
+    armed_ = true;
+    countdown_ = skip_erases;
+  }
+
+  bool armed() const { return armed_; }
+  /// Blocks whose erase was failed, in failure order.
+  const std::vector<uint32_t>& failed_blocks() const { return failed_blocks_; }
+
+ private:
+  uint32_t pages_per_block_;
+  uint64_t countdown_ = 0;
+  bool armed_ = false;
+  std::vector<uint32_t> failed_blocks_;
 };
 
 }  // namespace flashdb::flash

@@ -26,12 +26,27 @@ FlashDevice::FlashDevice(const FlashConfig& config) : config_(config) {
                  g.meta_blocks, g.num_blocks);
     std::abort();
   }
+  if (g.dies_per_chip == 0 || g.planes_per_die == 0) {
+    std::fprintf(stderr,
+                 "FlashDevice: dies_per_chip and planes_per_die must be >= 1\n");
+    std::abort();
+  }
+  if (g.meta_blocks % g.planes_per_chip() != 0) {
+    std::fprintf(stderr,
+                 "FlashDevice: meta_blocks (%u) must be a whole plane stripe "
+                 "(multiple of %u) -- use FlashConfig::WithMetaBlocks\n",
+                 g.meta_blocks, g.planes_per_chip());
+    std::abort();
+  }
   data_.assign(static_cast<size_t>(g.total_pages()) * g.data_size, 0xFF);
   spare_.assign(static_cast<size_t>(g.total_pages()) * g.spare_size, 0xFF);
   data_programs_.assign(g.total_pages(), 0);
   spare_programs_.assign(g.total_pages(), 0);
   block_frontier_.assign(g.num_blocks, -1);
+  plane_ready_us_.assign(g.planes_per_chip(), 0);
+  plane_last_prog_.assign(g.planes_per_chip(), kNullAddr);
   stats_.block_erase_counts.assign(g.num_blocks, 0);
+  stats_.plane.assign(g.planes_per_chip(), PlaneCounters{});
 }
 
 Status FlashDevice::CheckAddr(PhysAddr addr) const {
@@ -42,35 +57,62 @@ Status FlashDevice::CheckAddr(PhysAddr addr) const {
   return Status::OK();
 }
 
-void FlashDevice::Charge(OpKind kind) {
-  uint64_t us = 0;
+void FlashDevice::ChargeCounters(OpKind kind, uint64_t us, uint64_t count) {
   OpCounters& total = stats_.total;
   OpCounters& cat = stats_.by_category[static_cast<int>(category_)];
   switch (kind) {
     case OpKind::kRead:
-      us = config_.timing.read_us;
-      total.reads++;
+      total.reads += count;
       total.read_us += us;
-      cat.reads++;
+      cat.reads += count;
       cat.read_us += us;
       break;
     case OpKind::kProgram:
     case OpKind::kProgramSpare:
-      us = config_.timing.write_us;
-      total.writes++;
+      total.writes += count;
       total.write_us += us;
-      cat.writes++;
+      cat.writes += count;
       cat.write_us += us;
       break;
     case OpKind::kErase:
-      us = config_.timing.erase_us;
-      total.erases++;
+      total.erases += count;
       total.erase_us += us;
-      cat.erases++;
+      cat.erases += count;
       cat.erase_us += us;
       break;
   }
-  clock_.Advance(us);
+}
+
+void FlashDevice::SyncPlanesToClock() {
+  const uint64_t now = clock_.now_us();
+  if (now == clock_seen_us_) return;
+  // The clock moved outside the device (an explicit Advance by harness code,
+  // or a Reset). Host time passes with every plane idle, so ready floors
+  // move up to now; a backwards move (Reset) rebases every plane.
+  for (auto& r : plane_ready_us_) {
+    if (now < clock_seen_us_ || now > r) r = now;
+  }
+  clock_seen_us_ = now;
+}
+
+void FlashDevice::OccupyPlane(uint32_t plane, uint64_t us) {
+  SyncPlanesToClock();
+  uint64_t min_ready = plane_ready_us_[0];
+  for (uint64_t r : plane_ready_us_) min_ready = r < min_ready ? r : min_ready;
+  const uint64_t start = plane_ready_us_[plane];
+  const uint64_t end = start + us;
+  plane_ready_us_[plane] = end;
+  PlaneCounters& pc = stats_.plane[plane];
+  pc.ops++;
+  pc.busy_us += us;
+  pc.stall_us += start - min_ready;
+  clock_.AdvanceTo(end);
+  clock_seen_us_ = clock_.now_us();
+}
+
+void FlashDevice::Charge(OpKind kind, PhysAddr addr, uint64_t us) {
+  ChargeCounters(kind, us, 1);
+  OccupyPlane(config_.geometry.plane_of_block(BlockOf(addr)), us);
 }
 
 Status FlashDevice::ReadPage(PhysAddr addr, MutBytes data, MutBytes spare) {
@@ -83,7 +125,7 @@ Status FlashDevice::ReadPage(PhysAddr addr, MutBytes data, MutBytes spare) {
   if (!spare.empty() && spare.size() != g.spare_size) {
     return Status::InvalidArgument("spare buffer must be exactly spare_size");
   }
-  Charge(OpKind::kRead);
+  Charge(OpKind::kRead, addr, config_.timing.read_us);
   if (!data.empty()) {
     CopyBytes(data, ConstBytes(data_.data() + static_cast<size_t>(addr) * g.data_size,
                                g.data_size));
@@ -149,9 +191,13 @@ Status FlashDevice::ProgramImpl(PhysAddr addr, ConstBytes data,
         " in block " + std::to_string(block));
   }
 
+  const OpKind kind = data.empty() ? OpKind::kProgramSpare : OpKind::kProgram;
   if (fault_injector_ != nullptr) {
-    fault_injector_->BeforeMutation(
-        data.empty() ? OpKind::kProgramSpare : OpKind::kProgram, addr);
+    fault_injector_->BeforeMutation(kind, addr);
+    if (fault_injector_->FailMutation(kind, addr)) {
+      return Status::IOError("program failed (grown bad block) at page " +
+                             std::to_string(addr));
+    }
   }
 
   if (!data.empty()) {
@@ -169,25 +215,33 @@ Status FlashDevice::ProgramImpl(PhysAddr addr, ConstBytes data,
   if (first_program && page > block_frontier_[block]) {
     block_frontier_[block] = page;
   }
-  Charge(data.empty() ? OpKind::kProgramSpare : OpKind::kProgram);
+
+  // Cache-program: a full-page first program that directly extends the
+  // previous program chain on its plane (next page of the same block) hides
+  // the data load behind the array busy time and charges the cheaper
+  // latency. Any other program breaks the plane's chain. With the default
+  // cache_write_us == 0 the charge is identical either way.
+  const uint32_t plane = g.plane_of_block(block);
+  uint64_t us = config_.timing.write_us;
+  if (kind == OpKind::kProgram && first_program) {
+    const PhysAddr prev = plane_last_prog_[plane];
+    if (prev != kNullAddr && addr == prev + 1 && BlockOf(prev) == block) {
+      us = config_.timing.effective_cache_write_us();
+    }
+    plane_last_prog_[plane] = addr;
+  } else {
+    plane_last_prog_[plane] = kNullAddr;
+  }
+  Charge(kind, addr, us);
 
   if (fault_injector_ != nullptr) {
-    fault_injector_->AfterMutation(
-        data.empty() ? OpKind::kProgramSpare : OpKind::kProgram, addr);
+    fault_injector_->AfterMutation(kind, addr);
   }
   return Status::OK();
 }
 
-Status FlashDevice::EraseBlock(uint32_t block) {
-  ConfinementScope confined(this);
+void FlashDevice::ApplyErase(uint32_t block) {
   const auto& g = config_.geometry;
-  if (block >= g.num_blocks) {
-    return Status::InvalidArgument("block out of range: " +
-                                   std::to_string(block));
-  }
-  if (fault_injector_ != nullptr) {
-    fault_injector_->BeforeMutation(OpKind::kErase, AddrOf(block, 0));
-  }
   const PhysAddr first = AddrOf(block, 0);
   std::fill(data_.begin() + static_cast<size_t>(first) * g.data_size,
             data_.begin() + static_cast<size_t>(first + g.pages_per_block) *
@@ -202,10 +256,140 @@ Status FlashDevice::EraseBlock(uint32_t block) {
     spare_programs_[first + p] = 0;
   }
   block_frontier_[block] = -1;
+  // Any array operation other than the next sequential program ends a
+  // cache-program sequence, so an erase breaks its whole plane's chain, not
+  // just the chain of the erased block.
+  plane_last_prog_[g.plane_of_block(block)] = kNullAddr;
   stats_.block_erase_counts[block]++;
-  Charge(OpKind::kErase);
+}
+
+Status FlashDevice::EraseBlock(uint32_t block) {
+  ConfinementScope confined(this);
+  const auto& g = config_.geometry;
+  if (block >= g.num_blocks) {
+    return Status::InvalidArgument("block out of range: " +
+                                   std::to_string(block));
+  }
+  const PhysAddr first = AddrOf(block, 0);
+  if (fault_injector_ != nullptr) {
+    fault_injector_->BeforeMutation(OpKind::kErase, first);
+    if (fault_injector_->FailMutation(OpKind::kErase, first)) {
+      // The chip spends the erase latency before reporting failure; the
+      // cells keep their pre-erase contents and the block's wear counter
+      // does not advance (nothing was erased).
+      ChargeCounters(OpKind::kErase, config_.timing.erase_us, 1);
+      OccupyPlane(g.plane_of_block(block), config_.timing.erase_us);
+      return Status::IOError("erase failed (grown bad block) at block " +
+                             std::to_string(block));
+    }
+  }
+  ApplyErase(block);
+  Charge(OpKind::kErase, first, config_.timing.erase_us);
   if (fault_injector_ != nullptr) {
     fault_injector_->AfterMutation(OpKind::kErase, first);
+  }
+  return Status::OK();
+}
+
+Status FlashDevice::EraseBlocksMultiPlane(const std::vector<uint32_t>& blocks) {
+  ConfinementScope confined(this);
+  const auto& g = config_.geometry;
+  if (blocks.empty() || blocks.size() > g.planes_per_die) {
+    return Status::InvalidArgument(
+        "multi-plane erase takes 1.." + std::to_string(g.planes_per_die) +
+        " blocks, got " + std::to_string(blocks.size()));
+  }
+  uint32_t die = 0;
+  uint32_t seen_planes = 0;  // bitmask; planes_per_chip is small
+  for (size_t i = 0; i < blocks.size(); ++i) {
+    if (blocks[i] >= g.num_blocks) {
+      return Status::InvalidArgument("block out of range: " +
+                                     std::to_string(blocks[i]));
+    }
+    const uint32_t d = g.die_of_block(blocks[i]);
+    if (i == 0) {
+      die = d;
+    } else if (d != die) {
+      return Status::InvalidArgument(
+          "multi-plane erase spans dies " + std::to_string(die) + " and " +
+          std::to_string(d));
+    }
+    const uint32_t bit = 1u << g.plane_of_block(blocks[i]);
+    if (seen_planes & bit) {
+      return Status::InvalidArgument(
+          "multi-plane erase repeats plane " +
+          std::to_string(g.plane_of_block(blocks[i])));
+    }
+    seen_planes |= bit;
+  }
+  if (fault_injector_ != nullptr) {
+    for (uint32_t b : blocks) {
+      fault_injector_->BeforeMutation(OpKind::kErase, AddrOf(b, 0));
+    }
+    for (uint32_t b : blocks) {
+      if (fault_injector_->FailMutation(OpKind::kErase, AddrOf(b, 0))) {
+        // One plane failing fails the whole command with nothing erased;
+        // the FTL retries per block to isolate the grown bad block.
+        return Status::IOError("multi-plane erase failed at block " +
+                               std::to_string(b));
+      }
+    }
+  }
+  for (uint32_t b : blocks) ApplyErase(b);
+
+  // One command's worth of array time, all involved planes in lockstep from
+  // the latest of their ready times; the op still counts as |blocks| block
+  // erases for wear/throughput accounting.
+  const uint64_t us = config_.timing.effective_multiplane_erase_us();
+  ChargeCounters(OpKind::kErase, us, blocks.size());
+  SyncPlanesToClock();
+  uint64_t min_ready = plane_ready_us_[0];
+  for (uint64_t r : plane_ready_us_) min_ready = r < min_ready ? r : min_ready;
+  uint64_t start = 0;
+  for (uint32_t b : blocks) {
+    const uint64_t r = plane_ready_us_[g.plane_of_block(b)];
+    start = r > start ? r : start;
+  }
+  const uint64_t end = start + us;
+  for (uint32_t b : blocks) {
+    const uint32_t plane = g.plane_of_block(b);
+    plane_ready_us_[plane] = end;
+    PlaneCounters& pc = stats_.plane[plane];
+    pc.ops++;
+    pc.busy_us += us;
+    pc.stall_us += start - min_ready;
+  }
+  clock_.AdvanceTo(end);
+  clock_seen_us_ = clock_.now_us();
+
+  if (fault_injector_ != nullptr) {
+    for (uint32_t b : blocks) {
+      fault_injector_->AfterMutation(OpKind::kErase, AddrOf(b, 0));
+    }
+  }
+  return Status::OK();
+}
+
+Status FlashDevice::MarkBadBlockOob(uint32_t block) {
+  ConfinementScope confined(this);
+  const auto& g = config_.geometry;
+  if (block >= g.num_blocks) {
+    return Status::InvalidArgument("block out of range: " +
+                                   std::to_string(block));
+  }
+  const PhysAddr addr = AddrOf(block, 0);
+  if (fault_injector_ != nullptr) {
+    fault_injector_->BeforeMutation(OpKind::kProgramSpare, addr);
+  }
+  // Clear the mark byte directly: budgets and the sequential rule do not
+  // apply to bad-block marking (the block is leaving service regardless).
+  spare_[static_cast<size_t>(addr) * g.spare_size + kBadBlockOobOffset] = 0x00;
+  if (spare_programs_[addr] < 0xFF) spare_programs_[addr]++;
+  const uint32_t plane = g.plane_of_block(block);
+  plane_last_prog_[plane] = kNullAddr;
+  Charge(OpKind::kProgramSpare, addr, config_.timing.write_us);
+  if (fault_injector_ != nullptr) {
+    fault_injector_->AfterMutation(OpKind::kProgramSpare, addr);
   }
   return Status::OK();
 }
@@ -225,6 +409,11 @@ uint32_t FlashDevice::SpareProgramCount(PhysAddr addr) const {
 void FlashDevice::ResetAccounting() {
   stats_.Reset();
   clock_.Reset();
+  // Plane ready times rebase with the clock; the cache-program chain is a
+  // timing artifact, so phases start with it broken for independence.
+  plane_ready_us_.assign(plane_ready_us_.size(), 0);
+  plane_last_prog_.assign(plane_last_prog_.size(), kNullAddr);
+  clock_seen_us_ = 0;
 }
 
 ConstBytes FlashDevice::RawData(PhysAddr addr) const {

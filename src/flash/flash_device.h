@@ -12,6 +12,13 @@
 // SimClock and updates FlashStats, so "I/O time" in experiments is the exact
 // deterministic sum of operation costs — the same accounting the paper's
 // emulator used.
+//
+// The chip is subdivided into dies and planes (FlashGeometry); operations on
+// distinct planes overlap in virtual time while same-plane operations
+// serialize. Each plane keeps a ready time; an op occupies its plane from
+// that ready time and the chip clock is the completion time of the
+// latest-finishing plane. On the default 1-die x 1-plane geometry this
+// reduces exactly to the historical serial clock.
 
 #ifndef FLASHDB_FLASH_FLASH_DEVICE_H_
 #define FLASHDB_FLASH_FLASH_DEVICE_H_
@@ -35,6 +42,14 @@ using PhysAddr = uint32_t;
 
 /// Sentinel for "no physical page".
 inline constexpr PhysAddr kNullAddr = 0xFFFFFFFFu;
+
+/// Byte offset inside a page's spare area holding the bad-block mark: 0xFF
+/// on a good block, any cleared bit marks the block bad. The mark lives in
+/// page 0's spare, past the ftl::spare_codec encoded region, mirroring the
+/// OOB convention of real NAND (vendors mark factory bad blocks in the OOB
+/// of the first page). Owned by the flash layer so the device can program it
+/// without depending on the FTL's codec.
+inline constexpr uint32_t kBadBlockOobOffset = 20;
 
 /// The emulated chip. NOT internally synchronized: the storage stack relies
 /// on *shard confinement* for thread safety -- a device (and the PageStore
@@ -102,7 +117,28 @@ class FlashDevice {
   }
 
   /// Erases a whole block (all pages back to 0xFF). Charges one Terase.
+  /// Fails with IOError -- cells untouched, block not counted as erased --
+  /// when the fault injector reports a grown bad block (the chip still
+  /// charges the erase latency before reporting the failure).
   Status EraseBlock(uint32_t block);
+
+  /// Erases up to planes_per_die blocks with one multi-plane command. All
+  /// blocks must sit on the same die, on pairwise-distinct planes (the
+  /// same-block-offset restriction of early multi-plane chips is relaxed, as
+  /// on modern parts). Charges effective_multiplane_erase_us() once; the
+  /// involved planes go busy in lockstep from the latest of their ready
+  /// times. Each block's wear counter still increments individually. If any
+  /// block's erase would fail (grown bad block), the whole command fails
+  /// with IOError and no block is erased -- callers then retry individually
+  /// to isolate the bad block, mirroring real FTL practice.
+  Status EraseBlocksMultiPlane(const std::vector<uint32_t>& blocks);
+
+  /// Programs the bad-block mark byte (ftl::kBadBlockOobOffset) in the spare
+  /// area of the block's page 0, bypassing partial-program budgets and the
+  /// sequential rule: marking must succeed even on a worn-out block that no
+  /// longer erases. Charges one spare program. Never fails for in-range
+  /// blocks (the fault injector may still cut power around it).
+  Status MarkBadBlockOob(uint32_t block);
 
   /// True if the page has never been programmed since its last erase.
   bool IsErased(PhysAddr addr) const;
@@ -132,6 +168,11 @@ class FlashDevice {
   ConstBytes RawData(PhysAddr addr) const;
   /// Direct, cost-free access to a page's spare area for test assertions.
   ConstBytes RawSpare(PhysAddr addr) const;
+  /// Cost-free check of the bad-block OOB mark (test assertions; the FTL
+  /// pays for real reads when it scans).
+  bool HasBadBlockOob(uint32_t block) const {
+    return RawSpare(AddrOf(block, 0))[kBadBlockOobOffset] != 0xFF;
+  }
 
  private:
   /// Enforces the shard-confinement contract: entered by every device
@@ -155,7 +196,18 @@ class FlashDevice {
   /// whose stored result would differ from `src` (lost 1-bits).
   Status ProgramCells(uint8_t* dst, ConstBytes src, PhysAddr addr,
                       const char* area, bool strict);
-  void Charge(OpKind kind);
+  /// Updates op counts and work-time totals: `count` operations summing to
+  /// `us` of array time (multi-plane commands pass count > 1, us once).
+  void ChargeCounters(OpKind kind, uint64_t us, uint64_t count);
+  /// Advances the per-plane virtual-time model: the op starts at the plane's
+  /// ready time and the chip clock moves to the latest plane completion.
+  void OccupyPlane(uint32_t plane, uint64_t us);
+  /// Counters + single-plane occupancy for the plane owning `addr`.
+  void Charge(OpKind kind, PhysAddr addr, uint64_t us);
+  /// Re-floors plane ready times after an external clock Advance()/Reset().
+  void SyncPlanesToClock();
+  /// Resets the cells, program budgets and frontier of one block.
+  void ApplyErase(uint32_t block);
 
   FlashConfig config_;
   ByteBuffer data_;                        ///< num pages * data_size
@@ -163,6 +215,15 @@ class FlashDevice {
   std::vector<uint8_t> data_programs_;     ///< per-page data program count
   std::vector<uint8_t> spare_programs_;    ///< per-page spare program count
   std::vector<int32_t> block_frontier_;    ///< highest first-programmed page
+  /// Virtual time at which each plane finishes its queued work. The chip
+  /// clock is always max(plane_ready_us_) after an operation; with one plane
+  /// the model degenerates to plain SimClock::Advance, bit for bit.
+  std::vector<uint64_t> plane_ready_us_;
+  /// Last full-page program per plane (cache-program chain head), kNullAddr
+  /// when the chain is broken (erase / partial program on the plane).
+  std::vector<PhysAddr> plane_last_prog_;
+  /// clock_.now_us() as of the last device op; detects external advances.
+  uint64_t clock_seen_us_ = 0;
   SimClock clock_;
   FlashStats stats_;
   OpCategory category_ = OpCategory::kDefault;

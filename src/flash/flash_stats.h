@@ -95,20 +95,47 @@ inline WearSummary SummarizeWear(const std::vector<uint32_t>& erase_counts) {
   return w;
 }
 
+/// Per-plane activity under the die/plane virtual-time model. `busy_us` is
+/// the virtual time the plane's array was executing operations; `stall_us`
+/// accumulates, for each op issued to the plane, how long the plane's ready
+/// time lagged the chip's least-loaded plane at issue (i.e. time the op spent
+/// queued behind same-plane work that a free plane could not absorb). With a
+/// single plane both stay trivially stall-free.
+struct PlaneCounters {
+  uint64_t ops = 0;
+  uint64_t busy_us = 0;
+  uint64_t stall_us = 0;
+};
+
 /// Snapshot-friendly statistics block owned by the device.
 struct FlashStats {
   OpCounters total;
   std::array<OpCounters, kNumOpCategories> by_category;
   std::vector<uint32_t> block_erase_counts;  ///< Per-block wear (longevity).
+  std::vector<PlaneCounters> plane;          ///< Per-plane busy/stall model.
 
   /// Wear distribution over all blocks in the snapshot (max/min/mean/cv).
   WearSummary wear() const { return SummarizeWear(block_erase_counts); }
+
+  /// Sum of per-plane stall time (0 on single-plane chips).
+  uint64_t plane_stall_us() const {
+    uint64_t s = 0;
+    for (const auto& p : plane) s += p.stall_us;
+    return s;
+  }
+  /// Sum of per-plane busy time (equals total.total_us() on 1-plane chips).
+  uint64_t plane_busy_us() const {
+    uint64_t s = 0;
+    for (const auto& p : plane) s += p.busy_us;
+    return s;
+  }
 
   /// Resets all counters (geometry-sized vectors keep their size).
   void Reset() {
     total = OpCounters{};
     by_category.fill(OpCounters{});
     for (auto& e : block_erase_counts) e = 0;
+    for (auto& p : plane) p = PlaneCounters{};
   }
 };
 

@@ -11,9 +11,12 @@ BlockManager::BlockManager(flash::FlashDevice* dev, uint32_t gc_reserve_blocks,
                            uint32_t num_streams)
     : dev_(dev),
       gc_reserve_blocks_(gc_reserve_blocks),
-      open_block_(num_streams == 0 ? 1 : num_streams, -1),
-      next_page_(num_streams == 0 ? 1 : num_streams, 0) {
+      num_streams_(num_streams == 0 ? 1 : num_streams),
+      num_planes_(dev->geometry().planes_per_chip()) {
   pages_per_block_ = dev_->geometry().pages_per_block;
+  open_block_.assign(static_cast<size_t>(num_streams_) * num_planes_, -1);
+  next_page_.assign(static_cast<size_t>(num_streams_) * num_planes_, 0);
+  plane_cursor_.assign(num_streams_, 0);
   Reset();
 }
 
@@ -22,43 +25,68 @@ void BlockManager::Reset() {
   page_state_.assign(g.total_pages(), PageState::kFree);
   block_obsolete_.assign(g.num_blocks, 0);
   block_programmed_.assign(g.num_blocks, 0);
-  free_blocks_.clear();
+  free_by_plane_.assign(num_planes_, {});
+  num_free_blocks_ = 0;
   // Only the data region is allocatable: the trailing meta_blocks (if any)
   // belong to the durable-metadata journal and must never be handed to the
-  // page-update method or erased by GC.
-  for (uint32_t b = 0; b < g.num_data_blocks(); ++b) free_blocks_.push_back(b);
+  // page-update method or erased by GC. Ascending block order per plane, so
+  // the 1-plane layout matches the historical single free list exactly.
+  for (uint32_t b = 0; b < g.num_data_blocks(); ++b) {
+    free_by_plane_[g.plane_of_block(b)].push_back(b);
+    ++num_free_blocks_;
+  }
   std::fill(open_block_.begin(), open_block_.end(), -1);
   std::fill(next_page_.begin(), next_page_.end(), 0);
+  std::fill(plane_cursor_.begin(), plane_cursor_.end(), 0);
+  bad_block_.assign(g.num_blocks, 0);
+  num_bad_blocks_ = 0;
 }
 
-Status BlockManager::OpenNewBlock(bool for_gc, uint32_t stream) {
+Status BlockManager::OpenNewBlock(bool for_gc, uint32_t stream,
+                                  uint32_t plane) {
   const uint32_t reserve = for_gc ? 0 : gc_reserve_blocks_;
-  if (free_blocks_.size() <= reserve) {
-    return Status::NoSpace("free blocks (" +
-                           std::to_string(free_blocks_.size()) +
+  if (num_free_blocks_ <= reserve) {
+    return Status::NoSpace("free blocks (" + std::to_string(num_free_blocks_) +
                            ") at or below reserve (" + std::to_string(reserve) +
                            ")");
   }
-  open_block_[stream] = free_blocks_.front();
-  free_blocks_.pop_front();
-  next_page_[stream] = 0;
+  auto& fl = free_by_plane_[plane];
+  if (fl.empty()) {
+    // Other planes still have blocks; the caller routes around this plane.
+    return Status::NoSpace("plane " + std::to_string(plane) +
+                           " has no free blocks");
+  }
+  const size_t slot = Slot(stream, plane);
+  open_block_[slot] = fl.front();
+  fl.pop_front();
+  --num_free_blocks_;
+  next_page_[slot] = 0;
   return Status::OK();
 }
 
 Result<flash::PhysAddr> BlockManager::AllocatePage(bool for_gc,
                                                    uint32_t stream) {
-  if (stream >= num_streams()) {
+  if (stream >= num_streams_) {
     return Status::InvalidArgument("bad allocation stream");
   }
-  if (open_block_[stream] < 0 || next_page_[stream] >= pages_per_block_) {
-    FLASHDB_RETURN_IF_ERROR(OpenNewBlock(for_gc, stream));
+  for (uint32_t attempt = 0; attempt < num_planes_; ++attempt) {
+    const uint32_t plane = (plane_cursor_[stream] + attempt) % num_planes_;
+    const size_t slot = Slot(stream, plane);
+    if (open_block_[slot] < 0 || next_page_[slot] >= pages_per_block_) {
+      if (!OpenNewBlock(for_gc, stream, plane).ok()) continue;
+    }
+    const uint32_t block = static_cast<uint32_t>(open_block_[slot]);
+    const flash::PhysAddr addr = dev_->AddrOf(block, next_page_[slot]);
+    ++next_page_[slot];
+    page_state_[addr] = PageState::kValid;
+    block_programmed_[block]++;
+    plane_cursor_[stream] = (plane + 1) % num_planes_;
+    return addr;
   }
-  const flash::PhysAddr addr = dev_->AddrOf(
-      static_cast<uint32_t>(open_block_[stream]), next_page_[stream]);
-  ++next_page_[stream];
-  page_state_[addr] = PageState::kValid;
-  block_programmed_[static_cast<uint32_t>(open_block_[stream])]++;
-  return addr;
+  const uint32_t reserve = for_gc ? 0 : gc_reserve_blocks_;
+  return Status::NoSpace("free blocks (" + std::to_string(num_free_blocks_) +
+                         ") at or below reserve (" + std::to_string(reserve) +
+                         ")");
 }
 
 void BlockManager::SetValidForRecovery(flash::PhysAddr addr) {
@@ -69,11 +97,29 @@ void BlockManager::SetObsoleteForRecovery(flash::PhysAddr addr) {
   page_state_[addr] = PageState::kObsolete;
 }
 
+void BlockManager::MarkBadForRecovery(uint32_t block) {
+  if (bad_block_[block]) return;
+  bad_block_[block] = 1;
+  ++num_bad_blocks_;
+  auto& fl = free_by_plane_[dev_->geometry().plane_of_block(block)];
+  auto it = std::find(fl.begin(), fl.end(), block);
+  if (it != fl.end()) {
+    fl.erase(it);
+    --num_free_blocks_;
+  }
+  // Defensive: a bad block must never be an open block.
+  for (auto& ob : open_block_) {
+    if (ob == static_cast<int64_t>(block)) ob = -1;
+  }
+}
+
 void BlockManager::FinalizeRecovery() {
   const auto& g = dev_->geometry();
-  free_blocks_.clear();
+  for (auto& fl : free_by_plane_) fl.clear();
+  num_free_blocks_ = 0;
   std::fill(open_block_.begin(), open_block_.end(), -1);
   std::fill(next_page_.begin(), next_page_.end(), 0);
+  std::fill(plane_cursor_.begin(), plane_cursor_.end(), 0);
   for (uint32_t b = 0; b < g.num_data_blocks(); ++b) {
     uint32_t programmed = 0;
     uint32_t obsolete = 0;
@@ -93,8 +139,13 @@ void BlockManager::FinalizeRecovery() {
     }
     block_programmed_[b] = programmed;
     block_obsolete_[b] = obsolete;
+    if (bad_block_[b]) {
+      // Out of service: never freed, never a victim (GC policies skip it).
+      continue;
+    }
     if (programmed == 0) {
-      free_blocks_.push_back(b);
+      free_by_plane_[g.plane_of_block(b)].push_back(b);
+      ++num_free_blocks_;
     } else if (programmed < pages_per_block_) {
       // Treat as closed: mark the unprogrammed tail unusable until erased by
       // accounting it as programmed (it is reclaimed when the block is
@@ -122,25 +173,93 @@ bool BlockManager::LowOnSpace(uint32_t stream) const {
   // Replenish the reserve proactively: garbage collection itself may need to
   // open up to the full reserve of blocks mid-run, so the free count must
   // never linger below it just because an open block still has room.
-  if (free_blocks_.size() < gc_reserve_blocks_) return true;
-  if (open_block_[stream] >= 0 && next_page_[stream] < pages_per_block_) {
-    return false;
+  if (num_free_blocks_ < gc_reserve_blocks_) return true;
+  for (uint32_t plane = 0; plane < num_planes_; ++plane) {
+    const size_t slot = Slot(stream, plane);
+    if (open_block_[slot] >= 0 && next_page_[slot] < pages_per_block_) {
+      return false;
+    }
   }
-  return free_blocks_.size() <= gc_reserve_blocks_;
+  return num_free_blocks_ <= gc_reserve_blocks_;
+}
+
+void BlockManager::FreeErasedBlock(uint32_t block) {
+  for (uint32_t p = 0; p < pages_per_block_; ++p) {
+    page_state_[dev_->AddrOf(block, p)] = PageState::kFree;
+  }
+  block_obsolete_[block] = 0;
+  block_programmed_[block] = 0;
+  free_by_plane_[dev_->geometry().plane_of_block(block)].push_back(block);
+  ++num_free_blocks_;
+}
+
+Status BlockManager::MarkGrownBad(uint32_t block) {
+  // The erase latency was already charged by the failed attempt; the mark
+  // itself costs one spare program. Pages keep their (obsolete) contents,
+  // so a later recovery scan sees both the old spares and the OOB mark.
+  FLASHDB_RETURN_IF_ERROR(dev_->MarkBadBlockOob(block));
+  if (!bad_block_[block]) {
+    bad_block_[block] = 1;
+    ++num_bad_blocks_;
+  }
+  return Status::OK();
 }
 
 Status BlockManager::EraseAndFree(uint32_t block) {
   if (IsOpenBlock(block)) {
     return Status::InvalidArgument("cannot erase an open block");
   }
-  FLASHDB_RETURN_IF_ERROR(dev_->EraseBlock(block));
-  for (uint32_t p = 0; p < pages_per_block_; ++p) {
-    page_state_[dev_->AddrOf(block, p)] = PageState::kFree;
+  if (bad_block_[block]) {
+    return Status::InvalidArgument("cannot erase bad block " +
+                                   std::to_string(block));
   }
-  block_obsolete_[block] = 0;
-  block_programmed_[block] = 0;
-  free_blocks_.push_back(block);
+  Status st = dev_->EraseBlock(block);
+  if (!st.ok()) {
+    if (st.code() == StatusCode::kIOError) {
+      // Grown bad block: take it out of service and keep running -- the
+      // capacity loss is the device wearing out, not a store failure.
+      return MarkGrownBad(block);
+    }
+    return st;
+  }
+  FreeErasedBlock(block);
   return Status::OK();
+}
+
+Status BlockManager::EraseAndFreeGroup(const std::vector<uint32_t>& blocks) {
+  if (blocks.empty()) return Status::OK();
+  if (blocks.size() == 1 || dev_->geometry().planes_per_die <= 1) {
+    for (uint32_t b : blocks) FLASHDB_RETURN_IF_ERROR(EraseAndFree(b));
+    return Status::OK();
+  }
+  for (uint32_t b : blocks) {
+    if (IsOpenBlock(b)) {
+      return Status::InvalidArgument("cannot erase an open block");
+    }
+    if (bad_block_[b]) {
+      return Status::InvalidArgument("cannot erase bad block " +
+                                     std::to_string(b));
+    }
+  }
+  Status st = dev_->EraseBlocksMultiPlane(blocks);
+  if (st.ok()) {
+    for (uint32_t b : blocks) FreeErasedBlock(b);
+    return Status::OK();
+  }
+  // The multi-plane command failed (a grown bad block poisons the whole
+  // command, like real chips' per-plane status). Retry block by block: the
+  // good planes get erased, the bad one is marked and taken out of service.
+  for (uint32_t b : blocks) FLASHDB_RETURN_IF_ERROR(EraseAndFree(b));
+  return Status::OK();
+}
+
+std::vector<uint32_t> BlockManager::bad_blocks() const {
+  std::vector<uint32_t> out;
+  out.reserve(num_bad_blocks_);
+  for (uint32_t b = 0; b < static_cast<uint32_t>(bad_block_.size()); ++b) {
+    if (bad_block_[b]) out.push_back(b);
+  }
+  return out;
 }
 
 uint64_t BlockManager::CountValidPages() const {
@@ -151,8 +270,21 @@ uint64_t BlockManager::CountValidPages() const {
 
 uint64_t BlockManager::usable_pages() const {
   const auto& g = dev_->geometry();
-  return static_cast<uint64_t>(g.num_data_blocks() - gc_reserve_blocks_) *
-         pages_per_block_;
+  const uint64_t reserved = static_cast<uint64_t>(gc_reserve_blocks_) +
+                            num_bad_blocks_;
+  if (reserved >= g.num_data_blocks()) return 0;
+  return (g.num_data_blocks() - reserved) * pages_per_block_;
+}
+
+Result<std::vector<uint32_t>> ScanFactoryBadBlocks(flash::FlashDevice* dev) {
+  const auto& g = dev->geometry();
+  std::vector<uint32_t> bad;
+  ByteBuffer spare(g.spare_size);
+  for (uint32_t b = 0; b < g.num_data_blocks(); ++b) {
+    FLASHDB_RETURN_IF_ERROR(dev->ReadSpare(dev->AddrOf(b, 0), spare));
+    if (DecodeSpare(spare).bad_block) bad.push_back(b);
+  }
+  return bad;
 }
 
 }  // namespace flashdb::ftl

@@ -16,20 +16,37 @@ std::string_view GcPolicyKindName(GcPolicyKind kind) {
 
 namespace {
 
+/// Common eligibility: open, free, and bad blocks are never victims, and a
+/// plane-restricted context only sees its own plane.
+bool Eligible(const BlockManager& bm, const GcScoreContext& ctx, uint32_t b) {
+  if (bm.IsOpenBlock(b)) return false;
+  if (bm.block_programmed(b) == 0) return false;  // free block
+  if (bm.is_bad_block(b)) return false;
+  if (ctx.only_plane >= 0 &&
+      bm.plane_of_block(b) != static_cast<uint32_t>(ctx.only_plane)) {
+    return false;
+  }
+  return true;
+}
+
 class GreedyObsoletePolicy : public GcPolicy {
  public:
   std::string_view name() const override { return "greedy-obsolete"; }
 
+  uint64_t ScoreBlock(const BlockManager& bm, const GcScoreContext&,
+                      uint32_t block) const override {
+    // Reclaimable = obsolete pages; a block whose pages are all valid
+    // yields nothing and would loop forever, so callers require >= 1.
+    return bm.block_obsolete(block);
+  }
+
   std::optional<uint32_t> PickVictim(const BlockManager& bm,
-                                     const GcScoreContext&) const override {
+                                     const GcScoreContext& ctx) const override {
     std::optional<uint32_t> best;
-    uint32_t best_score = 0;
+    uint64_t best_score = 0;
     for (uint32_t b = 0; b < bm.num_blocks(); ++b) {
-      if (bm.IsOpenBlock(b)) continue;
-      if (bm.block_programmed(b) == 0) continue;  // free block
-      // Reclaimable = obsolete pages; a block whose pages are all valid
-      // yields nothing and would loop forever, so require at least one.
-      const uint32_t score = bm.block_obsolete(b);
+      if (!Eligible(bm, ctx, b)) continue;
+      const uint64_t score = ScoreBlock(bm, ctx, b);
       if (score > best_score) {
         best_score = score;
         best = b;
@@ -43,28 +60,33 @@ class CostBenefitBytesPolicy : public GcPolicy {
  public:
   std::string_view name() const override { return "cost-benefit-bytes"; }
 
+  uint64_t ScoreBlock(const BlockManager& bm, const GcScoreContext& ctx,
+                      uint32_t block) const override {
+    const uint32_t ppb = bm.pages_per_block();
+    uint64_t score = 0;
+    for (uint32_t p = 0; p < ppb; ++p) {
+      const flash::PhysAddr addr = bm.AddrOf(block, p);
+      switch (bm.state(addr)) {
+        case PageState::kFree:
+          break;
+        case PageState::kObsolete:
+          score += ctx.full_page_score;
+          break;
+        case PageState::kValid:
+          if (ctx.valid_page_score) score += ctx.valid_page_score(addr);
+          break;
+      }
+    }
+    return score;
+  }
+
   std::optional<uint32_t> PickVictim(const BlockManager& bm,
                                      const GcScoreContext& ctx) const override {
-    const uint32_t ppb = bm.pages_per_block();
     std::optional<uint32_t> best;
     uint64_t best_score = ctx.min_score == 0 ? 1 : ctx.min_score;
     for (uint32_t b = 0; b < bm.num_blocks(); ++b) {
-      if (bm.IsOpenBlock(b)) continue;
-      if (bm.block_programmed(b) == 0) continue;  // free block
-      uint64_t score = 0;
-      for (uint32_t p = 0; p < ppb; ++p) {
-        const flash::PhysAddr addr = bm.AddrOf(b, p);
-        switch (bm.state(addr)) {
-          case PageState::kFree:
-            break;
-          case PageState::kObsolete:
-            score += ctx.full_page_score;
-            break;
-          case PageState::kValid:
-            if (ctx.valid_page_score) score += ctx.valid_page_score(addr);
-            break;
-        }
-      }
+      if (!Eligible(bm, ctx, b)) continue;
+      const uint64_t score = ScoreBlock(bm, ctx, b);
       if (score >= best_score) {
         best_score = score + 1;
         best = b;
@@ -84,6 +106,33 @@ std::unique_ptr<GcPolicy> MakeGcPolicy(GcPolicyKind kind) {
       return std::make_unique<CostBenefitBytesPolicy>();
   }
   return nullptr;
+}
+
+std::vector<uint32_t> PickVictimGroup(const GcPolicy& policy,
+                                      const BlockManager& bm,
+                                      const GcScoreContext& ctx) {
+  std::vector<uint32_t> group;
+  const auto lead = policy.PickVictim(bm, ctx);
+  if (!lead.has_value()) return group;
+  group.push_back(*lead);
+  const uint32_t planes_per_die = bm.planes_per_die();
+  if (planes_per_die <= 1 || ctx.only_plane >= 0) return group;
+
+  const uint64_t lead_score = policy.ScoreBlock(bm, ctx, *lead);
+  const uint32_t lead_plane = bm.plane_of_block(*lead);
+  const uint32_t die_first_plane = lead_plane / planes_per_die * planes_per_die;
+  for (uint32_t p = die_first_plane; p < die_first_plane + planes_per_die;
+       ++p) {
+    if (p == lead_plane) continue;
+    GcScoreContext plane_ctx = ctx;
+    plane_ctx.only_plane = static_cast<int64_t>(p);
+    const auto candidate = policy.PickVictim(bm, plane_ctx);
+    if (!candidate.has_value()) continue;
+    if (policy.ScoreBlock(bm, ctx, *candidate) * 2 >= lead_score) {
+      group.push_back(*candidate);
+    }
+  }
+  return group;
 }
 
 }  // namespace flashdb::ftl

@@ -23,6 +23,7 @@
 #include <memory>
 #include <optional>
 #include <string_view>
+#include <vector>
 
 #include "flash/flash_device.h"
 
@@ -47,6 +48,9 @@ struct GcScoreContext {
   /// Score of a valid page -- e.g. the dead bytes reclaimable by compacting
   /// a differential page. Null means valid pages score 0.
   std::function<uint64_t(flash::PhysAddr)> valid_page_score;
+  /// When >= 0, only blocks of this plane are eligible (used to assemble
+  /// multi-plane victim groups plane by plane). -1 considers every plane.
+  int64_t only_plane = -1;
 };
 
 /// See file comment.
@@ -67,12 +71,30 @@ class GcPolicy {
   virtual std::string_view name() const = 0;
 
   /// Returns the closed block to reclaim next, or nullopt when no closed
-  /// block is worth collecting. Never returns an open block or a free block.
+  /// block is worth collecting. Never returns an open block, a free block,
+  /// or a bad block; honors ctx.only_plane.
   virtual std::optional<uint32_t> PickVictim(
       const BlockManager& bm, const GcScoreContext& ctx) const = 0;
+
+  /// This policy's score for one block (the quantity PickVictim maximizes).
+  /// Exposed so victim-group assembly can compare candidates across planes.
+  virtual uint64_t ScoreBlock(const BlockManager& bm, const GcScoreContext& ctx,
+                              uint32_t block) const = 0;
 };
 
 std::unique_ptr<GcPolicy> MakeGcPolicy(GcPolicyKind kind);
+
+/// Assembles a multi-plane victim group: the policy's global best victim
+/// plus, for every other plane of the same die, that plane's best victim if
+/// it scores at least half the lead's score (a weak secondary victim would
+/// force relocating nearly a block of valid data to save one erase command).
+/// Returns an empty vector when there is no victim at all; a single-element
+/// group on 1-plane chips (bit-identical to PickVictim). The group satisfies
+/// FlashDevice::EraseBlocksMultiPlane's same-die / distinct-plane rule by
+/// construction. Deterministic: plane slots are scanned in ascending order.
+std::vector<uint32_t> PickVictimGroup(const GcPolicy& policy,
+                                      const BlockManager& bm,
+                                      const GcScoreContext& ctx);
 
 }  // namespace flashdb::ftl
 

@@ -78,7 +78,13 @@ Status ForEachProgrammedSpare(
   for (flash::PhysAddr addr = 0; addr < total; ++addr) {
     FLASHDB_RETURN_IF_ERROR(dev->ReadSpare(addr, spare));
     const SpareInfo info = DecodeSpare(spare);
-    if (!info.programmed) continue;  // free page
+    if (!info.programmed) {
+      // A free page is skipped -- except page 0 of a block carrying the
+      // bad-block OOB mark (a factory-bad block is otherwise erased), which
+      // is surfaced so recovery can take the block out of service. No extra
+      // reads: every spare in the region is read regardless.
+      if (!(info.bad_block && dev->PageInBlock(addr) == 0)) continue;
+    }
     FLASHDB_RETURN_IF_ERROR(fn(addr, info));
   }
   return Status::OK();

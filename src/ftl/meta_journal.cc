@@ -108,6 +108,11 @@ std::vector<uint8_t> MetaJournal::Serialize(const Record& rec) const {
   for (uint32_t v : rec.slot_of_bucket) w.PutU32(v);
   w.PutU32(static_cast<uint32_t>(rec.erase_baseline.size()));
   for (uint64_t v : rec.erase_baseline) w.PutU64(v);
+  w.PutU32(static_cast<uint32_t>(rec.bad_blocks.size()));
+  for (const std::vector<uint32_t>& list : rec.bad_blocks) {
+    w.PutU32(static_cast<uint32_t>(list.size()));
+    for (uint32_t b : list) w.PutU32(b);
+  }
   w.PutU32(static_cast<uint32_t>(rec.redo.size()));
   for (const RedoSet& set : rec.redo) {
     w.PutU32(set.shard);
@@ -160,6 +165,19 @@ Status MetaJournal::Deserialize(ConstBytes bytes, Record* rec) {
   }
   rec->erase_baseline.resize(baselines);
   for (uint64_t& v : rec->erase_baseline) v = r.GetU64();
+  const uint32_t bad_lists = r.GetU32();
+  if (r.failed() || bad_lists != rec->num_shards) {
+    return Status::Corruption("meta snapshot bad-block list count mismatch");
+  }
+  rec->bad_blocks.assign(bad_lists, {});
+  for (std::vector<uint32_t>& list : rec->bad_blocks) {
+    const uint32_t n = r.GetU32();
+    if (r.failed() || r.remaining() < static_cast<size_t>(n) * 4) {
+      return Status::Corruption("meta snapshot bad-block list truncated");
+    }
+    list.resize(n);
+    for (uint32_t& b : list) b = r.GetU32();
+  }
   const uint32_t redo_sets = r.GetU32();
   if (r.failed()) return Status::Corruption("meta snapshot truncated");
   rec->redo.resize(redo_sets);
@@ -193,6 +211,8 @@ uint32_t MetaJournal::frames_needed(const Record& rec) const {
     bytes += 4 + rec.shard_of_bucket.size() * 4  // bucket count + tables
              + rec.slot_of_bucket.size() * 4;
     bytes += 4 + rec.erase_baseline.size() * 8;  // baseline count + values
+    bytes += 4;                                  // bad-block list count
+    for (const auto& list : rec.bad_blocks) bytes += 4 + list.size() * 4;
     bytes += 4;                                  // redo-set count
     for (const RedoSet& set : rec.redo) {
       bytes += 12 + set.inner_pids.size() * 4 +

@@ -114,6 +114,11 @@ class MetaJournal {
     std::vector<uint32_t> shard_of_bucket;  ///< num_buckets entries.
     std::vector<uint32_t> slot_of_bucket;   ///< num_buckets entries.
     std::vector<uint64_t> erase_baseline;   ///< num_shards entries.
+    /// Bad blocks each shard has taken out of service, num_shards entries
+    /// (ascending block ids per shard). Replayed into the shards before
+    /// their device scans so the exclusion survives a crash that cut power
+    /// before an OOB mark reached flash.
+    std::vector<std::vector<uint32_t>> bad_blocks;
     std::vector<RedoSet> redo;              ///< Empty for format snapshots.
   };
 

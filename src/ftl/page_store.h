@@ -30,6 +30,7 @@
 #include <span>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/bytes.h"
 #include "common/status.h"
@@ -126,6 +127,20 @@ class PageStore {
 
   /// Number of logical pages the store was formatted with.
   virtual uint32_t num_logical_pages() const = 0;
+
+  /// Blocks this store has taken out of service as bad (factory-marked in
+  /// the OOB or grown from an erase failure), ascending. Methods without
+  /// block management report none. The sharded store persists these lists in
+  /// its metadata journal so remounts exclude bad blocks deterministically.
+  virtual std::vector<uint32_t> bad_blocks() const { return {}; }
+
+  /// Seeds a persisted bad-block list to apply at the start of the next
+  /// Recover(), before the device scan. The scan rediscovers OOB marks on
+  /// its own; the seed keeps the exclusion deterministic even when a crash
+  /// cut power before the mark program reached flash. Default: ignored.
+  virtual void NoteBadBlocksForRecovery(const std::vector<uint32_t>& blocks) {
+    (void)blocks;
+  }
 
   /// Underlying device. Single-chip stores return their chip; aggregating
   /// stores return a representative device (geometry inspection only --

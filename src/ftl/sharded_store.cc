@@ -68,6 +68,10 @@ MetaJournal::Record ShardedStore::SnapshotRecord() const {
     rec.slot_of_bucket[b] = router_->bucket_slot(b);
   }
   rec.erase_baseline = router_->erase_baseline();
+  rec.bad_blocks.reserve(num_shards());
+  for (const Shard& s : shards_) {
+    rec.bad_blocks.push_back(s.store->bad_blocks());
+  }
   return rec;
 }
 
@@ -192,6 +196,14 @@ Status ShardedStore::Recover(ShardExecutor* executor) {
           "meta journal snapshot describes " +
           std::to_string(snap.num_shards) + " shards, store has " +
           std::to_string(num_shards()));
+    }
+    // Seed the journaled bad-block lists before the chip scans: a crash may
+    // have cut power between the in-RAM exclusion and the OOB mark program,
+    // and the scan alone would silently return such a block to service.
+    for (uint32_t i = 0; i < num_shards(); ++i) {
+      if (i < snap.bad_blocks.size() && !snap.bad_blocks[i].empty()) {
+        shards_[i].store->NoteBadBlocksForRecovery(snap.bad_blocks[i]);
+      }
     }
   }
 
@@ -521,6 +533,10 @@ flash::FlashStats ShardedStore::stats() {
     agg.block_erase_counts.insert(agg.block_erase_counts.end(),
                                   shard_stats.block_erase_counts.begin(),
                                   shard_stats.block_erase_counts.end());
+    // Plane counters concatenate in shard order, like the per-block wear:
+    // plane identity across chips is not meaningful, per-chip overlap is.
+    agg.plane.insert(agg.plane.end(), shard_stats.plane.begin(),
+                     shard_stats.plane.end());
   }
   return agg;
 }

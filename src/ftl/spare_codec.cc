@@ -33,6 +33,9 @@ void EncodeSpare(MutBytes spare, PageType type, uint32_t pid,
 SpareInfo DecodeSpare(ConstBytes spare) {
   assert(spare.size() >= kSpareEncodedSize);
   SpareInfo info;
+  if (spare.size() > flash::kBadBlockOobOffset) {
+    info.bad_block = (spare[flash::kBadBlockOobOffset] != 0xFF);
+  }
   if (DecodeFixed16(spare.data()) != kMagic) {
     info.type = PageType::kFree;
     info.programmed = false;

@@ -8,6 +8,9 @@
 //   4..7   physical page ID (pid)     -- logical page the contents belong to
 //   8..15  creation timestamp         -- logical clock, for Fig. 11 recovery
 //   16..19 CRC-32C over bytes {0..2, 4..15}
+//   20     bad-block OOB mark (flash::kBadBlockOobOffset) -- 0xFF good; any
+//          cleared bit on page 0 of a block marks the whole block bad
+//          (factory-marked or grown). Outside the CRC by construction.
 //
 // The obsolete marker is deliberately excluded from the CRC because it is
 // programmed *after* the page is written, by clearing bits only.
@@ -18,6 +21,7 @@
 #include <cstdint>
 
 #include "common/bytes.h"
+#include "flash/flash_device.h"
 
 namespace flashdb::ftl {
 
@@ -41,6 +45,10 @@ struct SpareInfo {
   uint64_t timestamp = 0;
   bool crc_ok = false;    ///< Only meaningful when type != kFree.
   bool programmed = false;  ///< Magic found (page not erased).
+  /// Bad-block OOB mark (flash::kBadBlockOobOffset) found cleared. Only
+  /// meaningful on page 0 of a block; set independently of `programmed`
+  /// (a factory-bad block carries the mark on an otherwise erased page).
+  bool bad_block = false;
 };
 
 /// Minimum spare size these helpers require.

@@ -14,6 +14,10 @@ ExperimentEnv ExperimentEnv::FromFlags(const Flags& flags) {
       static_cast<uint32_t>(flags.GetInt("twrite", 1010));
   env.flash_cfg.timing.erase_us =
       static_cast<uint32_t>(flags.GetInt("terase", 1500));
+  env.flash_cfg.geometry.dies_per_chip =
+      static_cast<uint32_t>(flags.GetInt("dies", 1));
+  env.flash_cfg.geometry.planes_per_die =
+      static_cast<uint32_t>(flags.GetInt("planes", 1));
   env.utilization = flags.GetDouble("util", 0.5);
   env.warmup_erases_per_block = flags.GetDouble("warmup-epb", 10.0);
   env.warmup_max_ops =

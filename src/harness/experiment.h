@@ -48,7 +48,8 @@ struct ExperimentEnv {
   }
 
   /// Common bench flags: --blocks, --page-size, --util, --warmup-epb,
-  /// --warmup-max, --ops, --seed, --tread, --twrite, --terase.
+  /// --warmup-max, --ops, --seed, --tread, --twrite, --terase, --dies,
+  /// --planes.
   static ExperimentEnv FromFlags(const Flags& flags);
 };
 

@@ -26,7 +26,17 @@ Status OpuStore::Format(uint32_t num_logical_pages, PageInitializer initial,
         "num_logical_pages collides with the reserved pid sentinel");
   }
   const auto& g = dev_->geometry();
+  // Factory bad blocks (opt-in OOB scan) are excluded before the erase sweep
+  // so their marks are neither erased away nor their blocks put in service.
+  std::vector<uint32_t> factory_bad;
+  if (dev_->config().scan_bad_blocks) {
+    FLASHDB_ASSIGN_OR_RETURN(factory_bad, ftl::ScanFactoryBadBlocks(dev_));
+  }
+  auto is_bad = [&](uint32_t b) {
+    return std::binary_search(factory_bad.begin(), factory_bad.end(), b);
+  };
   for (uint32_t b = 0; b < g.num_data_blocks(); ++b) {
+    if (is_bad(b)) continue;
     bool dirty = false;
     for (uint32_t p = 0; p < g.pages_per_block && !dirty; ++p) {
       dirty = !dev_->IsErased(dev_->AddrOf(b, p));
@@ -34,6 +44,7 @@ Status OpuStore::Format(uint32_t num_logical_pages, PageInitializer initial,
     if (dirty) FLASHDB_RETURN_IF_ERROR(dev_->EraseBlock(b));
   }
   bm_.Reset();
+  for (uint32_t b : factory_bad) bm_.MarkBadForRecovery(b);
   clock_.Reset();
   num_pages_ = num_logical_pages;
   map_.Reset(num_logical_pages, g.total_pages());
@@ -96,37 +107,42 @@ Result<PhysAddr> OpuStore::AllocatePage(bool for_gc) {
 Status OpuStore::RunGcOnce() {
   flash::CategoryScope cat(dev_, flash::OpCategory::kGc);
   const ftl::GcScoreContext score_ctx;  // whole pages only; defaults suffice
-  std::optional<uint32_t> victim = gc_policy_->PickVictim(bm_, score_ctx);
-  if (!victim.has_value()) {
-    // All reclaimable space may sit in the open block; close it and retry.
+  // On multi-plane chips the group carries one victim per plane of the lead
+  // victim's die (when their scores justify it) so the final erase collapses
+  // into one multi-plane command; single-plane chips get exactly one victim.
+  std::vector<uint32_t> victims =
+      ftl::PickVictimGroup(*gc_policy_, bm_, score_ctx);
+  if (victims.empty()) {
+    // All reclaimable space may sit in the open blocks; close them and retry.
     bm_.CloseOpenBlocks();
-    victim = gc_policy_->PickVictim(bm_, score_ctx);
+    victims = ftl::PickVictimGroup(*gc_policy_, bm_, score_ctx);
   }
-  if (!victim.has_value()) {
+  if (victims.empty()) {
     return Status::NoSpace("garbage collection found no reclaimable block");
   }
   ++gc_runs_;
-  const uint32_t block = *victim;
   const uint32_t ppb = dev_->geometry().pages_per_block;
   ByteBuffer data(data_size_);
   ByteBuffer spare(spare_size_);
-  for (uint32_t p = 0; p < ppb; ++p) {
-    const PhysAddr addr = dev_->AddrOf(block, p);
-    if (bm_.state(addr) != ftl::PageState::kValid) continue;
-    FLASHDB_RETURN_IF_ERROR(dev_->ReadPage(addr, data, spare));
-    const ftl::SpareInfo info = ftl::DecodeSpare(spare);
-    if (info.type != ftl::PageType::kData || info.pid >= num_pages_ ||
-        map_.base(info.pid) != addr) {
-      continue;  // stale duplicate; dropped by the erase
+  for (uint32_t block : victims) {
+    for (uint32_t p = 0; p < ppb; ++p) {
+      const PhysAddr addr = dev_->AddrOf(block, p);
+      if (bm_.state(addr) != ftl::PageState::kValid) continue;
+      FLASHDB_RETURN_IF_ERROR(dev_->ReadPage(addr, data, spare));
+      const ftl::SpareInfo info = ftl::DecodeSpare(spare);
+      if (info.type != ftl::PageType::kData || info.pid >= num_pages_ ||
+          map_.base(info.pid) != addr) {
+        continue;  // stale duplicate; dropped by the erase
+      }
+      FLASHDB_ASSIGN_OR_RETURN(PhysAddr q, bm_.AllocatePage(true));
+      ByteBuffer new_spare(spare_size_, 0xFF);
+      ftl::EncodeSpare(new_spare, ftl::PageType::kData, info.pid,
+                       info.timestamp);
+      FLASHDB_RETURN_IF_ERROR(dev_->ProgramPage(q, data, new_spare));
+      map_.SetBase(info.pid, q);
     }
-    FLASHDB_ASSIGN_OR_RETURN(PhysAddr q, bm_.AllocatePage(true));
-    ByteBuffer new_spare(spare_size_, 0xFF);
-    ftl::EncodeSpare(new_spare, ftl::PageType::kData, info.pid,
-                     info.timestamp);
-    FLASHDB_RETURN_IF_ERROR(dev_->ProgramPage(q, data, new_spare));
-    map_.SetBase(info.pid, q);
   }
-  return bm_.EraseAndFree(block);
+  return bm_.EraseAndFreeGroup(victims);
 }
 
 Status OpuStore::Recover() {
@@ -134,6 +150,10 @@ Status OpuStore::Recover() {
   const auto& g = dev_->geometry();
   const uint32_t total = g.data_pages();
   bm_.Reset();
+  // Journaled bad blocks first (a crash may have cut power before the OOB
+  // mark hit flash); the scan below rediscovers on-flash marks on its own.
+  for (uint32_t b : pending_bad_) bm_.MarkBadForRecovery(b);
+  pending_bad_.clear();
   clock_.Reset();
   map_.Reset(total, total);
   map_.BeginReplay();
@@ -148,6 +168,10 @@ Status OpuStore::Recover() {
 
   Status scan = ftl::ForEachProgrammedSpare(
       dev_, [&](PhysAddr addr, const ftl::SpareInfo& info) -> Status {
+        if (info.bad_block && dev_->PageInBlock(addr) == 0) {
+          bm_.MarkBadForRecovery(dev_->BlockOf(addr));
+          if (!info.programmed) return Status::OK();
+        }
         if (info.obsolete || !info.crc_ok ||
             info.type != ftl::PageType::kData || info.pid >= total) {
           bm_.SetObsoleteForRecovery(addr);

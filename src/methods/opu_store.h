@@ -45,6 +45,12 @@ class OpuStore : public PageStore {
   Status Flush() override { return Status::OK(); }  // nothing buffered
   Status Recover() override;
   uint32_t num_logical_pages() const override { return num_pages_; }
+  std::vector<uint32_t> bad_blocks() const override {
+    return bm_.bad_blocks();
+  }
+  void NoteBadBlocksForRecovery(const std::vector<uint32_t>& blocks) override {
+    pending_bad_ = blocks;
+  }
   flash::FlashDevice* device() override { return dev_; }
 
   /// Physical location of pid (tests / diagnostics).
@@ -66,6 +72,8 @@ class OpuStore : public PageStore {
   uint32_t num_pages_ = 0;
   uint64_t gc_runs_ = 0;
   bool formatted_ = false;
+  /// Journaled bad-block list to re-apply at the next Recover().
+  std::vector<uint32_t> pending_bad_;
 };
 
 }  // namespace flashdb::methods

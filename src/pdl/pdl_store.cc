@@ -60,9 +60,19 @@ Status PdlStore::Format(uint32_t num_logical_pages, PageInitializer initial,
   }
   FLASHDB_RETURN_IF_ERROR(ValidateConfig());
   const auto& g = dev_->geometry();
+  // Factory bad blocks (opt-in OOB scan) are excluded before the erase sweep
+  // so their marks are neither erased away nor their blocks put in service.
+  std::vector<uint32_t> factory_bad;
+  if (dev_->config().scan_bad_blocks) {
+    FLASHDB_ASSIGN_OR_RETURN(factory_bad, ftl::ScanFactoryBadBlocks(dev_));
+  }
+  auto is_bad = [&](uint32_t b) {
+    return std::binary_search(factory_bad.begin(), factory_bad.end(), b);
+  };
   // Erase any previously programmed data blocks so the chip starts clean
   // (reserved meta blocks are the journal's, not ours).
   for (uint32_t b = 0; b < g.num_data_blocks(); ++b) {
+    if (is_bad(b)) continue;
     bool dirty = false;
     for (uint32_t p = 0; p < g.pages_per_block && !dirty; ++p) {
       dirty = !dev_->IsErased(dev_->AddrOf(b, p));
@@ -70,6 +80,7 @@ Status PdlStore::Format(uint32_t num_logical_pages, PageInitializer initial,
     if (dirty) FLASHDB_RETURN_IF_ERROR(dev_->EraseBlock(b));
   }
   bm_.Reset();
+  for (uint32_t b : factory_bad) bm_.MarkBadForRecovery(b);
   clock_.Reset();
   buffer_.Clear();
   num_pages_ = num_logical_pages;
@@ -287,8 +298,12 @@ Status PdlStore::RunGcOnce() {
     const uint32_t live = map_.diff_live_bytes(addr);
     return live >= data_size_ ? 0 : data_size_ - live;
   };
-  std::optional<uint32_t> victim = gc_policy_->PickVictim(bm_, score_ctx);
-  if (!victim.has_value()) {
+  // On multi-plane chips the group carries one victim per plane of the lead
+  // victim's die (when their scores justify it) so the final erase collapses
+  // into one multi-plane command; single-plane chips get exactly one victim.
+  std::vector<uint32_t> victims =
+      ftl::PickVictimGroup(*gc_policy_, bm_, score_ctx);
+  if (victims.empty()) {
     // The reclaimable space may all sit in the open block (common when the
     // rest of the chip is packed with valid base pages): close it so it
     // becomes a legal victim and retry.
@@ -297,13 +312,15 @@ Status PdlStore::RunGcOnce() {
     std::fprintf(stderr, "gc fallback: closed open blocks (free=%u)\n",
                  bm_.free_blocks());
 #endif
-    victim = gc_policy_->PickVictim(bm_, score_ctx);
+    victims = ftl::PickVictimGroup(*gc_policy_, bm_, score_ctx);
   }
-  if (!victim.has_value()) {
+  if (victims.empty()) {
     return Status::NoSpace("garbage collection found no reclaimable block");
   }
   counters_.gc_runs++;
-  const uint32_t block = *victim;
+  auto in_victims = [&](uint32_t b) {
+    return std::find(victims.begin(), victims.end(), b) != victims.end();
+  };
   const uint32_t ppb = dev_->geometry().pages_per_block;
   ByteBuffer data(data_size_);
   ByteBuffer spare(spare_size_);
@@ -311,10 +328,13 @@ Status PdlStore::RunGcOnce() {
   // pages written directly (not through the one-page write buffer, whose
   // premature flushes would fragment unrelated pending differentials).
   std::vector<Differential> compacted;
-  // GC must emit fewer pages than the erase will reclaim, or the free list
+  // GC must emit fewer pages than the erases will reclaim, or the free list
   // drains. Track the pages this run has produced (relocated bases, merge
   // output, compaction output estimate) and stop merging -- the only
-  // discretionary output -- once the budget is nearly spent.
+  // discretionary output -- once the budget is nearly spent. The budget
+  // scales with the group: every victim's pages come back with the erase.
+  const uint32_t reclaim_budget =
+      ppb * static_cast<uint32_t>(victims.size());
   uint32_t output_pages = 0;
   size_t compacted_bytes = 0;
   auto output_estimate = [&]() {
@@ -322,77 +342,87 @@ Status PdlStore::RunGcOnce() {
            static_cast<uint32_t>((compacted_bytes + data_size_ - 1) /
                                  data_size_);
   };
-  for (uint32_t p = 0; p < ppb; ++p) {
-    const PhysAddr addr = dev_->AddrOf(block, p);
-    if (bm_.state(addr) != ftl::PageState::kValid) continue;
-    FLASHDB_RETURN_IF_ERROR(dev_->ReadPage(addr, data, spare));
-    const ftl::SpareInfo info = ftl::DecodeSpare(spare);
-    if (info.type == ftl::PageType::kBase) {
-      const PageId pid = info.pid;
-      if (pid >= num_pages_ || map_.base(pid) != addr) continue;  // stale copy
-      // Relocate, keeping the original timestamp so the page's differential
-      // (if any) still post-dates its base during crash recovery.
-      FLASHDB_ASSIGN_OR_RETURN(PhysAddr q, bm_.AllocatePage(true, kBaseStream));
-      ByteBuffer new_spare(spare_size_, 0xFF);
-      ftl::EncodeSpare(new_spare, ftl::PageType::kBase, pid, info.timestamp);
-      FLASHDB_RETURN_IF_ERROR(dev_->ProgramPage(q, data, new_spare));
-      map_.SetBase(pid, q);
-      counters_.gc_bases_moved++;
-      ++output_pages;
-    } else if (info.type == ftl::PageType::kDiff) {
-      // Collect the valid differentials; dead records vanish with the erase.
-      BufferReader reader(data);
-      Differential d;
-      Status parse_status;
-      while (Differential::ParseNext(&reader, &d, &parse_status)) {
-        if (d.pid() >= num_pages_ || map_.diff(d.pid()) != addr) continue;
-        // The record leaves this page either way; the erase below reclaims
-        // the page, so the zero-count obsolete mark is skipped.
-        map_.DetachDiff(d.pid());
-        FLASHDB_ASSIGN_OR_RETURN(const bool unref, map_.ReleaseDiffRef(addr));
-        (void)unref;
-        if (buffer_.Contains(d.pid())) continue;  // newer version in memory
-        // Merging pays off only for big differentials: it trades d bytes of
-        // compaction output for a full page write, but permanently removes
-        // d live bytes and obsoletes the old base. Small differentials are
-        // always cheaper to compact.
-        // Merge only while this run's output stays safely below what the
-        // erase will reclaim (merging is the only discretionary output).
-        if (d.EncodedSize() >= config_.gc_merge_threshold &&
-            output_estimate() + 2 < ppb - 4) {
-          ++output_pages;
-          // Merge the differential into a fresh base page: shrinks the live
-          // footprint (base + differential -> one page) and guarantees GC
-          // makes global progress even when the chip is nearly full of live
-          // data.
-          const PageId pid = d.pid();
-          ByteBuffer merged(data_size_);
-          FLASHDB_RETURN_IF_ERROR(dev_->ReadPage(map_.base(pid), merged, {}));
-          FLASHDB_RETURN_IF_ERROR(d.ApplyTo(merged));
-          FLASHDB_ASSIGN_OR_RETURN(PhysAddr q,
-                                   bm_.AllocatePage(true, kBaseStream));
-          ByteBuffer bspare(spare_size_, 0xFF);
-          ftl::EncodeSpare(bspare, ftl::PageType::kBase, pid, clock_.Next());
-          FLASHDB_RETURN_IF_ERROR(dev_->ProgramPage(q, merged, bspare));
-          const PhysAddr old_bp = map_.base(pid);
-          // Skip the obsolete mark when the old base sits in this victim:
-          // the erase below reclaims it anyway.
-          if (dev_->BlockOf(old_bp) != block &&
-              bm_.state(old_bp) == ftl::PageState::kValid) {
-            FLASHDB_RETURN_IF_ERROR(bm_.MarkObsolete(old_bp));
+  auto scan_victim = [&](uint32_t block) -> Status {
+    for (uint32_t p = 0; p < ppb; ++p) {
+      const PhysAddr addr = dev_->AddrOf(block, p);
+      if (bm_.state(addr) != ftl::PageState::kValid) continue;
+      FLASHDB_RETURN_IF_ERROR(dev_->ReadPage(addr, data, spare));
+      const ftl::SpareInfo info = ftl::DecodeSpare(spare);
+      if (info.type == ftl::PageType::kBase) {
+        const PageId pid = info.pid;
+        if (pid >= num_pages_ || map_.base(pid) != addr) continue;  // stale
+        // Relocate, keeping the original timestamp so the page's differential
+        // (if any) still post-dates its base during crash recovery.
+        FLASHDB_ASSIGN_OR_RETURN(PhysAddr q,
+                                 bm_.AllocatePage(true, kBaseStream));
+        ByteBuffer new_spare(spare_size_, 0xFF);
+        ftl::EncodeSpare(new_spare, ftl::PageType::kBase, pid, info.timestamp);
+        FLASHDB_RETURN_IF_ERROR(dev_->ProgramPage(q, data, new_spare));
+        map_.SetBase(pid, q);
+        counters_.gc_bases_moved++;
+        ++output_pages;
+      } else if (info.type == ftl::PageType::kDiff) {
+        // Collect the valid differentials; dead records vanish with the
+        // erase.
+        BufferReader reader(data);
+        Differential d;
+        Status parse_status;
+        while (Differential::ParseNext(&reader, &d, &parse_status)) {
+          if (d.pid() >= num_pages_ || map_.diff(d.pid()) != addr) continue;
+          // The record leaves this page either way; the erase below reclaims
+          // the page, so the zero-count obsolete mark is skipped.
+          map_.DetachDiff(d.pid());
+          FLASHDB_ASSIGN_OR_RETURN(const bool unref,
+                                   map_.ReleaseDiffRef(addr));
+          (void)unref;
+          if (buffer_.Contains(d.pid())) continue;  // newer version in memory
+          // Merging pays off only for big differentials: it trades d bytes of
+          // compaction output for a full page write, but permanently removes
+          // d live bytes and obsoletes the old base. Small differentials are
+          // always cheaper to compact.
+          // Merge only while this run's output stays safely below what the
+          // erases will reclaim (merging is the only discretionary output).
+          if (d.EncodedSize() >= config_.gc_merge_threshold &&
+              output_estimate() + 2 < reclaim_budget - 4) {
+            ++output_pages;
+            // Merge the differential into a fresh base page: shrinks the live
+            // footprint (base + differential -> one page) and guarantees GC
+            // makes global progress even when the chip is nearly full of live
+            // data.
+            const PageId pid = d.pid();
+            ByteBuffer merged(data_size_);
+            FLASHDB_RETURN_IF_ERROR(
+                dev_->ReadPage(map_.base(pid), merged, {}));
+            FLASHDB_RETURN_IF_ERROR(d.ApplyTo(merged));
+            FLASHDB_ASSIGN_OR_RETURN(PhysAddr q,
+                                     bm_.AllocatePage(true, kBaseStream));
+            ByteBuffer bspare(spare_size_, 0xFF);
+            ftl::EncodeSpare(bspare, ftl::PageType::kBase, pid, clock_.Next());
+            FLASHDB_RETURN_IF_ERROR(dev_->ProgramPage(q, merged, bspare));
+            const PhysAddr old_bp = map_.base(pid);
+            // Skip the obsolete mark when the old base sits in any victim of
+            // the group: the erases below reclaim it anyway.
+            if (!in_victims(dev_->BlockOf(old_bp)) &&
+                bm_.state(old_bp) == ftl::PageState::kValid) {
+              FLASHDB_RETURN_IF_ERROR(bm_.MarkObsolete(old_bp));
+            }
+            map_.SetBase(pid, q);
+            counters_.gc_diffs_merged++;
+            continue;
           }
-          map_.SetBase(pid, q);
-          counters_.gc_diffs_merged++;
-          continue;
+          compacted_bytes += d.EncodedSize();
+          compacted.push_back(std::move(d));
+          d = Differential();
+          counters_.gc_diffs_compacted++;
         }
-        compacted_bytes += d.EncodedSize();
-        compacted.push_back(std::move(d));
-        d = Differential();
-        counters_.gc_diffs_compacted++;
+        FLASHDB_RETURN_IF_ERROR(parse_status);
       }
-      FLASHDB_RETURN_IF_ERROR(parse_status);
+      // Unknown valid page types are dropped with the erase below.
     }
-    // Unknown valid page types are dropped with the erase below.
+    return Status::OK();
+  };
+  for (uint32_t block : victims) {
+    FLASHDB_RETURN_IF_ERROR(scan_victim(block));
   }
   // Write the compacted differentials, densely packed, before destroying
   // their old home (durability: they exist nowhere else).
@@ -417,10 +447,12 @@ Status PdlStore::RunGcOnce() {
                       static_cast<uint32_t>(compacted[k].EncodedSize()));
     }
   }
-  for (uint32_t p = 0; p < ppb; ++p) {
-    map_.ForgetPhysPage(dev_->AddrOf(block, p));
+  for (uint32_t block : victims) {
+    for (uint32_t p = 0; p < ppb; ++p) {
+      map_.ForgetPhysPage(dev_->AddrOf(block, p));
+    }
   }
-  return bm_.EraseAndFree(block);
+  return bm_.EraseAndFreeGroup(victims);
 }
 
 Status PdlStore::Recover() {
@@ -429,6 +461,10 @@ Status PdlStore::Recover() {
   const auto& g = dev_->geometry();
   const uint32_t total = g.data_pages();
   bm_.Reset();
+  // Journaled bad blocks first (a crash may have cut power before the OOB
+  // mark hit flash); the scan below rediscovers on-flash marks on its own.
+  for (uint32_t b : pending_bad_) bm_.MarkBadForRecovery(b);
+  pending_bad_.clear();
   clock_.Reset();
   buffer_.Clear();
   map_.Reset(total, total);
@@ -450,6 +486,10 @@ Status PdlStore::Recover() {
 
   Status scan = ftl::ForEachProgrammedSpare(
       dev_, [&](PhysAddr addr, const ftl::SpareInfo& info) -> Status {
+        if (info.bad_block && dev_->PageInBlock(addr) == 0) {
+          bm_.MarkBadForRecovery(dev_->BlockOf(addr));
+          if (!info.programmed) return Status::OK();
+        }
         if (info.obsolete || !info.crc_ok) {
           bm_.SetObsoleteForRecovery(addr);
           return Status::OK();

@@ -88,6 +88,12 @@ class PdlStore : public PageStore {
   Status Flush() override;
   Status Recover() override;
   uint32_t num_logical_pages() const override { return num_pages_; }
+  std::vector<uint32_t> bad_blocks() const override {
+    return bm_.bad_blocks();
+  }
+  void NoteBadBlocksForRecovery(const std::vector<uint32_t>& blocks) override {
+    pending_bad_ = blocks;
+  }
   flash::FlashDevice* device() override { return dev_; }
 
   const PdlConfig& config() const { return config_; }
@@ -149,6 +155,8 @@ class PdlStore : public PageStore {
   std::unique_ptr<ftl::GcPolicy> gc_policy_;
   PdlCounters counters_;
   bool formatted_ = false;
+  /// Journaled bad-block list to re-apply at the next Recover().
+  std::vector<uint32_t> pending_bad_;
 
   /// Write-path scratch reused across WriteBack/WriteBatch calls. The base
   /// image buffer is reused on every write; the differential's capacity is

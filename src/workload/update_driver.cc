@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <condition_variable>
 #include <future>
@@ -137,6 +138,7 @@ Status UpdateDriver::Warmup(double erases_per_block, uint64_t max_ops) {
 
 Status UpdateDriver::Run(uint64_t num_ops, RunStats* out) {
   const flash::FlashStats stats0 = store_->stats();
+  const uint64_t clock0 = StoreClockUs();
 
   for (uint64_t i = 0; i < num_ops; ++i) {
     const PageId pid = DrawPid();
@@ -158,7 +160,11 @@ Status UpdateDriver::Run(uint64_t num_ops, RunStats* out) {
       stats0.by_category[static_cast<int>(flash::OpCategory::kWriteStep)];
   out->gc += stats1.by_category[static_cast<int>(flash::OpCategory::kGc)] -
              stats0.by_category[static_cast<int>(flash::OpCategory::kGc)];
+  out->meta += stats1.by_category[static_cast<int>(flash::OpCategory::kMeta)] -
+               stats0.by_category[static_cast<int>(flash::OpCategory::kMeta)];
   out->erases += stats1.total.erases - stats0.total.erases;
+  out->plane_stall_us += stats1.plane_stall_us() - stats0.plane_stall_us();
+  out->elapsed_vt_us += StoreClockUs() - clock0;
   return Status::OK();
 }
 
@@ -260,7 +266,16 @@ Status UpdateDriver::RunShardWindow(ShardStream* s, size_t begin, size_t end) {
   return FlushShardWindow(s);
 }
 
+uint64_t UpdateDriver::StoreClockUs() const {
+  if (const auto* sharded = dynamic_cast<const ftl::ShardedStore*>(store_)) {
+    return sharded->parallel_time_us();
+  }
+  // device() is non-const on PageStore; the clock read itself is const.
+  return const_cast<UpdateDriver*>(this)->store_->device()->clock().now_us();
+}
+
 void UpdateDriver::AccumulateRunStats(const flash::FlashStats& before,
+                                      uint64_t clock0_us,
                                       const Schedule& schedule, RunStats* out) {
   for (const PlannedOp& op : schedule) {
     out->operations++;
@@ -278,13 +293,18 @@ void UpdateDriver::AccumulateRunStats(const flash::FlashStats& before,
   out->migrate +=
       after.by_category[static_cast<int>(flash::OpCategory::kMigrate)] -
       before.by_category[static_cast<int>(flash::OpCategory::kMigrate)];
+  out->meta += after.by_category[static_cast<int>(flash::OpCategory::kMeta)] -
+               before.by_category[static_cast<int>(flash::OpCategory::kMeta)];
   out->erases += after.total.erases - before.total.erases;
+  out->plane_stall_us += after.plane_stall_us() - before.plane_stall_us();
+  out->elapsed_vt_us += StoreClockUs() - clock0_us;
 }
 
 Status UpdateDriver::RunEpochs(
     const Schedule& schedule, ftl::ShardExecutor* executor, RunStats* out,
     const std::function<Status(ChunkSpan)>& run_chunk) {
   const flash::FlashStats stats0 = store_->stats();
+  const uint64_t clock0 = StoreClockUs();
   auto* sharded = dynamic_cast<ftl::ShardedStore*>(store_);
   const uint64_t epoch = params_.rebalance_epoch_ops;
   const bool leveling =
@@ -308,7 +328,7 @@ Status UpdateDriver::RunEpochs(
       }
     }
   }
-  AccumulateRunStats(stats0, schedule, out);
+  AccumulateRunStats(stats0, clock0, schedule, out);
   return Status::OK();
 }
 
@@ -418,11 +438,15 @@ Status UpdateDriver::RunPipelined(const Schedule& schedule,
       executor->num_workers() < sharded->num_shards()) {
     return Status::InvalidArgument("executor must have one worker per shard");
   }
-  return RunEpochs(schedule, executor, out,
-                   [this, batch_size, max_inflight, executor](ChunkSpan c) {
-                     return RunPipelinedChunk(c, batch_size, max_inflight,
-                                              executor);
-                   });
+  const uint64_t wait0 = credit_wait_ns_;
+  const Status st =
+      RunEpochs(schedule, executor, out,
+                [this, batch_size, max_inflight, executor](ChunkSpan c) {
+                  return RunPipelinedChunk(c, batch_size, max_inflight,
+                                           executor);
+                });
+  out->credit_wait_ns += credit_wait_ns_ - wait0;
+  return st;
 }
 
 Status UpdateDriver::RunPipelinedChunk(ChunkSpan chunk, uint32_t batch_size,
@@ -523,6 +547,8 @@ Status UpdateDriver::RunPipelinedChunk(ChunkSpan chunk, uint32_t batch_size,
       // Every remaining shard is at its credit limit: park until a
       // completion returns a credit somewhere. This is the per-shard
       // backpressure point -- no barrier, just "some credit came back".
+      // The parked wall time is the run's credit-wait attribution.
+      const auto park_start = std::chrono::steady_clock::now();
       ctl.WaitFor([&] {
         if (ctl.has_error.load(std::memory_order_acquire)) return true;
         for (uint32_t i = 0; i < n; ++i) {
@@ -534,6 +560,10 @@ Status UpdateDriver::RunPipelinedChunk(ChunkSpan chunk, uint32_t batch_size,
         }
         return false;
       });
+      credit_wait_ns_ += static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - park_start)
+              .count());
     }
   }
 

@@ -73,8 +73,26 @@ struct RunStats {
   flash::OpCounters write_step;   ///< Writing-step device traffic (no GC).
   flash::OpCounters gc;           ///< Garbage collection / merging traffic.
   flash::OpCounters migrate;      ///< Wear-leveling migration traffic.
+  flash::OpCounters meta;         ///< Durable-metadata journal traffic.
   uint64_t migrations = 0;        ///< Bucket swaps committed during the run.
   uint64_t erases = 0;            ///< Total erase operations in the run.
+
+  // --- Stall attribution --------------------------------------------------
+  // Where an operation's virtual time went beyond the raw command latencies:
+  // gc/migrate/meta above attribute induced device traffic; the two fields
+  // below attribute waiting.
+  /// Virtual time ops spent queued behind same-plane work while another
+  /// plane of the chip was idle (delta of FlashStats::plane_stall_us over
+  /// every chip). 0 on single-plane geometries.
+  uint64_t plane_stall_us = 0;
+  /// Virtual-clock advance across the run (max over chips): the denominator
+  /// for device-parallel throughput, unlike the per-category sums which
+  /// count every chip's busy time.
+  uint64_t elapsed_vt_us = 0;
+  /// Wall-clock nanoseconds the pipelined producer spent parked waiting for
+  /// a per-shard credit (RunPipelined only; 0 elsewhere). Wall time, not
+  /// virtual time: excluded from determinism comparisons.
+  uint64_t credit_wait_ns = 0;
 
   /// Paper-style per-operation figures (microseconds).
   double read_us_per_op() const {
@@ -225,8 +243,11 @@ class UpdateDriver {
   /// Executes ops [begin, end) of `s` and flushes the queued write-backs.
   Status RunShardWindow(ShardStream* s, size_t begin, size_t end);
   Status FlushShardWindow(ShardStream* s);
-  /// Folds the device-stats delta and schedule counts into `*out`.
-  void AccumulateRunStats(const flash::FlashStats& before,
+  /// Virtual clock of the store: parallel_time_us() (max over chips) on a
+  /// ShardedStore, the single chip's clock otherwise.
+  uint64_t StoreClockUs() const;
+  /// Folds the device-stats / clock delta and schedule counts into `*out`.
+  void AccumulateRunStats(const flash::FlashStats& before, uint64_t clock0_us,
                           const Schedule& schedule, RunStats* out);
 
   /// The common run skeleton: snapshots stats, splits `schedule` into
@@ -271,6 +292,9 @@ class UpdateDriver {
   uint32_t hot_pid_stride_ = 0;
   uint32_t num_pages_ = 0;
   uint32_t data_size_;
+  /// Cumulative wall time the pipelined producer spent parked on credits
+  /// (only the submitting thread writes it; see RunStats::credit_wait_ns).
+  uint64_t credit_wait_ns_ = 0;
   ByteBuffer scratch_;
   std::vector<ByteBuffer> shadow_;  ///< Only when params_.verify.
 };

@@ -5,7 +5,7 @@
 
 #include "ftl/block_manager.h"
 #include "ftl/gc_policy.h"
-#include "ftl/spare_codec.h"
+#include "flash/fault_injector.h"\n#include "ftl/spare_codec.h"
 
 namespace flashdb::ftl {
 namespace {
@@ -175,6 +175,154 @@ TEST_F(BlockManagerTest, StreamsFillSeparateBlocks) {
   EXPECT_EQ(*a2, *a + 1);
   // Out-of-range streams are rejected.
   EXPECT_FALSE(bm.AllocatePage(false, 3).ok());
+}
+
+
+// --- Plane-striped allocation and bad-block handling ----------------------
+
+FlashConfig TwoPlaneConfig(uint32_t blocks = 8) {
+  FlashConfig cfg = FlashConfig::Small(blocks);
+  cfg.geometry.planes_per_die = 2;
+  return cfg;
+}
+
+TEST(BlockManagerPlaneTest, AllocationStripesAcrossPlanes) {
+  FlashDevice dev(TwoPlaneConfig());
+  BlockManager bm(&dev, /*gc_reserve_blocks=*/1);
+  // One stream, two planes: consecutive allocations alternate between the
+  // open blocks of plane 0 (block 0) and plane 1 (block 1), page by page.
+  for (uint32_t i = 0; i < 6; ++i) {
+    Result<PhysAddr> r = bm.AllocatePage(false);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(dev.BlockOf(*r), i % 2);
+    EXPECT_EQ(dev.PageInBlock(*r), i / 2);
+  }
+}
+
+TEST(BlockManagerPlaneTest, StreamsGetDisjointStripes) {
+  FlashDevice dev(TwoPlaneConfig());
+  BlockManager bm(&dev, /*gc_reserve_blocks=*/1, /*num_streams=*/2);
+  Result<PhysAddr> a = bm.AllocatePage(false, 0);
+  Result<PhysAddr> b = bm.AllocatePage(false, 1);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // Each stream opens its own block; the second stream must not share the
+  // first stream's open block even though both start at plane 0.
+  EXPECT_NE(dev.BlockOf(*a), dev.BlockOf(*b));
+}
+
+TEST(BlockManagerPlaneTest, BadBlockExcludedFromAllocation) {
+  FlashDevice dev(TwoPlaneConfig());
+  BlockManager bm(&dev, /*gc_reserve_blocks=*/1);
+  bm.MarkBadForRecovery(0);
+  EXPECT_TRUE(bm.is_bad_block(0));
+  EXPECT_EQ(bm.num_bad_blocks(), 1u);
+  EXPECT_EQ(bm.bad_blocks(), std::vector<uint32_t>{0});
+  // Plane 0's next free block is 2; plane 1 still starts at block 1.
+  Result<PhysAddr> a = bm.AllocatePage(false);
+  Result<PhysAddr> b = bm.AllocatePage(false);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(dev.BlockOf(*a), 2u);
+  EXPECT_EQ(dev.BlockOf(*b), 1u);
+}
+
+TEST(BlockManagerPlaneTest, EraseAndFreeGroupUsesOneMultiPlaneCommand) {
+  FlashDevice dev(TwoPlaneConfig());
+  BlockManager bm(&dev, /*gc_reserve_blocks=*/1);
+  const uint32_t ppb = dev.geometry().pages_per_block;
+  for (uint32_t i = 0; i < 2 * ppb; ++i) {
+    ASSERT_TRUE(bm.AllocatePage(false).ok());
+  }
+  bm.CloseOpenBlocks();
+  const uint32_t free_before = bm.free_blocks();
+  const uint64_t clock_before = dev.clock().now_us();
+  ASSERT_TRUE(bm.EraseAndFreeGroup({0, 1}).ok());
+  // Two block erases for wear accounting, one command's worth of time.
+  EXPECT_EQ(dev.stats().total.erases, 2u);
+  EXPECT_EQ(dev.clock().now_us(),
+            clock_before + dev.config().timing.effective_multiplane_erase_us());
+  EXPECT_EQ(bm.free_blocks(), free_before + 2);
+}
+
+TEST(BlockManagerPlaneTest, GroupEraseFailureIsolatesGrownBadBlock) {
+  FlashConfig cfg = TwoPlaneConfig();
+  FlashDevice dev(cfg);
+  flash::EraseFailureInjector fi(cfg.geometry.pages_per_block);
+  dev.set_fault_injector(&fi);
+  BlockManager bm(&dev, /*gc_reserve_blocks=*/1);
+  const uint32_t ppb = dev.geometry().pages_per_block;
+  for (uint32_t i = 0; i < 2 * ppb; ++i) {
+    ASSERT_TRUE(bm.AllocatePage(false).ok());
+  }
+  bm.CloseOpenBlocks();
+  fi.Arm();
+  // The multi-plane command fails as a whole; the per-block retry marks the
+  // grown bad block out of service and still reclaims the good one.
+  ASSERT_TRUE(bm.EraseAndFreeGroup({0, 1}).ok());
+  ASSERT_EQ(fi.failed_blocks(), std::vector<uint32_t>{0});
+  EXPECT_TRUE(bm.is_bad_block(0));
+  EXPECT_FALSE(bm.is_bad_block(1));
+  EXPECT_TRUE(dev.HasBadBlockOob(0));
+  EXPECT_TRUE(dev.IsErased(dev.AddrOf(1, 0)));
+}
+
+TEST(BlockManagerPlaneTest, ScanFactoryBadBlocksFindsOobMarks) {
+  FlashDevice dev(TwoPlaneConfig());
+  ASSERT_TRUE(dev.MarkBadBlockOob(3).ok());
+  ASSERT_TRUE(dev.MarkBadBlockOob(5).ok());
+  Result<std::vector<uint32_t>> bad = ScanFactoryBadBlocks(&dev);
+  ASSERT_TRUE(bad.ok());
+  EXPECT_EQ(*bad, (std::vector<uint32_t>{3, 5}));
+  // The scan pays one spare read per data block.
+  EXPECT_EQ(dev.stats().total.reads, dev.geometry().num_data_blocks());
+}
+
+TEST(BlockManagerPlaneTest, PickVictimGroupPairsPlanesOfOneDie) {
+  FlashDevice dev(TwoPlaneConfig());
+  BlockManager bm(&dev, /*gc_reserve_blocks=*/1);
+  std::unique_ptr<GcPolicy> greedy = MakeGcPolicy(GcPolicyKind::kGreedyObsolete);
+  const uint32_t ppb = dev.geometry().pages_per_block;
+  std::vector<PhysAddr> pages;
+  for (uint32_t i = 0; i < 2 * ppb; ++i) {
+    Result<PhysAddr> r = bm.AllocatePage(false);
+    ASSERT_TRUE(r.ok());
+    pages.push_back(*r);
+  }
+  bm.CloseOpenBlocks();
+  // Block 0 fully obsolete (the lead victim); block 1 (plane 1) half
+  // obsolete -- exactly at the half-score threshold, so it joins the group.
+  for (PhysAddr a : pages) {
+    const bool in_lead = dev.BlockOf(a) == 0;
+    const bool in_secondary =
+        dev.BlockOf(a) == 1 && dev.PageInBlock(a) < ppb / 2;
+    if (in_lead || in_secondary) ASSERT_TRUE(bm.MarkObsolete(a).ok());
+  }
+  std::vector<uint32_t> group = PickVictimGroup(*greedy, bm, GcScoreContext{});
+  EXPECT_EQ(group, (std::vector<uint32_t>{0, 1}));
+}
+
+TEST(BlockManagerPlaneTest, PickVictimGroupSkipsWeakSecondaries) {
+  FlashDevice dev(TwoPlaneConfig());
+  BlockManager bm(&dev, /*gc_reserve_blocks=*/1);
+  std::unique_ptr<GcPolicy> greedy = MakeGcPolicy(GcPolicyKind::kGreedyObsolete);
+  const uint32_t ppb = dev.geometry().pages_per_block;
+  std::vector<PhysAddr> pages;
+  for (uint32_t i = 0; i < 2 * ppb; ++i) {
+    Result<PhysAddr> r = bm.AllocatePage(false);
+    ASSERT_TRUE(r.ok());
+    pages.push_back(*r);
+  }
+  bm.CloseOpenBlocks();
+  // A secondary scoring under half the lead would cost nearly a block of
+  // valid-page relocation to save one erase command: not worth it.
+  for (PhysAddr a : pages) {
+    const bool in_lead = dev.BlockOf(a) == 0;
+    const bool in_secondary = dev.BlockOf(a) == 1 && dev.PageInBlock(a) < 3;
+    if (in_lead || in_secondary) ASSERT_TRUE(bm.MarkObsolete(a).ok());
+  }
+  std::vector<uint32_t> group = PickVictimGroup(*greedy, bm, GcScoreContext{});
+  EXPECT_EQ(group, std::vector<uint32_t>{0});
 }
 
 TEST_F(BlockManagerTest, UsablePagesAccounting) {

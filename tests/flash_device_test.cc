@@ -237,6 +237,142 @@ TEST(FaultInjectorTest, ReadsDoNotConsumeCountdown) {
   EXPECT_THROW(dev.EraseBlock(0), PowerLossError);
 }
 
+
+// --- Die/plane virtual-time model -----------------------------------------
+
+FlashConfig PlaneConfig(uint32_t dies, uint32_t planes_per_die) {
+  FlashConfig cfg = FlashConfig::Small(8);
+  cfg.geometry.dies_per_chip = dies;
+  cfg.geometry.planes_per_die = planes_per_die;
+  return cfg;
+}
+
+TEST(FlashPlaneTest, DistinctPlaneProgramsOverlap) {
+  FlashDevice dev(PlaneConfig(1, 2));
+  const uint32_t twrite = dev.config().timing.write_us;
+  ByteBuffer page(dev.geometry().data_size, 0xAA);
+  // Blocks 0 and 1 interleave onto planes 0 and 1: the two programs occupy
+  // different planes and the chip clock advances by one Twrite, not two.
+  ASSERT_TRUE(dev.ProgramPage(dev.AddrOf(0, 0), page, {}).ok());
+  ASSERT_TRUE(dev.ProgramPage(dev.AddrOf(1, 0), page, {}).ok());
+  EXPECT_EQ(dev.clock().now_us(), twrite);
+  EXPECT_EQ(dev.stats().plane_stall_us(), 0u);
+  EXPECT_EQ(dev.stats().plane[0].busy_us, twrite);
+  EXPECT_EQ(dev.stats().plane[1].busy_us, twrite);
+}
+
+TEST(FlashPlaneTest, SamePlaneProgramsSerializeAndStall) {
+  FlashDevice dev(PlaneConfig(1, 2));
+  const uint32_t twrite = dev.config().timing.write_us;
+  ByteBuffer page(dev.geometry().data_size, 0xAA);
+  // Blocks 0 and 2 both live on plane 0: the second program queues behind
+  // the first while plane 1 sits idle, so it stalls for one Twrite.
+  ASSERT_TRUE(dev.ProgramPage(dev.AddrOf(0, 0), page, {}).ok());
+  ASSERT_TRUE(dev.ProgramPage(dev.AddrOf(2, 0), page, {}).ok());
+  EXPECT_EQ(dev.clock().now_us(), 2ull * twrite);
+  EXPECT_EQ(dev.stats().plane[0].stall_us, twrite);
+  EXPECT_EQ(dev.stats().plane[1].busy_us, 0u);
+}
+
+TEST(FlashPlaneTest, SinglePlaneGeometryMatchesSerialClock) {
+  // The 1 x 1 identity geometry must reproduce the historical serial clock
+  // exactly: every operation's latency adds up, nothing stalls.
+  FlashDevice dev(PlaneConfig(1, 1));
+  const auto& t = dev.config().timing;
+  ByteBuffer page(dev.geometry().data_size, 0xAA);
+  ByteBuffer rdata(dev.geometry().data_size);
+  ASSERT_TRUE(dev.ProgramPage(dev.AddrOf(0, 0), page, {}).ok());
+  ASSERT_TRUE(dev.ProgramPage(dev.AddrOf(1, 0), page, {}).ok());
+  ASSERT_TRUE(dev.ReadPage(dev.AddrOf(0, 0), rdata, {}).ok());
+  ASSERT_TRUE(dev.EraseBlock(0).ok());
+  EXPECT_EQ(dev.clock().now_us(),
+            2ull * t.write_us + t.read_us + t.erase_us);
+  EXPECT_EQ(dev.stats().plane_stall_us(), 0u);
+}
+
+TEST(FlashPlaneTest, MultiPlaneEraseChargesOneCommand) {
+  FlashDevice dev(PlaneConfig(2, 2));
+  ByteBuffer page(dev.geometry().data_size, 0xAA);
+  // Blocks 0 and 1: die 0, planes 0 and 1 (4-plane chip, round-robin).
+  ASSERT_TRUE(dev.ProgramPage(dev.AddrOf(0, 0), page, {}).ok());
+  ASSERT_TRUE(dev.ProgramPage(dev.AddrOf(1, 0), page, {}).ok());
+  const uint64_t before = dev.clock().now_us();
+  ASSERT_TRUE(dev.EraseBlocksMultiPlane({0, 1}).ok());
+  EXPECT_EQ(dev.clock().now_us(),
+            before + dev.config().timing.effective_multiplane_erase_us());
+  // Both blocks really erased, and wear accounting counts two block erases.
+  EXPECT_TRUE(dev.IsErased(dev.AddrOf(0, 0)));
+  EXPECT_TRUE(dev.IsErased(dev.AddrOf(1, 0)));
+  EXPECT_EQ(dev.stats().total.erases, 2u);
+}
+
+TEST(FlashPlaneTest, MultiPlaneEraseRejectsBadGroups) {
+  FlashDevice dev(PlaneConfig(2, 2));
+  // Blocks 0 (die 0) and 2 (die 1) span dies.
+  EXPECT_TRUE(dev.EraseBlocksMultiPlane({0, 2}).IsInvalidArgument());
+  // Blocks 0 and 4 share plane 0.
+  EXPECT_TRUE(dev.EraseBlocksMultiPlane({0, 4}).IsInvalidArgument());
+  // More blocks than planes on a die.
+  EXPECT_TRUE(dev.EraseBlocksMultiPlane({0, 1, 4}).IsInvalidArgument());
+  EXPECT_TRUE(dev.EraseBlocksMultiPlane({}).IsInvalidArgument());
+}
+
+TEST(FlashPlaneTest, MultiPlaneEraseIsAllOrNothingOnGrownBad) {
+  FlashConfig cfg = PlaneConfig(1, 2);
+  FlashDevice dev(cfg);
+  EraseFailureInjector fi(cfg.geometry.pages_per_block);
+  dev.set_fault_injector(&fi);
+  ByteBuffer page(dev.geometry().data_size, 0xAA);
+  ASSERT_TRUE(dev.ProgramPage(dev.AddrOf(0, 0), page, {}).ok());
+  ASSERT_TRUE(dev.ProgramPage(dev.AddrOf(1, 0), page, {}).ok());
+  fi.Arm();
+  Status s = dev.EraseBlocksMultiPlane({0, 1});
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+  // Nothing was erased: the FTL retries per block to isolate the bad one.
+  EXPECT_FALSE(dev.IsErased(dev.AddrOf(0, 0)));
+  EXPECT_FALSE(dev.IsErased(dev.AddrOf(1, 0)));
+  ASSERT_EQ(fi.failed_blocks().size(), 1u);
+  EXPECT_EQ(fi.failed_blocks()[0], 0u);
+}
+
+TEST(FlashPlaneTest, CacheProgramExtendsChainAtReducedCost) {
+  FlashConfig cfg = PlaneConfig(1, 2);
+  cfg.timing.cache_write_us = 300;
+  FlashDevice dev(cfg);
+  const uint32_t twrite = cfg.timing.write_us;
+  ByteBuffer page(dev.geometry().data_size, 0xAA);
+  // First program of a block pays full Twrite; the next page of the same
+  // block directly extends the plane's program chain at the cache latency.
+  ASSERT_TRUE(dev.ProgramPage(dev.AddrOf(0, 0), page, {}).ok());
+  ASSERT_TRUE(dev.ProgramPage(dev.AddrOf(0, 1), page, {}).ok());
+  EXPECT_EQ(dev.clock().now_us(), twrite + 300ull);
+  // A program on another plane does not break plane 0's chain...
+  ASSERT_TRUE(dev.ProgramPage(dev.AddrOf(1, 0), page, {}).ok());
+  ASSERT_TRUE(dev.ProgramPage(dev.AddrOf(0, 2), page, {}).ok());
+  EXPECT_EQ(dev.stats().plane[0].busy_us, twrite + 2ull * 300);
+  // ...but an erase on the plane does.
+  ASSERT_TRUE(dev.EraseBlock(2).ok());
+  const uint64_t busy0 = dev.stats().plane[0].busy_us;
+  ASSERT_TRUE(dev.ProgramPage(dev.AddrOf(0, 3), page, {}).ok());
+  EXPECT_EQ(dev.stats().plane[0].busy_us, busy0 + twrite);
+}
+
+TEST(FlashPlaneTest, MarkBadBlockOobSetsAndReportsMark) {
+  FlashDevice dev(PlaneConfig(1, 2));
+  EXPECT_FALSE(dev.HasBadBlockOob(3));
+  ASSERT_TRUE(dev.MarkBadBlockOob(3).ok());
+  EXPECT_TRUE(dev.HasBadBlockOob(3));
+  // Marking survives even when the page-0 spare already spent its partial
+  // program budget (a worn-out block must still be markable).
+  ByteBuffer spare(dev.geometry().spare_size, 0xFF);
+  for (uint32_t i = 0; i < dev.config().max_spare_programs; ++i) {
+    spare[0] = static_cast<uint8_t>(~(1u << i));
+    ASSERT_TRUE(dev.ProgramSpare(dev.AddrOf(5, 0), spare).ok());
+  }
+  ASSERT_TRUE(dev.MarkBadBlockOob(5).ok());
+  EXPECT_TRUE(dev.HasBadBlockOob(5));
+}
+
 TEST(FlashConfigTest, PaperDefaultsMatchTable1) {
   FlashConfig cfg = FlashConfig::Paper();
   EXPECT_EQ(cfg.geometry.num_blocks, 32768u);

@@ -176,5 +176,41 @@ TEST(BlockManagerStreamsTest, CloseOpenBlocksMakesThemVictims) {
   EXPECT_EQ(*victim, 0u);
 }
 
+
+TEST(MetaBlocksTest, ReservationRoundsUpToWholePlaneStripes) {
+  FlashConfig cfg = FlashConfig::Small(32);
+  cfg.geometry.dies_per_chip = 2;
+  cfg.geometry.planes_per_die = 2;  // stripe width 4
+  // 5 requested meta blocks round up to 8 (two whole stripes), so the
+  // data/meta boundary never splits a stripe across planes.
+  FlashConfig meta = cfg.WithMetaBlocks(5);
+  EXPECT_EQ(meta.geometry.meta_blocks, 8u);
+  EXPECT_EQ(meta.geometry.num_data_blocks(), 24u);
+  // An exact multiple is untouched, and 1-plane rounding is a no-op.
+  EXPECT_EQ(cfg.WithMetaBlocks(8).geometry.meta_blocks, 8u);
+  FlashConfig flat = FlashConfig::Small(32);
+  EXPECT_EQ(flat.WithMetaBlocks(5).geometry.meta_blocks, 5u);
+}
+
+TEST(MetaBlocksTest, AllocatorNeverEntersMetaRegionOnFourPlaneChip) {
+  FlashConfig cfg = FlashConfig::Small(16);
+  cfg.geometry.planes_per_die = 4;
+  cfg = cfg.WithMetaBlocks(4);
+  FlashDevice dev(cfg);
+  ftl::BlockManager bm(&dev, /*gc_reserve_blocks=*/1);
+  const uint32_t data_blocks = cfg.geometry.num_data_blocks();
+  ASSERT_EQ(data_blocks, 12u);
+  // Every plane holds exactly data_blocks / 4 allocatable blocks; drain the
+  // allocator completely and verify no page ever lands past the boundary.
+  uint32_t allocated = 0;
+  while (true) {
+    Result<flash::PhysAddr> r = bm.AllocatePage(/*for_gc=*/true);
+    if (!r.ok()) break;
+    EXPECT_LT(dev.BlockOf(*r), data_blocks);
+    ++allocated;
+  }
+  EXPECT_EQ(allocated, data_blocks * cfg.geometry.pages_per_block);
+}
+
 }  // namespace
 }  // namespace flashdb

@@ -41,6 +41,7 @@ MetaJournal::Record Snapshot(uint64_t epoch, uint32_t num_shards = 2,
     rec.slot_of_bucket[b] = b / num_shards;
   }
   rec.erase_baseline.assign(num_shards, 7 * epoch);
+  rec.bad_blocks.assign(num_shards, {});
   return rec;
 }
 

@@ -31,3 +31,10 @@ mkdir -p "$OUT_DIR"
 # preserve swaps and read back bit-identical, sequential == executor).
 "$BUILD_DIR/exp12_recovery" --blocks=64 --ops=2000 --warmup-max=3000 \
     --json="$OUT_DIR/exp12_recovery.json"
+
+# Plane-parallel device model: virtual-time columns are deterministic and
+# gate tightly; the 4-plane rows must keep a >= 2x virtual-time speedup over
+# the same method's single-plane point, and every geometry must replay
+# bit-identically under the threaded executor.
+"$BUILD_DIR/exp13_planes" --blocks=128 --ops=2000 --warmup-max=3000 \
+    --shards=2 --batch=8 --depth=4 --json="$OUT_DIR/exp13_planes.json"
