@@ -1,0 +1,245 @@
+// Experiment 14 (beyond the paper): end-to-end read-path integrity -- the
+// cost and effectiveness of CRC-verified reads, the bounded retry ladder,
+// and the background scrubber under an injected bit-error model.
+//
+// A BitErrorInjector makes read attempts fail with probability
+// p * (1 + wear_factor*erases + disturb_factor*reads_since_erase), attenuated
+// per retry pass. The device re-reads up to max_read_retries times (charging
+// read_retry_us per pass) and flags retried or disturb-saturated pages for
+// scrub; with --scrub the driver drains those flags at every epoch boundary
+// and relocates the live data, resetting its read-disturb exposure. This
+// bench sweeps bit-error rate x scrub {off,on} x method and reports:
+//   * vt us/op    -- virtual-clock advance per operation (retries included);
+//   * retry us/op -- virtual time spent in retry passes, per operation;
+//   * retries     -- total retry passes; corrected -- reads clean after >= 1
+//     retry; uncorr -- reads still corrupt after the ladder (the perf gate
+//     requires 0 on every scrub=on row);
+//   * scrub us/op -- virtual time of scrub relocations, per operation;
+//   * reloc       -- pages relocated by the scrubber (0 with scrub=off);
+//   * determinism -- per-chip virtual clocks of a threaded RunPipelined
+//     replay must match the sequential RunBatched run bit-for-bit: the error
+//     model and the scrubber are pure functions of per-shard state, so
+//     execution mode must not change a single retry decision (--check=0
+//     skips the replay and reports "-").
+//
+// Expected shape: retry us/op grows with the error rate, and the scrub=on
+// rows pay a small relocation cost to keep the disturb term (and with it the
+// retry tail) from compounding; uncorrectable reads stay at zero on every
+// row at these rates -- the ladder absorbs what the scrubber has not yet
+// refreshed.
+
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "flash/fault_injector.h"
+#include "ftl/shard_executor.h"
+#include "harness/experiment.h"
+#include "harness/table_printer.h"
+
+using namespace flashdb;
+using harness::TablePrinter;
+
+namespace {
+
+struct IntegrityPoint {
+  double vt_us_per_op = 0;
+  double retry_us_per_op = 0;
+  uint64_t retries = 0;
+  uint64_t corrected = 0;
+  uint64_t uncorrectable = 0;
+  double scrub_us_per_op = 0;
+  uint64_t relocated = 0;
+  bool deterministic = true;
+  bool checked = false;
+};
+
+struct PreparedRun {
+  std::unique_ptr<ftl::ShardedStore> store;
+  std::unique_ptr<workload::UpdateDriver> driver;
+  workload::Schedule schedule;
+};
+
+/// Builds a sharded store + driver at steady state and pre-draws the
+/// measured schedule; identical arguments yield identical state. The error
+/// injector is attached only after warmup, so every point measures the same
+/// warmed flash image and the sweep isolates the read-path costs.
+Result<PreparedRun> Prepare(const harness::ExperimentEnv& env,
+                            const methods::MethodSpec& spec,
+                            uint32_t num_shards, uint32_t total_blocks,
+                            uint32_t disturb_limit, uint64_t epoch_ops,
+                            bool scrub, flash::FaultInjector* injector) {
+  flash::FlashConfig shard_cfg = env.flash_cfg;
+  shard_cfg.geometry.num_blocks = total_blocks / num_shards;
+  if (shard_cfg.geometry.num_blocks < 8) {
+    return Status::InvalidArgument(
+        "too many shards for --blocks: " +
+        std::to_string(shard_cfg.geometry.num_blocks) +
+        " blocks/shard, need >= 8");
+  }
+  shard_cfg.read_disturb_limit = disturb_limit;
+  const auto& g = shard_cfg.geometry;
+  const uint32_t pages_per_shard = g.total_pages() - 2 * g.pages_per_block;
+  const uint32_t db_pages = static_cast<uint32_t>(
+      env.utilization * static_cast<double>(pages_per_shard) * num_shards);
+
+  PreparedRun run;
+  run.store = methods::CreateShardedStore(shard_cfg, num_shards, spec);
+  workload::WorkloadParams wp;
+  wp.pct_changed_by_one_op = 2.0;
+  wp.updates_till_write = 1;
+  wp.seed = env.seed;
+  wp.rebalance_epoch_ops = epoch_ops;
+  wp.scrub = scrub;
+  run.driver = std::make_unique<workload::UpdateDriver>(run.store.get(), wp);
+  FLASHDB_RETURN_IF_ERROR(run.driver->LoadDatabase(db_pages));
+  const uint64_t warmup_cap =
+      env.warmup_max_ops != 0 ? env.warmup_max_ops : 20ULL * db_pages;
+  FLASHDB_RETURN_IF_ERROR(
+      run.driver->Warmup(env.warmup_erases_per_block, warmup_cap));
+  run.schedule = run.driver->MakeSchedule(env.measure_ops);
+  if (injector != nullptr) {
+    for (uint32_t i = 0; i < num_shards; ++i) {
+      run.store->shard_device(i)->set_fault_injector(injector);
+    }
+  }
+  return run;
+}
+
+/// Measures one (method, error-rate, scrub) cell: a sequential RunBatched
+/// execution for the deterministic metrics, plus (with `check`) a threaded
+/// RunPipelined execution of the identical schedule whose per-chip clocks
+/// must replay the sequential ones bit-for-bit.
+Result<IntegrityPoint> RunPoint(const harness::ExperimentEnv& env,
+                                const methods::MethodSpec& spec,
+                                flash::FaultInjector* injector, bool scrub,
+                                uint32_t num_shards, uint32_t batch_size,
+                                uint32_t depth, size_t queue_capacity,
+                                uint32_t total_blocks, uint32_t disturb_limit,
+                                uint64_t epoch_ops, bool check) {
+  IntegrityPoint point;
+  FLASHDB_ASSIGN_OR_RETURN(
+      PreparedRun run, Prepare(env, spec, num_shards, total_blocks,
+                               disturb_limit, epoch_ops, scrub, injector));
+  workload::RunStats stats;
+  FLASHDB_RETURN_IF_ERROR(
+      run.driver->RunBatched(run.schedule, batch_size, &stats));
+  const double ops = static_cast<double>(env.measure_ops);
+  point.vt_us_per_op = static_cast<double>(stats.elapsed_vt_us) / ops;
+  point.retry_us_per_op = stats.retry_us_per_op();
+  point.retries = stats.read_retries;
+  point.corrected = stats.reads_corrected;
+  point.uncorrectable = stats.reads_uncorrectable;
+  point.scrub_us_per_op = stats.scrub_us_per_op();
+  point.relocated = stats.scrub_relocations;
+
+  if (check) {
+    FLASHDB_ASSIGN_OR_RETURN(
+        PreparedRun rep, Prepare(env, spec, num_shards, total_blocks,
+                                 disturb_limit, epoch_ops, scrub, injector));
+    ftl::ShardExecutor executor(num_shards, queue_capacity);
+    workload::RunStats rep_stats;
+    FLASHDB_RETURN_IF_ERROR(rep.driver->RunPipelined(
+        rep.schedule, batch_size, depth, &executor, &rep_stats));
+    point.checked = true;
+    point.deterministic =
+        rep.store->shard_clocks() == run.store->shard_clocks() &&
+        rep_stats.read_retries == stats.read_retries &&
+        rep_stats.scrub_relocations == stats.scrub_relocations;
+  }
+  return point;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  harness::Flags flags(argc, argv);
+  harness::ExperimentEnv env = harness::ExperimentEnv::FromFlags(flags);
+  if (env.measure_ops == 0) {
+    std::cerr << "--ops must be > 0\n";
+    return 1;
+  }
+  const uint32_t total_blocks = env.flash_cfg.geometry.num_blocks;
+  const uint32_t num_shards = static_cast<uint32_t>(flags.GetInt("shards", 2));
+  const uint32_t batch_size = static_cast<uint32_t>(flags.GetInt("batch", 8));
+  const uint32_t depth = static_cast<uint32_t>(flags.GetInt("depth", 4));
+  const size_t queue_capacity = static_cast<size_t>(flags.GetInt("queue", 8));
+  const uint32_t disturb_limit =
+      static_cast<uint32_t>(flags.GetInt("disturb-limit", 48));
+  const uint64_t epoch_ops =
+      static_cast<uint64_t>(flags.GetInt("epoch", 500));
+  const double disturb_factor = flags.GetDouble("disturb", 0.01);
+  const bool check = flags.GetBool("check", true);
+
+  // Error rates stay comfortably inside the ladder's budget: the point is
+  // the cost curve and the scrubber's effect on it, not data loss (the
+  // zero-uncorrectable row is what the perf gate pins).
+  const std::vector<double> error_rates = {0.0, 0.005, 0.02};
+
+  std::printf(
+      "Experiment 14: read-path integrity under injected bit errors, "
+      "%u shards, %u blocks total, %llu ops\n(retry ladder <= "
+      "max_read_retries passes; scrub drains device flags every %llu ops; "
+      "disturb_factor %.3f, disturb limit %u reads)\n\n",
+      num_shards, total_blocks,
+      static_cast<unsigned long long>(env.measure_ops),
+      static_cast<unsigned long long>(epoch_ops), disturb_factor,
+      disturb_limit);
+
+  const std::vector<std::string> method_names = {"OPU", "PDL(256B)"};
+  TablePrinter tbl({"Method", "ber", "scrub", "vt us/op", "retry us/op",
+                    "retries", "corrected", "uncorr", "scrub us/op", "reloc",
+                    "determinism"});
+  int failures = 0;
+  for (const std::string& name : method_names) {
+    auto spec = methods::ParseMethodSpec(name);
+    if (!spec.ok()) {
+      std::cerr << spec.status().ToString() << "\n";
+      return 1;
+    }
+    for (const double ber : error_rates) {
+      flash::BitErrorInjector::Params params;
+      params.page_error_rate = ber;
+      params.disturb_factor = disturb_factor;
+      flash::BitErrorInjector injector(params);
+      flash::FaultInjector* fi = ber > 0 ? &injector : nullptr;
+      for (const bool scrub : {false, true}) {
+        auto point =
+            RunPoint(env, *spec, fi, scrub, num_shards, batch_size, depth,
+                     queue_capacity, total_blocks, disturb_limit, epoch_ops,
+                     check);
+        if (!point.ok()) {
+          std::cerr << name << " ber=" << ber << " scrub=" << scrub << ": "
+                    << point.status().ToString() << "\n";
+          return 1;
+        }
+        if (point->checked && !point->deterministic) failures++;
+        if (point->uncorrectable != 0 && scrub) failures++;
+        tbl.AddRow({name, TablePrinter::Num(ber, 3), scrub ? "on" : "off",
+                    TablePrinter::Num(point->vt_us_per_op),
+                    TablePrinter::Num(point->retry_us_per_op, 2),
+                    std::to_string(point->retries),
+                    std::to_string(point->corrected),
+                    std::to_string(point->uncorrectable),
+                    TablePrinter::Num(point->scrub_us_per_op, 2),
+                    std::to_string(point->relocated),
+                    point->checked ? (point->deterministic ? "ok" : "FAIL")
+                                   : "-"});
+      }
+    }
+  }
+  tbl.Print(std::cout);
+  harness::JsonDump json(flags.GetString("json", ""));
+  json.Add("exp14_integrity", tbl);
+  if (!json.Finish()) return 1;
+  if (failures != 0) {
+    std::cerr << "\n" << failures
+              << " configuration(s) broke determinism or lost data under "
+                 "scrub\n";
+    return 1;
+  }
+  return 0;
+}

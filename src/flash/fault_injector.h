@@ -45,7 +45,32 @@ class FaultInjector {
   virtual bool FailMutation(OpKind /*kind*/, uint32_t /*addr*/) {
     return false;
   }
+
+  /// Called once per read *attempt* of a page (attempt 0 is the initial
+  /// sensing pass; higher values are the device's read-retry passes, each
+  /// re-charged at FlashTiming::read_retry_us). Returning true means this
+  /// attempt delivered raw bit errors beyond the on-chip ECC budget; the
+  /// device retries up to FlashConfig::max_read_retries times and, if every
+  /// attempt fails, delivers a deterministically bit-flipped buffer with
+  /// Status::OK -- exactly the silent-corruption surface the FTL's spare-area
+  /// data CRC exists to catch. `erase_count` (block wear) and
+  /// `reads_since_erase` (read disturb) let injectors scale the error
+  /// probability with the physical stress model. Default: reads are perfect.
+  virtual bool CorruptRead(uint32_t /*addr*/, uint32_t /*attempt*/,
+                           uint32_t /*erase_count*/,
+                           uint32_t /*reads_since_erase*/) {
+    return false;
+  }
 };
+
+/// SplitMix64 finalizer: the shared bit mixer behind deterministic fault
+/// decisions (which read attempt errors, which delivered bits flip).
+inline uint64_t MixBits64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
 
 /// Cuts power when a countdown of mutating operations reaches zero.
 /// With cut_after_apply=false the fatal operation is suppressed; with true it
@@ -128,6 +153,62 @@ class EraseFailureInjector : public FaultInjector {
   uint64_t countdown_ = 0;
   bool armed_ = false;
   std::vector<uint32_t> failed_blocks_;
+};
+
+/// Deterministic raw-bit-error model: each read attempt of a page errors with
+/// a probability that grows with the block's erase count (wear: worn oxide
+/// holds charge poorly) and with the page's reads-since-erase counter (read
+/// disturb: sensing a page soft-programs its neighbors until the block is
+/// erased). Retries attenuate the probability -- the chip shifts its read
+/// reference voltages, so a marginal page usually comes back clean within a
+/// few passes, while a genuinely degraded one stays bad through the whole
+/// ladder and surfaces as an uncorrectable read.
+///
+/// The decision is a pure hash of (seed, addr, reads_since_erase, attempt):
+/// no RNG stream, so interleaving reads across shards or run modes cannot
+/// change which reads error -- the property the determinism cross-checks in
+/// the benches rely on.
+class BitErrorInjector : public FaultInjector {
+ public:
+  struct Params {
+    /// Base probability that one read attempt of an unworn, undisturbed page
+    /// comes back with uncorrectable raw errors. 0 disables the model.
+    double page_error_rate = 0.0;
+    /// Additive probability scale per block erase (wear term).
+    double wear_factor = 0.01;
+    /// Additive probability scale per read since the block's last erase
+    /// (read-disturb term).
+    double disturb_factor = 0.0005;
+    /// Multiplier applied per retry attempt: attempt k errors with
+    /// p * retry_attenuation^k. Must be < 1 for retries to help.
+    double retry_attenuation = 0.25;
+    uint64_t seed = 0x5D1F7ULL;
+  };
+
+  explicit BitErrorInjector(const Params& params) : p_(params) {}
+
+  void BeforeMutation(OpKind, uint32_t) override {}
+  void AfterMutation(OpKind, uint32_t) override {}
+
+  bool CorruptRead(uint32_t addr, uint32_t attempt, uint32_t erase_count,
+                   uint32_t reads_since_erase) override {
+    double prob = p_.page_error_rate *
+                  (1.0 + p_.wear_factor * static_cast<double>(erase_count) +
+                   p_.disturb_factor * static_cast<double>(reads_since_erase));
+    for (uint32_t a = 0; a < attempt; ++a) prob *= p_.retry_attenuation;
+    if (prob <= 0.0) return false;
+    uint64_t h = MixBits64(p_.seed ^ (static_cast<uint64_t>(addr) << 20));
+    h = MixBits64(h ^ reads_since_erase);
+    h = MixBits64(h ^ (static_cast<uint64_t>(attempt) << 32));
+    // Top 53 bits -> uniform double in [0, 1).
+    const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+    return u < prob;
+  }
+
+  const Params& params() const { return p_; }
+
+ private:
+  Params p_;
 };
 
 }  // namespace flashdb::flash

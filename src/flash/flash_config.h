@@ -75,6 +75,11 @@ struct FlashTiming {
   /// follows the previous program on the same plane and block, so the array
   /// busy time hides behind the data load (0 = write_us = no cache benefit).
   uint32_t cache_write_us = 0;
+  /// Cost of one read-retry pass: the chip re-senses the page with shifted
+  /// read reference voltages after an ECC failure (0 = read_us). Charged per
+  /// retry attempt on top of the initial read, attributed to the page's
+  /// plane like any other read.
+  uint32_t read_retry_us = 0;
 
   uint32_t effective_multiplane_write_us() const {
     return multiplane_write_us != 0 ? multiplane_write_us : write_us;
@@ -84,6 +89,9 @@ struct FlashTiming {
   }
   uint32_t effective_cache_write_us() const {
     return cache_write_us != 0 ? cache_write_us : write_us;
+  }
+  uint32_t effective_read_retry_us() const {
+    return read_retry_us != 0 ? read_retry_us : read_us;
   }
 };
 
@@ -111,6 +119,22 @@ struct FlashConfig {
   /// programmed page with a higher index in the same block (NAND sequential
   /// page-programming rule).
   bool enforce_sequential_program = true;
+
+  /// Bound of the device's read-retry ladder: after a read attempt comes
+  /// back with uncorrectable raw bit errors (see FaultInjector::CorruptRead)
+  /// the chip re-senses up to this many times, charging
+  /// effective_read_retry_us() per pass. A read that stays bad through the
+  /// whole ladder delivers corrupted data (the FTL's spare-area data CRC is
+  /// the detection layer). Irrelevant while no injector reports read errors.
+  uint32_t max_read_retries = 4;
+
+  /// Read-disturb scrub threshold: when non-zero, a page whose
+  /// reads-since-erase counter reaches this value is flagged as a scrub
+  /// candidate (FlashDevice::TakeScrubCandidates) so a background scrubber
+  /// can relocate it before accumulated disturb makes it uncorrectable. 0
+  /// (the default) disables count-based flagging; pages that needed read
+  /// retries are always flagged.
+  uint32_t read_disturb_limit = 0;
 
   /// When true, Format/Recover scan page 0's spare of every data block for
   /// the factory bad-block mark (OOB byte, see ftl::spare_codec) and exclude

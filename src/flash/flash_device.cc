@@ -42,6 +42,8 @@ FlashDevice::FlashDevice(const FlashConfig& config) : config_(config) {
   spare_.assign(static_cast<size_t>(g.total_pages()) * g.spare_size, 0xFF);
   data_programs_.assign(g.total_pages(), 0);
   spare_programs_.assign(g.total_pages(), 0);
+  reads_since_erase_.assign(g.total_pages(), 0);
+  scrub_flagged_.assign(g.total_pages(), 0);
   block_frontier_.assign(g.num_blocks, -1);
   plane_ready_us_.assign(g.planes_per_chip(), 0);
   plane_last_prog_.assign(g.planes_per_chip(), kNullAddr);
@@ -126,6 +128,39 @@ Status FlashDevice::ReadPage(PhysAddr addr, MutBytes data, MutBytes spare) {
     return Status::InvalidArgument("spare buffer must be exactly spare_size");
   }
   Charge(OpKind::kRead, addr, config_.timing.read_us);
+
+  // Read-error model: each attempt disturbs the page again (the counter
+  // advances per pass), and the injector decides per attempt whether the raw
+  // bit errors exceeded the on-chip ECC budget. Without an injector the
+  // ladder never engages and the charge above is the whole story.
+  uint32_t rse = ++reads_since_erase_[addr];
+  bool corrupt = false;
+  if (fault_injector_ != nullptr) {
+    const uint32_t wear = stats_.block_erase_counts[BlockOf(addr)];
+    corrupt = fault_injector_->CorruptRead(addr, 0, wear, rse);
+    uint32_t attempt = 0;
+    while (corrupt && attempt < config_.max_read_retries) {
+      ++attempt;
+      const uint64_t retry_us = config_.timing.effective_read_retry_us();
+      Charge(OpKind::kRead, addr, retry_us);
+      stats_.integrity.read_retries++;
+      stats_.integrity.retry_us += retry_us;
+      rse = ++reads_since_erase_[addr];
+      corrupt = fault_injector_->CorruptRead(addr, attempt, wear, rse);
+    }
+    if (attempt > 0) {
+      if (corrupt) {
+        stats_.integrity.reads_uncorrectable++;
+      } else {
+        stats_.integrity.reads_corrected++;
+      }
+      FlagForScrub(addr);
+    }
+  }
+  if (config_.read_disturb_limit != 0 && rse >= config_.read_disturb_limit) {
+    FlagForScrub(addr);
+  }
+
   if (!data.empty()) {
     CopyBytes(data, ConstBytes(data_.data() + static_cast<size_t>(addr) * g.data_size,
                                g.data_size));
@@ -135,7 +170,53 @@ Status FlashDevice::ReadPage(PhysAddr addr, MutBytes data, MutBytes spare) {
               ConstBytes(spare_.data() + static_cast<size_t>(addr) * g.spare_size,
                          g.spare_size));
   }
+  if (corrupt) {
+    // The cells are intact; only this delivery is wrong. Flip bits in the
+    // data area when it was requested (the common case the FTL's data CRC
+    // guards), otherwise in the spare (caught by the metadata CRC).
+    const uint64_t salt = (static_cast<uint64_t>(addr) << 32) | rse;
+    if (!data.empty()) {
+      CorruptBuffer(data, salt);
+    } else {
+      CorruptBuffer(spare, salt);
+    }
+  }
   return Status::OK();
+}
+
+void FlashDevice::CorruptBuffer(MutBytes buf, uint64_t salt) {
+  if (buf.empty()) return;
+  uint64_t h = MixBits64(salt ^ 0xC0FFEEULL);
+  const uint32_t flips = 1 + static_cast<uint32_t>(h & 3);
+  for (uint32_t i = 0; i < flips; ++i) {
+    h = MixBits64(h);
+    const uint64_t bit = h % (static_cast<uint64_t>(buf.size()) * 8);
+    buf[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+  }
+}
+
+void FlashDevice::FlagForScrub(PhysAddr addr) {
+  // Only data-region pages are scrub candidates: the meta region's journal
+  // frames carry their own CRCs and are rewritten wholesale by the journal's
+  // ping-pong, not relocated page by page.
+  if (addr >= config_.geometry.data_pages()) return;
+  if (scrub_flagged_[addr]) return;
+  scrub_flagged_[addr] = 1;
+  scrub_candidates_.push_back(addr);
+}
+
+std::vector<PhysAddr> FlashDevice::TakeScrubCandidates() {
+  std::vector<PhysAddr> out;
+  out.reserve(scrub_candidates_.size());
+  for (PhysAddr addr : scrub_candidates_) {
+    // An erase since flagging cleared the flag: the content is gone and the
+    // entry is stale.
+    if (!scrub_flagged_[addr]) continue;
+    scrub_flagged_[addr] = 0;
+    out.push_back(addr);
+  }
+  scrub_candidates_.clear();
+  return out;
 }
 
 Status FlashDevice::ProgramCells(uint8_t* dst, ConstBytes src, PhysAddr addr,
@@ -254,6 +335,8 @@ void FlashDevice::ApplyErase(uint32_t block) {
   for (uint32_t p = 0; p < g.pages_per_block; ++p) {
     data_programs_[first + p] = 0;
     spare_programs_[first + p] = 0;
+    reads_since_erase_[first + p] = 0;
+    scrub_flagged_[first + p] = 0;  // content gone; pending flag is stale
   }
   block_frontier_[block] = -1;
   // Any array operation other than the next sequential program ends a

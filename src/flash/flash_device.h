@@ -85,6 +85,18 @@ class FlashDevice {
   /// Reads the page's data area (and spare area when `spare` is non-empty)
   /// into the caller buffers. `data` may be empty for a spare-only read.
   /// Charges one Tread regardless of which areas are requested.
+  ///
+  /// Read-error model: when a fault injector reports raw bit errors for an
+  /// attempt (FaultInjector::CorruptRead), the device re-senses up to
+  /// config().max_read_retries times, charging effective_read_retry_us() per
+  /// pass to the page's plane. A read that stays bad through the ladder
+  /// still returns OK but the delivered buffers carry deterministic bit
+  /// flips -- silent at the device level, exactly like real NAND past its
+  /// ECC budget; the FTL's spare-area data CRC is the detection layer.
+  /// Retry/corrected/uncorrectable classification lands in
+  /// stats().integrity; pages that needed retries (or crossed
+  /// config().read_disturb_limit reads since erase) are flagged as scrub
+  /// candidates.
   Status ReadPage(PhysAddr addr, MutBytes data, MutBytes spare);
 
   /// Convenience: spare-area-only read (used by recovery scans).
@@ -148,6 +160,19 @@ class FlashDevice {
   /// Number of spare-area programs since the last erase of the page.
   uint32_t SpareProgramCount(PhysAddr addr) const;
 
+  /// Read attempts (including retry passes) against this page since its
+  /// block's last erase -- the read-disturb stress input of the error model.
+  uint32_t ReadsSinceErase(PhysAddr addr) const {
+    return reads_since_erase_[addr];
+  }
+
+  /// Drains the scrub-candidate list: data-region pages that needed a read
+  /// retry, or whose reads-since-erase counter crossed
+  /// config().read_disturb_limit, since the last drain. Deduplicated; order
+  /// is flag order (deterministic for a fixed operation sequence). An erase
+  /// of the block clears a pending flag (the page's content is gone).
+  std::vector<PhysAddr> TakeScrubCandidates();
+
   SimClock& clock() { return clock_; }
   const SimClock& clock() const { return clock_; }
 
@@ -208,6 +233,12 @@ class FlashDevice {
   void SyncPlanesToClock();
   /// Resets the cells, program budgets and frontier of one block.
   void ApplyErase(uint32_t block);
+  /// Marks a data-region page as a scrub candidate (idempotent until the
+  /// next TakeScrubCandidates or block erase).
+  void FlagForScrub(PhysAddr addr);
+  /// Deterministically flips a few bits of a delivered buffer -- the payload
+  /// of an uncorrectable read.
+  static void CorruptBuffer(MutBytes buf, uint64_t salt);
 
   FlashConfig config_;
   ByteBuffer data_;                        ///< num pages * data_size
@@ -215,6 +246,12 @@ class FlashDevice {
   std::vector<uint8_t> data_programs_;     ///< per-page data program count
   std::vector<uint8_t> spare_programs_;    ///< per-page spare program count
   std::vector<int32_t> block_frontier_;    ///< highest first-programmed page
+  /// Read attempts per page since its block's last erase (read disturb).
+  /// Device *physical* state like the cells, not accounting: survives
+  /// ResetAccounting, cleared per block by erases.
+  std::vector<uint32_t> reads_since_erase_;
+  std::vector<uint8_t> scrub_flagged_;     ///< page in scrub_candidates_
+  std::vector<PhysAddr> scrub_candidates_; ///< pending scrub flags, flag order
   /// Virtual time at which each plane finishes its queued work. The chip
   /// clock is always max(plane_ready_us_) after an operation; with one plane
   /// the model degenerates to plain SimClock::Advance, bit for bit.

@@ -22,8 +22,9 @@ enum class OpCategory : int {
   kRecovery,     ///< Crash-recovery scans.
   kMigrate,      ///< Cross-shard wear-leveling bucket migration traffic.
   kMeta,         ///< Durable-metadata journal appends (ftl::MetaJournal).
+  kScrub,        ///< Background integrity scrub / relocation traffic.
 };
-inline constexpr int kNumOpCategories = 7;
+inline constexpr int kNumOpCategories = 8;
 
 /// Counters for one category (or the total).
 struct OpCounters {
@@ -107,10 +108,38 @@ struct PlaneCounters {
   uint64_t stall_us = 0;
 };
 
+/// Read-path integrity counters: the clean / correctable-after-retry /
+/// uncorrectable classification of every data read, plus the virtual time
+/// the retry ladder burned. All zero while no fault injector reports read
+/// errors (the historical perfect-read model).
+struct IntegrityCounters {
+  uint64_t read_retries = 0;         ///< Retry passes issued (all reads).
+  uint64_t retry_us = 0;             ///< Virtual time spent in retry passes.
+  uint64_t reads_corrected = 0;      ///< Reads clean after >= 1 retry.
+  uint64_t reads_uncorrectable = 0;  ///< Reads still corrupt after the ladder.
+
+  IntegrityCounters operator-(const IntegrityCounters& o) const {
+    IntegrityCounters r;
+    r.read_retries = read_retries - o.read_retries;
+    r.retry_us = retry_us - o.retry_us;
+    r.reads_corrected = reads_corrected - o.reads_corrected;
+    r.reads_uncorrectable = reads_uncorrectable - o.reads_uncorrectable;
+    return r;
+  }
+  IntegrityCounters& operator+=(const IntegrityCounters& o) {
+    read_retries += o.read_retries;
+    retry_us += o.retry_us;
+    reads_corrected += o.reads_corrected;
+    reads_uncorrectable += o.reads_uncorrectable;
+    return *this;
+  }
+};
+
 /// Snapshot-friendly statistics block owned by the device.
 struct FlashStats {
   OpCounters total;
   std::array<OpCounters, kNumOpCategories> by_category;
+  IntegrityCounters integrity;               ///< Read-error classification.
   std::vector<uint32_t> block_erase_counts;  ///< Per-block wear (longevity).
   std::vector<PlaneCounters> plane;          ///< Per-plane busy/stall model.
 
@@ -134,6 +163,7 @@ struct FlashStats {
   void Reset() {
     total = OpCounters{};
     by_category.fill(OpCounters{});
+    integrity = IntegrityCounters{};
     for (auto& e : block_erase_counts) e = 0;
     for (auto& p : plane) p = PlaneCounters{};
   }

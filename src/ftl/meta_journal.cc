@@ -24,12 +24,22 @@ struct FrameHeader {
   uint32_t record_crc = 0;
 };
 
-/// Parses and validates one frame's header + frame CRC. Returns false for
-/// anything that is not a well-formed journal frame (foreign data, torn
-/// writes on devices that model them, bit rot).
-bool ParseFrame(ConstBytes data, uint32_t payload_cap, FrameHeader* hdr) {
-  if (data.size() < kFrameHeaderSize) return false;
-  if (DecodeFixed32(data.data()) != kFrameMagic) return false;
+/// Outcome of parsing one programmed meta page as a journal frame. The
+/// distinction matters for recovery semantics: a page without the frame
+/// magic was never a journal frame (foreign data), while a page that
+/// carries the magic but fails validation held a frame whose bits rotted --
+/// that is corruption, not a clean torn end.
+enum class FrameParse {
+  kOk,
+  kNotAFrame,  ///< No frame magic: foreign or garbage page.
+  kBadCrc,     ///< Magic present but header nonsense or frame-CRC mismatch.
+};
+
+/// Parses and validates one frame's header + frame CRC.
+FrameParse ParseFrame(ConstBytes data, uint32_t payload_cap,
+                      FrameHeader* hdr) {
+  if (data.size() < kFrameHeaderSize) return FrameParse::kNotAFrame;
+  if (DecodeFixed32(data.data()) != kFrameMagic) return FrameParse::kNotAFrame;
   hdr->seq = DecodeFixed64(data.data() + 4);
   hdr->frame_index = DecodeFixed32(data.data() + 12);
   hdr->frame_count = DecodeFixed32(data.data() + 16);
@@ -37,12 +47,12 @@ bool ParseFrame(ConstBytes data, uint32_t payload_cap, FrameHeader* hdr) {
   hdr->record_crc = DecodeFixed32(data.data() + 24);
   const uint32_t frame_crc = DecodeFixed32(data.data() + 28);
   if (hdr->frame_count == 0 || hdr->frame_index >= hdr->frame_count) {
-    return false;
+    return FrameParse::kBadCrc;
   }
-  if (hdr->payload_len > payload_cap) return false;
+  if (hdr->payload_len > payload_cap) return FrameParse::kBadCrc;
   uint32_t crc = Crc32c(data.subspan(0, 28));
   crc = Crc32c(data.subspan(kFrameHeaderSize, hdr->payload_len), crc);
-  return crc == frame_crc;
+  return crc == frame_crc ? FrameParse::kOk : FrameParse::kBadCrc;
 }
 
 }  // namespace
@@ -317,6 +327,7 @@ Status MetaJournal::WriteRecord(uint64_t epoch,
 Result<MetaJournal::Recovered> MetaJournal::Recover() {
   flash::CategoryScope cat(dev_, flash::OpCategory::kRecovery);
   const uint32_t payload_cap = PayloadPerFrame();
+  scan_stats_ = ScanStats{};
 
   struct PendingRecord {
     std::map<uint32_t, std::vector<uint8_t>> frames;  // index -> payload
@@ -341,8 +352,25 @@ Result<MetaJournal::Recovered> MetaJournal::Recover() {
       max_programmed_page[half] = p;
       any_programmed = true;
       FLASHDB_RETURN_IF_ERROR(dev_->ReadPage(addr, data, spare));
+      scan_stats_.frames_scanned++;
+      // The spare-area tag is verified like any other data read: a meta
+      // frame whose spare metadata CRC fails (or that claims a foreign page
+      // type) delivered rotten bits and is treated as a corrupt frame.
+      const SpareInfo tag = DecodeSpare(spare);
+      if (tag.programmed && (!tag.crc_ok || tag.type != PageType::kMeta)) {
+        scan_stats_.frames_bad_crc++;
+        continue;
+      }
       FrameHeader hdr;
-      if (!ParseFrame(data, payload_cap, &hdr)) continue;  // torn / foreign
+      const FrameParse parse = ParseFrame(data, payload_cap, &hdr);
+      if (parse != FrameParse::kOk) {
+        if (parse == FrameParse::kBadCrc) {
+          scan_stats_.frames_bad_crc++;
+        } else {
+          scan_stats_.frames_foreign++;
+        }
+        continue;
+      }
       PendingRecord& rec = pending[hdr.seq];
       if (rec.frames.empty()) {
         rec.frame_count = hdr.frame_count;
@@ -361,6 +389,12 @@ Result<MetaJournal::Recovered> MetaJournal::Recover() {
     }
   }
   if (!any_programmed || !any_seq) {
+    if (scan_stats_.frames_bad_crc > 0) {
+      return Status::Corruption(
+          "meta journal holds no readable record: " +
+          std::to_string(scan_stats_.frames_bad_crc) +
+          " frame(s) failed CRC validation (uncorrectable corruption)");
+    }
     return Status::Corruption(
         "meta journal region holds no record -- the store was never "
         "formatted with a journal on this device");
@@ -376,7 +410,18 @@ Result<MetaJournal::Recovered> MetaJournal::Recover() {
   };
   std::vector<ValidRecord> valid;
   for (auto& [seq, p] : pending) {
-    if (!p.consistent || p.frames.size() != p.frame_count) continue;
+    // A record missing frames at the newest sequence number -- with no
+    // CRC-corrupt frame anywhere in the region -- is the expected footprint
+    // of a power cut mid-append: a clean torn end. Any other discarded
+    // record lost frames to corruption.
+    if (!p.consistent || p.frames.size() != p.frame_count) {
+      if (p.consistent && seq == max_seq && scan_stats_.frames_bad_crc == 0) {
+        scan_stats_.records_torn++;
+      } else {
+        scan_stats_.records_discarded++;
+      }
+      continue;
+    }
     std::vector<uint8_t> bytes;
     bool complete = true;
     for (uint32_t f = 0; f < p.frame_count; ++f) {
@@ -387,10 +432,16 @@ Result<MetaJournal::Recovered> MetaJournal::Recover() {
       }
       bytes.insert(bytes.end(), it->second.begin(), it->second.end());
     }
-    if (!complete || Crc32c(bytes) != p.record_crc) continue;
+    if (!complete || Crc32c(bytes) != p.record_crc) {
+      scan_stats_.records_discarded++;
+      continue;
+    }
     ValidRecord v;
     v.seq = seq;
-    if (!Deserialize(bytes, &v.rec).ok()) continue;
+    if (!Deserialize(bytes, &v.rec).ok()) {
+      scan_stats_.records_discarded++;
+      continue;
+    }
     valid.push_back(std::move(v));
   }
   // std::map iteration already sorted by seq.
@@ -416,6 +467,12 @@ Result<MetaJournal::Recovered> MetaJournal::Recover() {
     best = &v;
   }
   if (best == nullptr) {
+    if (scan_stats_.frames_bad_crc > 0) {
+      return Status::Corruption(
+          "meta journal holds no valid snapshot record: " +
+          std::to_string(scan_stats_.frames_bad_crc) +
+          " frame(s) failed CRC validation (uncorrectable corruption)");
+    }
     return Status::Corruption("meta journal holds no valid snapshot record");
   }
 

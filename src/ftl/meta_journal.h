@@ -150,6 +150,19 @@ class MetaJournal {
   /// were lost). Scan reads are accounted under OpCategory::kRecovery.
   Result<Recovered> Recover();
 
+  /// Frame/record classification from the last Recover() scan. Distinguishes
+  /// the expected footprint of a power cut (a clean torn tail append) from
+  /// frames whose bits rotted (CRC failures), so discarded data is counted
+  /// instead of dropped silently.
+  struct ScanStats {
+    uint64_t frames_scanned = 0;   ///< Programmed meta pages inspected.
+    uint64_t frames_bad_crc = 0;   ///< Magic present, frame/spare CRC failed.
+    uint64_t frames_foreign = 0;   ///< Programmed page without frame magic.
+    uint64_t records_torn = 0;     ///< Clean torn tail append (power cut).
+    uint64_t records_discarded = 0;  ///< Record lost to corruption.
+  };
+  const ScanStats& scan_stats() const { return scan_stats_; }
+
   /// Epoch the next snapshot append should carry: 0 after construction,
   /// 1 after a Format + format-record append, last valid + 1 after Recover.
   uint64_t next_epoch() const { return next_epoch_; }
@@ -186,6 +199,7 @@ class MetaJournal {
   /// Newest snapshot in re-checkpoint (payload-stripped) form, kept in RAM
   /// for switch-time re-checkpoints. Set by Append(kSnapshot) and Recover().
   std::unique_ptr<Record> last_snapshot_;
+  ScanStats scan_stats_;
 };
 
 }  // namespace flashdb::ftl

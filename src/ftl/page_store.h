@@ -120,6 +120,21 @@ class PageStore {
   /// every acknowledged WriteBack survives power loss.
   virtual Status Flush() = 0;
 
+  /// Scrub request for the physical page at `addr` of this store's chip: if
+  /// the page still holds live data, relocate that data to a fresh physical
+  /// page through the store's normal write path (resetting the page's
+  /// read-disturb exposure) and set *relocated = true. A page that is
+  /// obsolete, erased, or otherwise not live is skipped (*relocated = false)
+  /// -- its bits no longer matter and the block's erase will clear the wear.
+  /// Single-chip stores implement this; the default is a safe no-op so
+  /// aggregating stores (which route by shard, not address) and test doubles
+  /// need not.
+  virtual Status ScrubPhysPage(flash::PhysAddr addr, bool* relocated) {
+    (void)addr;
+    *relocated = false;
+    return Status::OK();
+  }
+
   /// Rebuilds all in-memory tables by scanning flash after a crash. The
   /// store must previously have been Format()ed on this device (possibly by
   /// another, now-dead instance).

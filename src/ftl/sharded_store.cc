@@ -337,6 +337,42 @@ void ShardedStore::SeedRouterEraseBaseline() {
   router_->SeedEraseBaseline(shard_erases());
 }
 
+Status ShardedStore::ScrubShards(ScrubResult* out) {
+  if (!formatted_) return Status::InvalidArgument("store not formatted");
+  ScrubResult res;
+  for (uint32_t i = 0; i < num_shards(); ++i) {
+    const std::vector<flash::PhysAddr> cands =
+        shards_[i].device->TakeScrubCandidates();
+    if (cands.empty()) continue;
+    PageStore* s = shards_[i].store.get();
+    StoreCategoryScope cat(s, flash::OpCategory::kScrub);
+    for (const flash::PhysAddr addr : cands) {
+      ++res.candidates;
+      bool relocated = false;
+      FLASHDB_RETURN_IF_ERROR(s->ScrubPhysPage(addr, &relocated));
+      if (relocated) {
+        ++res.relocated;
+      } else {
+        ++res.skipped;
+      }
+    }
+  }
+  // Journal the sweep as its own committed epoch. The relocations themselves
+  // are crash-safe without it (write-new-then-obsolete, arbitrated by
+  // timestamp during the chips' recovery scans), so an append failure here
+  // loses only the epoch marker, not data -- no need to invalidate the store
+  // the way a half-applied migration must.
+  if (journal_ != nullptr && res.relocated > 0) {
+    FLASHDB_RETURN_IF_ERROR(journal_->Append(SnapshotRecord()));
+    MetaJournal::Record done;
+    done.type = MetaJournal::Record::Type::kComplete;
+    done.epoch = journal_->next_epoch() - 1;
+    FLASHDB_RETURN_IF_ERROR(journal_->Append(done));
+  }
+  if (out != nullptr) *out = res;
+  return Status::OK();
+}
+
 std::vector<uint64_t> ShardedStore::shard_erases() {
   std::vector<uint64_t> erases(num_shards());
   for (uint32_t i = 0; i < num_shards(); ++i) {
@@ -527,6 +563,7 @@ flash::FlashStats ShardedStore::stats() {
   for (Shard& s : shards_) {
     const flash::FlashStats shard_stats = s.store->stats();
     agg.total += shard_stats.total;
+    agg.integrity += shard_stats.integrity;
     for (int c = 0; c < flash::kNumOpCategories; ++c) {
       agg.by_category[c] += shard_stats.by_category[c];
     }

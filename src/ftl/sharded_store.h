@@ -163,6 +163,31 @@ class ShardedStore : public PageStore {
   Status MigrateBuckets(std::span<const ShardRouter::Swap> swaps,
                         ShardExecutor* executor);
 
+  /// Outcome counters of one ScrubShards() sweep.
+  struct ScrubResult {
+    uint64_t candidates = 0;  ///< Device-flagged pages drained.
+    uint64_t relocated = 0;   ///< Pages whose live data was rewritten.
+    uint64_t skipped = 0;     ///< Flagged pages that were no longer live.
+  };
+
+  /// Background integrity scrub: drains every shard device's scrub-candidate
+  /// list (pages that needed a read retry or crossed the read-disturb limit,
+  /// FlashDevice::TakeScrubCandidates) and asks the owning store to relocate
+  /// whatever live data each candidate still holds (PageStore::ScrubPhysPage)
+  /// -- refreshing the data before its error rate degrades past the retry
+  /// ladder. Traffic is accounted under OpCategory::kScrub (GC triggered by
+  /// the relocations stays kGc).
+  ///
+  /// Same quiescence contract as MigrateBuckets: call at a drained epoch
+  /// boundary. Shards are processed in order and candidates in flag order, so
+  /// the sweep is deterministic across execution modes. With a meta journal
+  /// attached, a sweep that relocated anything appends a snapshot +
+  /// completion epoch, so a power cut mid-scrub recovers onto a committed
+  /// epoch: either the journaled post-scrub state, or the prior epoch with
+  /// any half-finished relocation resolved by the chips' own timestamp
+  /// arbitration.
+  Status ScrubShards(ScrubResult* out);
+
   /// Elapsed virtual time with the shards operating in parallel (max of the
   /// shard clocks).
   uint64_t parallel_time_us() const;

@@ -1,6 +1,7 @@
 #include "ftl/spare_codec.h"
 
 #include <cassert>
+#include <string>
 
 #include "common/coding.h"
 #include "common/crc32.h"
@@ -20,7 +21,7 @@ uint32_t SpareCrc(ConstBytes spare) {
 }  // namespace
 
 void EncodeSpare(MutBytes spare, PageType type, uint32_t pid,
-                 uint64_t timestamp) {
+                 uint64_t timestamp, ConstBytes data) {
   assert(spare.size() >= kSpareEncodedSize);
   EncodeFixed16(spare.data(), kMagic);
   spare[2] = static_cast<uint8_t>(type);
@@ -28,6 +29,12 @@ void EncodeSpare(MutBytes spare, PageType type, uint32_t pid,
   EncodeFixed32(spare.data() + 4, pid);
   EncodeFixed64(spare.data() + 8, timestamp);
   EncodeFixed32(spare.data() + 16, SpareCrc(spare));
+  if (!data.empty()) {
+    assert(spare.size() >= kSpareDataCrcEnd);
+    assert(PageTypeCarriesDataCrc(type) &&
+           "data CRC only belongs on once-programmed page types");
+    EncodeFixed32(spare.data() + kSpareDataCrcOffset, Crc32c(data));
+  }
 }
 
 SpareInfo DecodeSpare(ConstBytes spare) {
@@ -69,7 +76,48 @@ SpareInfo DecodeSpare(ConstBytes spare) {
   info.pid = DecodeFixed32(spare.data() + 4);
   info.timestamp = DecodeFixed64(spare.data() + 8);
   info.crc_ok = (DecodeFixed32(spare.data() + 16) == SpareCrc(spare));
+  if (spare.size() >= kSpareDataCrcEnd) {
+    info.data_crc = DecodeFixed32(spare.data() + kSpareDataCrcOffset);
+  }
   return info;
+}
+
+Status VerifyPageRead(const SpareInfo& info, ConstBytes data,
+                      flash::PhysAddr addr) {
+  if (!info.programmed) return Status::OK();
+  if (!info.crc_ok) {
+    return Status::Corruption(
+        "uncorrectable read: spare metadata CRC mismatch at phys page " +
+        std::to_string(addr) + " (pid " + std::to_string(info.pid) + ")");
+  }
+  if (!data.empty() && PageTypeCarriesDataCrc(info.type) &&
+      Crc32c(data) != info.data_crc) {
+    return Status::Corruption(
+        "uncorrectable read: data CRC mismatch at phys page " +
+        std::to_string(addr) + " (pid " + std::to_string(info.pid) +
+        ", type 0x" + std::to_string(static_cast<unsigned>(info.type)) + ")");
+  }
+  return Status::OK();
+}
+
+Status ReadVerifiedPage(flash::FlashDevice* dev, flash::PhysAddr addr,
+                        MutBytes data, MutBytes spare, SpareInfo* info_out) {
+  uint8_t local[64];
+  ByteBuffer heap;
+  MutBytes sp = spare;
+  if (sp.empty()) {
+    const uint32_t spare_size = dev->geometry().spare_size;
+    if (spare_size <= sizeof(local)) {
+      sp = MutBytes(local, spare_size);
+    } else {
+      heap.resize(spare_size);
+      sp = heap;
+    }
+  }
+  FLASHDB_RETURN_IF_ERROR(dev->ReadPage(addr, data, sp));
+  const SpareInfo info = DecodeSpare(sp);
+  if (info_out != nullptr) *info_out = info;
+  return VerifyPageRead(info, data, addr);
 }
 
 void EncodeObsoleteMark(MutBytes spare) {

@@ -11,9 +11,15 @@
 //   20     bad-block OOB mark (flash::kBadBlockOobOffset) -- 0xFF good; any
 //          cleared bit on page 0 of a block marks the whole block bad
 //          (factory-marked or grown). Outside the CRC by construction.
+//   24..27 CRC-32C over the page's *data area* -- present on page types whose
+//          data is programmed exactly once with its final contents (kBase,
+//          kDiff, kData, kOrig; see PageTypeCarriesDataCrc). Absent (erased
+//          0xFF bytes) on kLog pages, whose data area keeps evolving via
+//          partial programs, and on kMeta frames, which carry their own
+//          frame/record CRCs in the data area.
 //
-// The obsolete marker is deliberately excluded from the CRC because it is
-// programmed *after* the page is written, by clearing bits only.
+// The obsolete marker is deliberately excluded from the metadata CRC because
+// it is programmed *after* the page is written, by clearing bits only.
 
 #ifndef FLASHDB_FTL_SPARE_CODEC_H_
 #define FLASHDB_FTL_SPARE_CODEC_H_
@@ -49,15 +55,36 @@ struct SpareInfo {
   /// meaningful on page 0 of a block; set independently of `programmed`
   /// (a factory-bad block carries the mark on an otherwise erased page).
   bool bad_block = false;
+  /// Raw bytes 24..27: CRC-32C of the page's data area on types that carry
+  /// one (PageTypeCarriesDataCrc); erased 0xFFFFFFFF otherwise.
+  uint32_t data_crc = 0;
 };
 
 /// Minimum spare size these helpers require.
 inline constexpr uint32_t kSpareEncodedSize = 20;
 
+/// Byte offset of the data-area CRC (past the bad-block OOB byte at 20).
+inline constexpr uint32_t kSpareDataCrcOffset = 24;
+
+/// Spare size needed for the data-CRC field.
+inline constexpr uint32_t kSpareDataCrcEnd = kSpareDataCrcOffset + 4;
+
+/// True for page types whose data area is programmed exactly once with its
+/// final contents, so EncodeSpare stamps a data CRC and every read of the
+/// data area can be verified against it. kLog is excluded (IPL fills log
+/// slots with later partial programs) and kMeta frames carry their own CRCs.
+inline bool PageTypeCarriesDataCrc(PageType t) {
+  return t == PageType::kBase || t == PageType::kDiff ||
+         t == PageType::kData || t == PageType::kOrig;
+}
+
 /// Fills `spare` (>= kSpareEncodedSize, normally 64 bytes preset to 0xFF)
-/// with an initial-program image.
+/// with an initial-program image. When `data` is non-empty it must be the
+/// page's final data-area image: its CRC-32C is stamped at
+/// kSpareDataCrcOffset so reads can detect delivered bit errors. Pass the
+/// data for every type with PageTypeCarriesDataCrc; pass {} for kLog/kMeta.
 void EncodeSpare(MutBytes spare, PageType type, uint32_t pid,
-                 uint64_t timestamp);
+                 uint64_t timestamp, ConstBytes data = {});
 
 /// Parses a spare image. Erased spare decodes to type kFree.
 SpareInfo DecodeSpare(ConstBytes spare);
@@ -65,6 +92,23 @@ SpareInfo DecodeSpare(ConstBytes spare);
 /// Produces the partial-program image that marks a page obsolete: all bits 1
 /// except the obsolete marker byte, so ANDing leaves everything else intact.
 void EncodeObsoleteMark(MutBytes spare);
+
+/// Reads `addr`'s data area (and spare metadata) in one device read and
+/// verifies integrity end to end: the spare's metadata CRC must hold, and on
+/// page types that carry a data CRC the delivered data must match it.
+/// Returns kCorruption naming the page identity (pid, physical address,
+/// type) when either check fails -- the typed uncorrectable-read surface.
+/// Reads of erased pages pass through unverified (type kFree). `spare` may
+/// be empty when the caller does not need the raw spare bytes; `info_out`
+/// (optional) receives the decoded spare either way.
+Status ReadVerifiedPage(flash::FlashDevice* dev, flash::PhysAddr addr,
+                        MutBytes data, MutBytes spare = {},
+                        SpareInfo* info_out = nullptr);
+
+/// Verification half of ReadVerifiedPage for callers that already hold the
+/// delivered data + decoded spare of one device read.
+Status VerifyPageRead(const SpareInfo& info, ConstBytes data,
+                      flash::PhysAddr addr);
 
 }  // namespace flashdb::ftl
 

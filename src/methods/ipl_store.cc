@@ -5,17 +5,54 @@
 #include <unordered_map>
 
 #include "common/coding.h"
+#include "common/crc32.h"
 
 namespace flashdb::methods {
 
 using flash::PhysAddr;
 
 namespace {
-/// Slot header: owning pid (u32) + record count (u16).
-constexpr uint32_t kSlotHeaderSize = 6;
+/// Slot header: owning pid (u32) + record count (u16) + CRC-32C (u32).
+///
+/// Log pages carry no data CRC in their spare (the page's data area keeps
+/// evolving via partial programs), but each *slot* is programmed exactly once
+/// with its final bytes -- so integrity lives here instead: the CRC covers
+/// the pid+count header fields and the record payload, and every slot parse
+/// (read path, merge, recovery) verifies it before trusting the records.
+constexpr uint32_t kSlotHeaderSize = 10;
+constexpr uint32_t kSlotCrcOffset = 6;
 /// Per-record header: offset (u16) + length (u16).
 constexpr uint32_t kRecordHeaderSize = 4;
 constexpr uint32_t kEmptySlotPid = 0xFFFFFFFFu;
+
+/// CRC-32C over a slot's covered bytes: header fields before the CRC, then
+/// `record_bytes` payload bytes starting right after the header.
+uint32_t SlotCrc(ConstBytes slot_bytes, size_t record_bytes) {
+  uint32_t crc = Crc32c(slot_bytes.subspan(0, kSlotCrcOffset));
+  return Crc32c(slot_bytes.subspan(kSlotHeaderSize, record_bytes), crc);
+}
+
+/// Walks a slot's record list without applying it: bounds-checks every
+/// record header and verifies the slot CRC. Returns the payload length in
+/// `record_bytes`.
+Status CheckSlot(ConstBytes slot_bytes, size_t* record_bytes) {
+  BufferReader r(slot_bytes);
+  r.GetU32();  // owner
+  const uint16_t count = r.GetU16();
+  const uint32_t stored_crc = r.GetU32();
+  const size_t start = r.position();
+  for (uint16_t i = 0; i < count; ++i) {
+    r.GetU16();  // offset
+    const uint16_t len = r.GetU16();
+    r.GetBytes(len);
+    if (r.failed()) return Status::Corruption("malformed IPL slot records");
+  }
+  *record_bytes = r.position() - start;
+  if (SlotCrc(slot_bytes, *record_bytes) != stored_crc) {
+    return Status::Corruption("uncorrectable read: IPL slot CRC mismatch");
+  }
+  return Status::OK();
+}
 }  // namespace
 
 IplStore::IplStore(flash::FlashDevice* dev, const IplConfig& config)
@@ -86,7 +123,7 @@ Status IplStore::Format(uint32_t num_logical_pages, PageInitializer initial,
       std::fill(page.begin(), page.end(), 0);
       if (initial != nullptr) initial(pid, page, initial_arg);
       std::fill(spare.begin(), spare.end(), 0xFF);
-      ftl::EncodeSpare(spare, ftl::PageType::kOrig, pid, clock_.Next());
+      ftl::EncodeSpare(spare, ftl::PageType::kOrig, pid, clock_.Next(), page);
       FLASHDB_RETURN_IF_ERROR(
           dev_->ProgramPage(dev_->AddrOf(grp, i), page, spare));
     }
@@ -109,8 +146,8 @@ Status IplStore::ReadPage(PageId pid, MutBytes out) {
   const uint32_t grp = LogicalBlockOf(pid);
   const uint32_t block = block_map_.base(grp);
   const PhysAddr orig = dev_->AddrOf(block, pid % orig_per_block_);
-  // Read the original page...
-  FLASHDB_RETURN_IF_ERROR(dev_->ReadPage(orig, out, {}));
+  // Read the original page (CRC-verified end to end)...
+  FLASHDB_RETURN_IF_ERROR(ftl::ReadVerifiedPage(dev_, orig, out));
   // ...then only the log pages of the same block holding this page's logs.
   const auto& slots = pid_slots_[pid];
   ByteBuffer log_page(data_size_);
@@ -119,7 +156,9 @@ Status IplStore::ReadPage(PageId pid, MutBytes out) {
     const uint32_t lp = LogPageOfIndex(slot);
     if (static_cast<int32_t>(lp) != loaded_page) {
       const PhysAddr addr = dev_->AddrOf(block, orig_per_block_ + lp);
-      FLASHDB_RETURN_IF_ERROR(dev_->ReadPage(addr, log_page, {}));
+      // Log pages carry no spare data CRC (integrity lives in the per-slot
+      // CRC, checked by ApplySlot); this still verifies the spare metadata.
+      FLASHDB_RETURN_IF_ERROR(ftl::ReadVerifiedPage(dev_, addr, log_page));
       loaded_page = static_cast<int32_t>(lp);
     }
     const uint32_t s = SlotOfIndex(slot);
@@ -142,7 +181,10 @@ Status IplStore::ApplySlot(ConstBytes slot_bytes, PageId pid, MutBytes page,
   const uint32_t owner = r.GetU32();
   if (owner != pid) return Status::OK();
   *belongs = true;
+  size_t record_bytes = 0;
+  FLASHDB_RETURN_IF_ERROR(CheckSlot(slot_bytes, &record_bytes));
   const uint16_t count = r.GetU16();
+  r.GetU32();  // slot CRC, verified by CheckSlot above
   for (uint16_t i = 0; i < count; ++i) {
     const uint16_t off = r.GetU16();
     const uint16_t len = r.GetU16();
@@ -230,6 +272,8 @@ Status IplStore::FlushPending(PageId pid) {
   EncodeFixed32(base, pid);
   EncodeFixed16(base + 4, pl.count);
   std::memcpy(base + kSlotHeaderSize, pl.bytes.data(), pl.bytes.size());
+  EncodeFixed32(base + kSlotCrcOffset,
+                SlotCrc(ConstBytes(base, slot_size_), pl.bytes.size()));
   // Unused tail of the slot must stay 0xFF? No: it must parse as "record list
   // exhausted", which the count field already guarantees. Leave it erased so
   // later slots in the same page remain programmable.
@@ -288,28 +332,21 @@ Status IplStore::MergeBlock(uint32_t grp) {
   ByteBuffer log_page(data_size_);
   for (uint32_t lp = 0; lp < used_log_pages; ++lp) {
     const PhysAddr addr = dev_->AddrOf(old_block, orig_per_block_ + lp);
-    FLASHDB_RETURN_IF_ERROR(dev_->ReadPage(addr, log_page, {}));
+    FLASHDB_RETURN_IF_ERROR(ftl::ReadVerifiedPage(dev_, addr, log_page));
     for (uint32_t s = 0; s < slots_per_page_; ++s) {
       const uint32_t slot = lp * slots_per_page_ + s;
       if (slot >= used_slots) break;
       ConstBytes sb(log_page.data() + s * slot_size_, slot_size_);
-      BufferReader r(sb);
-      const uint32_t owner = r.GetU32();
+      const uint32_t owner = DecodeFixed32(sb.data());
       if (owner == kEmptySlotPid) continue;
-      const uint16_t count = r.GetU16();
+      // The erase below destroys the only copy of these records; verify the
+      // slot CRC before they are folded into fresh original pages.
+      size_t record_bytes = 0;
+      FLASHDB_RETURN_IF_ERROR(CheckSlot(sb, &record_bytes));
+      const uint16_t count = DecodeFixed16(sb.data() + 4);
       ByteBuffer& dst = logs[owner];
-      const size_t start = r.position();
-      size_t consumed = 0;
-      for (uint16_t i = 0; i < count; ++i) {
-        r.GetU16();
-        const uint16_t len = r.GetU16();
-        r.GetBytes(len);
-        if (r.failed()) {
-          return Status::Corruption("malformed slot during merge");
-        }
-        consumed = r.position() - start;
-      }
-      dst.insert(dst.end(), sb.begin() + start, sb.begin() + start + consumed);
+      dst.insert(dst.end(), sb.begin() + kSlotHeaderSize,
+                 sb.begin() + kSlotHeaderSize + record_bytes);
       log_counts[owner] += count;
     }
   }
@@ -321,7 +358,7 @@ Status IplStore::MergeBlock(uint32_t grp) {
   for (uint32_t i = 0; i < live; ++i) {
     const PageId pid = grp * orig_per_block_ + i;
     FLASHDB_RETURN_IF_ERROR(
-        dev_->ReadPage(dev_->AddrOf(old_block, i), page, {}));
+        ftl::ReadVerifiedPage(dev_, dev_->AddrOf(old_block, i), page));
     auto it = logs.find(pid);
     if (it != logs.end()) {
       BufferReader r(it->second);
@@ -337,7 +374,7 @@ Status IplStore::MergeBlock(uint32_t grp) {
       }
     }
     std::fill(spare.begin(), spare.end(), 0xFF);
-    ftl::EncodeSpare(spare, ftl::PageType::kOrig, pid, merge_ts);
+    ftl::EncodeSpare(spare, ftl::PageType::kOrig, pid, merge_ts, page);
     FLASHDB_RETURN_IF_ERROR(
         dev_->ProgramPage(dev_->AddrOf(new_block, i), page, spare));
     pid_slots_[pid].clear();
@@ -347,6 +384,24 @@ Status IplStore::MergeBlock(uint32_t grp) {
   free_blocks_.push_back(old_block);
   block_map_.SetBase(grp, new_block);
   next_slot_[grp] = 0;
+  return Status::OK();
+}
+
+Status IplStore::ScrubPhysPage(flash::PhysAddr addr, bool* relocated) {
+  *relocated = false;
+  if (!formatted_) return Status::InvalidArgument("store not formatted");
+  if (addr >= dev_->geometry().data_pages()) return Status::OK();
+  // Find the logical block mapped to this physical block (reverse lookup;
+  // num_groups_ is small). A free/unmapped block needs no scrub -- the next
+  // merge into it erases it first.
+  const uint32_t block = dev_->BlockOf(addr);
+  for (uint32_t g = 0; g < num_groups_; ++g) {
+    if (block_map_.base(g) == block) {
+      FLASHDB_RETURN_IF_ERROR(MergeBlock(g));
+      *relocated = true;
+      return Status::OK();
+    }
+  }
   return Status::OK();
 }
 
@@ -480,7 +535,7 @@ Status IplStore::Recover() {
     for (uint32_t lp = 0; lp < log_pages_per_block_ && !done; ++lp) {
       const PhysAddr addr = dev_->AddrOf(block, orig_per_block_ + lp);
       if (dev_->IsErased(addr)) break;
-      FLASHDB_RETURN_IF_ERROR(dev_->ReadPage(addr, log_page, {}));
+      FLASHDB_RETURN_IF_ERROR(ftl::ReadVerifiedPage(dev_, addr, log_page));
       for (uint32_t s = 0; s < slots_per_page_; ++s, ++slot) {
         ConstBytes sb(log_page.data() + s * slot_size_, slot_size_);
         const uint32_t owner = DecodeFixed32(sb.data());
@@ -488,6 +543,10 @@ Status IplStore::Recover() {
           done = true;
           break;
         }
+        // Recovery scans are data reads too: a slot either parses and passes
+        // its CRC or recovery fails with the typed corruption error.
+        size_t record_bytes = 0;
+        FLASHDB_RETURN_IF_ERROR(CheckSlot(sb, &record_bytes));
         if (owner < num_pages_) {
           pid_slots_[owner].push_back(static_cast<uint16_t>(slot));
         }

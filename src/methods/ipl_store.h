@@ -61,6 +61,10 @@ class IplStore : public PageStore {
                   const UpdateLog& log) override;
   Status WriteBack(PageId pid, ConstBytes page) override;
   Status Flush() override;
+  /// Relocation is a block merge: originals and logs of the block holding
+  /// `addr` are combined into a fresh block (covers kOrig and kLog pages
+  /// alike -- IPL has no finer relocation primitive).
+  Status ScrubPhysPage(flash::PhysAddr addr, bool* relocated) override;
   Status Recover() override;
   uint32_t num_logical_pages() const override { return num_pages_; }
   flash::FlashDevice* device() override { return dev_; }

@@ -39,7 +39,7 @@ Status IpuStore::Format(uint32_t num_logical_pages, PageInitializer initial,
     std::fill(page.begin(), page.end(), 0);
     if (initial != nullptr) initial(pid, page, initial_arg);
     std::fill(spare.begin(), spare.end(), 0xFF);
-    ftl::EncodeSpare(spare, ftl::PageType::kData, pid, clock_.Next());
+    ftl::EncodeSpare(spare, ftl::PageType::kData, pid, clock_.Next(), page);
     FLASHDB_RETURN_IF_ERROR(dev_->ProgramPage(pid, page, spare));
   }
   formatted_ = true;
@@ -54,7 +54,7 @@ Status IpuStore::ReadPage(PageId pid, MutBytes out) {
   if (out.size() != data_size_) {
     return Status::InvalidArgument("output buffer must be one page");
   }
-  return dev_->ReadPage(pid, out, {});
+  return ftl::ReadVerifiedPage(dev_, pid, out);
 }
 
 Status IpuStore::WriteBack(PageId pid, ConstBytes page) {
@@ -83,6 +83,11 @@ Status IpuStore::WriteBack(PageId pid, ConstBytes page) {
     saved_spare[p].resize(spare_size_);
     FLASHDB_RETURN_IF_ERROR(
         dev_->ReadPage(first + p, saved_data[p], saved_spare[p]));
+    // The erase below destroys the only copy of these pages: a corrupt read
+    // here would be reprogrammed as if it were good, so verify before the
+    // point of no return.
+    FLASHDB_RETURN_IF_ERROR(ftl::VerifyPageRead(
+        ftl::DecodeSpare(saved_spare[p]), saved_data[p], first + p));
   }
   // Step 2: erase the block.
   FLASHDB_RETURN_IF_ERROR(dev_->EraseBlock(block));
@@ -92,13 +97,27 @@ Status IpuStore::WriteBack(PageId pid, ConstBytes page) {
   for (uint32_t p = 0; p < live_pages; ++p) {
     if (p == in_block) {
       std::fill(spare.begin(), spare.end(), 0xFF);
-      ftl::EncodeSpare(spare, ftl::PageType::kData, pid, clock_.Next());
+      ftl::EncodeSpare(spare, ftl::PageType::kData, pid, clock_.Next(), page);
       FLASHDB_RETURN_IF_ERROR(dev_->ProgramPage(pid, page, spare));
     } else {
       FLASHDB_RETURN_IF_ERROR(
           dev_->ProgramPage(first + p, saved_data[p], saved_spare[p]));
     }
   }
+  return Status::OK();
+}
+
+Status IpuStore::ScrubPhysPage(PhysAddr addr, bool* relocated) {
+  *relocated = false;
+  if (!formatted_) return Status::InvalidArgument("store not formatted");
+  // The mapping is the identity: a data-region address below num_pages_ IS
+  // the logical page. WriteBack rewrites the whole block -- the erase zeroes
+  // every resident page's read-disturb exposure, not just this one's.
+  if (addr >= num_pages_) return Status::OK();
+  ByteBuffer image(data_size_);
+  FLASHDB_RETURN_IF_ERROR(ReadPage(addr, image));
+  FLASHDB_RETURN_IF_ERROR(WriteBack(addr, image));
+  *relocated = true;
   return Status::OK();
 }
 

@@ -31,6 +31,9 @@ class IpuStore : public PageStore {
   Status ReadPage(PageId pid, MutBytes out) override;
   Status WriteBack(PageId pid, ConstBytes page) override;
   Status Flush() override { return Status::OK(); }
+  /// In-place "relocation": rewrites the page's whole block (IPU's only
+  /// write primitive), which erases it and so resets read-disturb exposure.
+  Status ScrubPhysPage(flash::PhysAddr addr, bool* relocated) override;
   Status Recover() override;
   uint32_t num_logical_pages() const override { return num_pages_; }
   flash::FlashDevice* device() override { return dev_; }

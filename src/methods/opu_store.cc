@@ -56,7 +56,7 @@ Status OpuStore::Format(uint32_t num_logical_pages, PageInitializer initial,
     if (initial != nullptr) initial(pid, page, initial_arg);
     FLASHDB_ASSIGN_OR_RETURN(PhysAddr q, bm_.AllocatePage(false));
     std::fill(spare.begin(), spare.end(), 0xFF);
-    ftl::EncodeSpare(spare, ftl::PageType::kData, pid, clock_.Next());
+    ftl::EncodeSpare(spare, ftl::PageType::kData, pid, clock_.Next(), page);
     FLASHDB_RETURN_IF_ERROR(dev_->ProgramPage(q, page, spare));
     map_.SetBase(pid, q);
   }
@@ -72,7 +72,7 @@ Status OpuStore::ReadPage(PageId pid, MutBytes out) {
   if (out.size() != data_size_) {
     return Status::InvalidArgument("output buffer must be one page");
   }
-  return dev_->ReadPage(map_.base(pid), out, {});
+  return ftl::ReadVerifiedPage(dev_, map_.base(pid), out);
 }
 
 Status OpuStore::WriteBack(PageId pid, ConstBytes page) {
@@ -88,11 +88,32 @@ Status OpuStore::WriteBack(PageId pid, ConstBytes page) {
   // timestamp during recovery).
   FLASHDB_ASSIGN_OR_RETURN(PhysAddr q, AllocatePage(false));
   ByteBuffer spare(spare_size_, 0xFF);
-  ftl::EncodeSpare(spare, ftl::PageType::kData, pid, clock_.Next());
+  ftl::EncodeSpare(spare, ftl::PageType::kData, pid, clock_.Next(), page);
   FLASHDB_RETURN_IF_ERROR(dev_->ProgramPage(q, page, spare));
   const PhysAddr old = map_.base(pid);  // resolve after GC may have moved it
   FLASHDB_RETURN_IF_ERROR(bm_.MarkObsolete(old));
   map_.SetBase(pid, q);
+  return Status::OK();
+}
+
+Status OpuStore::ScrubPhysPage(PhysAddr addr, bool* relocated) {
+  *relocated = false;
+  if (!formatted_) return Status::InvalidArgument("store not formatted");
+  if (addr >= dev_->geometry().data_pages() ||
+      bm_.state(addr) != ftl::PageState::kValid) {
+    return Status::OK();  // obsolete/erased: the block erase clears the wear
+  }
+  ByteBuffer spare(spare_size_);
+  FLASHDB_RETURN_IF_ERROR(dev_->ReadSpare(addr, spare));
+  const ftl::SpareInfo tag = ftl::DecodeSpare(spare);
+  if (!tag.programmed || tag.obsolete || tag.type != ftl::PageType::kData ||
+      tag.pid >= num_pages_ || map_.base(tag.pid) != addr) {
+    return Status::OK();  // stale duplicate; GC will reclaim it
+  }
+  ByteBuffer image(data_size_);
+  FLASHDB_RETURN_IF_ERROR(ReadPage(tag.pid, image));
+  FLASHDB_RETURN_IF_ERROR(WriteBack(tag.pid, image));
+  *relocated = true;
   return Status::OK();
 }
 
@@ -134,10 +155,12 @@ Status OpuStore::RunGcOnce() {
           map_.base(info.pid) != addr) {
         continue;  // stale duplicate; dropped by the erase
       }
+      // Corrupt live data must not be relocated as if it were good.
+      FLASHDB_RETURN_IF_ERROR(ftl::VerifyPageRead(info, data, addr));
       FLASHDB_ASSIGN_OR_RETURN(PhysAddr q, bm_.AllocatePage(true));
       ByteBuffer new_spare(spare_size_, 0xFF);
       ftl::EncodeSpare(new_spare, ftl::PageType::kData, info.pid,
-                       info.timestamp);
+                       info.timestamp, data);
       FLASHDB_RETURN_IF_ERROR(dev_->ProgramPage(q, data, new_spare));
       map_.SetBase(info.pid, q);
     }

@@ -43,6 +43,8 @@ class OpuStore : public PageStore {
   Status ReadPage(PageId pid, MutBytes out) override;
   Status WriteBack(PageId pid, ConstBytes page) override;
   Status Flush() override { return Status::OK(); }  // nothing buffered
+  /// Relocates the live page at `addr` via the normal out-place write path.
+  Status ScrubPhysPage(flash::PhysAddr addr, bool* relocated) override;
   Status Recover() override;
   uint32_t num_logical_pages() const override { return num_pages_; }
   std::vector<uint32_t> bad_blocks() const override {

@@ -94,7 +94,7 @@ Status PdlStore::Format(uint32_t num_logical_pages, PageInitializer initial,
     if (initial != nullptr) initial(pid, page, initial_arg);
     FLASHDB_ASSIGN_OR_RETURN(PhysAddr q, bm_.AllocatePage(false, kBaseStream));
     std::fill(spare.begin(), spare.end(), 0xFF);
-    ftl::EncodeSpare(spare, ftl::PageType::kBase, pid, clock_.Next());
+    ftl::EncodeSpare(spare, ftl::PageType::kBase, pid, clock_.Next(), page);
     FLASHDB_RETURN_IF_ERROR(dev_->ProgramPage(q, page, spare));
     map_.SetBase(pid, q);
   }
@@ -110,8 +110,8 @@ Status PdlStore::ReadPage(PageId pid, MutBytes out) {
   if (out.size() != data_size_) {
     return Status::InvalidArgument("output buffer must be one page");
   }
-  // Step 1: read the base page.
-  FLASHDB_RETURN_IF_ERROR(dev_->ReadPage(map_.base(pid), out, {}));
+  // Step 1: read the base page (CRC-verified end to end).
+  FLASHDB_RETURN_IF_ERROR(ftl::ReadVerifiedPage(dev_, map_.base(pid), out));
   // Step 2: find the differential -- the write buffer shadows flash.
   if (const Differential* d = buffer_.Find(pid)) {
     return d->ApplyTo(out);  // Step 3: merge.
@@ -133,7 +133,7 @@ Status PdlStore::FindDifferentialInPage(PhysAddr dp, PageId pid,
                                         Differential* out, bool* found) {
   *found = false;
   ByteBuffer data(data_size_);
-  FLASHDB_RETURN_IF_ERROR(dev_->ReadPage(dp, data, {}));
+  FLASHDB_RETURN_IF_ERROR(ftl::ReadVerifiedPage(dev_, dp, data));
   BufferReader reader(data);
   Differential d;
   Status parse_status;
@@ -177,7 +177,8 @@ Status PdlStore::WriteBatch(std::span<const PageWrite> writes) {
 Status PdlStore::DoWriteBack(PageId pid, ConstBytes page) {
   // Step 1: read the base page (into the reused write-path scratch).
   base_scratch_.resize(data_size_);
-  FLASHDB_RETURN_IF_ERROR(dev_->ReadPage(map_.base(pid), base_scratch_, {}));
+  FLASHDB_RETURN_IF_ERROR(
+      ftl::ReadVerifiedPage(dev_, map_.base(pid), base_scratch_));
   // Step 2: create the differential.
   ComputeDifferentialInto(base_scratch_, page, pid, clock_.Next(),
                           config_.diff_coalesce_gap, &diff_scratch_);
@@ -218,7 +219,8 @@ Status PdlStore::FlushBuffer(bool for_gc) {
   // Step 1: write the buffer's contents as a new differential page.
   ByteBuffer image = buffer_.SerializePage(data_size_);
   ByteBuffer spare(spare_size_, 0xFF);
-  ftl::EncodeSpare(spare, ftl::PageType::kDiff, kPaddingPid - 1, clock_.Next());
+  ftl::EncodeSpare(spare, ftl::PageType::kDiff, kPaddingPid - 1, clock_.Next(),
+                   image);
   FLASHDB_RETURN_IF_ERROR(dev_->ProgramPage(q, image, spare));
   // Step 2: update the mapping table and the valid-differential counts.
   for (const Differential& d : buffer_.entries()) {
@@ -230,6 +232,80 @@ Status PdlStore::FlushBuffer(bool for_gc) {
   }
   buffer_.Clear();
   counters_.buffer_flushes++;
+  return Status::OK();
+}
+
+Status PdlStore::ScrubPhysPage(PhysAddr addr, bool* relocated) {
+  *relocated = false;
+  if (!formatted_) return Status::InvalidArgument("store not formatted");
+  if (addr >= dev_->geometry().data_pages() ||
+      bm_.state(addr) != ftl::PageState::kValid) {
+    return Status::OK();  // obsolete/erased: the block erase clears the wear
+  }
+  ByteBuffer spare(spare_size_);
+  FLASHDB_RETURN_IF_ERROR(dev_->ReadSpare(addr, spare));
+  const ftl::SpareInfo tag = ftl::DecodeSpare(spare);
+  if (!tag.programmed || tag.obsolete) return Status::OK();
+  if (tag.type == ftl::PageType::kBase) {
+    const PageId pid = tag.pid;
+    if (pid >= num_pages_ || map_.base(pid) != addr) return Status::OK();
+    // Fold base + differential into one fresh self-contained base page (the
+    // relocation must carry the *logical* content: relocating the stale base
+    // bytes alone would be wasted work the moment the differential merges).
+    ByteBuffer image(data_size_);
+    FLASHDB_RETURN_IF_ERROR(ReadPage(pid, image));
+    buffer_.Remove(pid);  // folded into `image`; a later flush must not
+                          // re-attach it as if it post-dated the new base
+    FLASHDB_RETURN_IF_ERROR(WriteNewBasePage(pid, image, false));
+    *relocated = true;
+    return Status::OK();
+  }
+  if (tag.type != ftl::PageType::kDiff || map_.vdct(addr) == 0) {
+    return Status::OK();
+  }
+  // Differential page: compact its live records into a fresh page, exactly
+  // like GC compaction but without an erase. Reclaim space up front -- a GC
+  // triggered mid-relocation could itself move the victim records -- and
+  // re-validate after, since the reclaim may have handled the page already.
+  FLASHDB_RETURN_IF_ERROR(ReclaimUntilSpace(kDiffStream));
+  if (bm_.state(addr) != ftl::PageState::kValid || map_.vdct(addr) == 0) {
+    return Status::OK();
+  }
+  ByteBuffer data(data_size_);
+  FLASHDB_RETURN_IF_ERROR(ftl::ReadVerifiedPage(dev_, addr, data));
+  BufferReader reader(data);
+  std::vector<Differential> live;
+  Differential d;
+  Status parse_status;
+  while (Differential::ParseNext(&reader, &d, &parse_status)) {
+    if (d.pid() >= num_pages_ || map_.diff(d.pid()) != addr) continue;
+    live.push_back(std::move(d));
+    d = Differential();
+  }
+  FLASHDB_RETURN_IF_ERROR(parse_status);
+  if (live.empty()) return Status::OK();
+  // One page always suffices: the live records are a subset of one page.
+  // Program the compacted copy BEFORE dropping the old references. A power
+  // cut between the two leaves both copies on flash with identical record
+  // timestamps and recovery arbitration keeps exactly one; obsoleting first
+  // would tear the records away with nothing durable in their place.
+  FLASHDB_ASSIGN_OR_RETURN(PhysAddr q, bm_.AllocatePage(false, kDiffStream));
+  ByteBuffer image;
+  image.reserve(data_size_);
+  for (const Differential& ld : live) ld.AppendTo(&image);
+  image.resize(data_size_, 0xFF);
+  ByteBuffer dspare(spare_size_, 0xFF);
+  ftl::EncodeSpare(dspare, ftl::PageType::kDiff, kPaddingPid - 1,
+                   clock_.Next(), image);
+  FLASHDB_RETURN_IF_ERROR(dev_->ProgramPage(q, image, dspare));
+  for (const Differential& ld : live) {
+    map_.DetachDiff(ld.pid());
+    // Marks the old page obsolete once the last reference leaves.
+    FLASHDB_RETURN_IF_ERROR(DecreaseValidDifferentialCount(addr));
+    map_.AttachDiff(ld.pid(), q, static_cast<uint32_t>(ld.EncodedSize()));
+  }
+  counters_.gc_diffs_compacted += live.size();
+  *relocated = true;
   return Status::OK();
 }
 
@@ -270,7 +346,7 @@ Status PdlStore::WriteNewBasePage(PageId pid, ConstBytes page, bool for_gc) {
   FLASHDB_ASSIGN_OR_RETURN(PhysAddr q, bm_.AllocatePage(for_gc, kBaseStream));
   // Step 1: write the page itself as a new base page.
   ByteBuffer spare(spare_size_, 0xFF);
-  ftl::EncodeSpare(spare, ftl::PageType::kBase, pid, clock_.Next());
+  ftl::EncodeSpare(spare, ftl::PageType::kBase, pid, clock_.Next(), page);
   FLASHDB_RETURN_IF_ERROR(dev_->ProgramPage(q, page, spare));
   // Step 2: update tables. Resolve the old locations only now: the GC run
   // above may have relocated them.
@@ -348,6 +424,9 @@ Status PdlStore::RunGcOnce() {
       if (bm_.state(addr) != ftl::PageState::kValid) continue;
       FLASHDB_RETURN_IF_ERROR(dev_->ReadPage(addr, data, spare));
       const ftl::SpareInfo info = ftl::DecodeSpare(spare);
+      // Corrupt live data must not be relocated as if it were good: surface
+      // the typed error instead of laundering bad bits into a fresh page.
+      FLASHDB_RETURN_IF_ERROR(ftl::VerifyPageRead(info, data, addr));
       if (info.type == ftl::PageType::kBase) {
         const PageId pid = info.pid;
         if (pid >= num_pages_ || map_.base(pid) != addr) continue;  // stale
@@ -356,7 +435,8 @@ Status PdlStore::RunGcOnce() {
         FLASHDB_ASSIGN_OR_RETURN(PhysAddr q,
                                  bm_.AllocatePage(true, kBaseStream));
         ByteBuffer new_spare(spare_size_, 0xFF);
-        ftl::EncodeSpare(new_spare, ftl::PageType::kBase, pid, info.timestamp);
+        ftl::EncodeSpare(new_spare, ftl::PageType::kBase, pid, info.timestamp,
+                         data);
         FLASHDB_RETURN_IF_ERROR(dev_->ProgramPage(q, data, new_spare));
         map_.SetBase(pid, q);
         counters_.gc_bases_moved++;
@@ -392,12 +472,13 @@ Status PdlStore::RunGcOnce() {
             const PageId pid = d.pid();
             ByteBuffer merged(data_size_);
             FLASHDB_RETURN_IF_ERROR(
-                dev_->ReadPage(map_.base(pid), merged, {}));
+                ftl::ReadVerifiedPage(dev_, map_.base(pid), merged));
             FLASHDB_RETURN_IF_ERROR(d.ApplyTo(merged));
             FLASHDB_ASSIGN_OR_RETURN(PhysAddr q,
                                      bm_.AllocatePage(true, kBaseStream));
             ByteBuffer bspare(spare_size_, 0xFF);
-            ftl::EncodeSpare(bspare, ftl::PageType::kBase, pid, clock_.Next());
+            ftl::EncodeSpare(bspare, ftl::PageType::kBase, pid, clock_.Next(),
+                             merged);
             FLASHDB_RETURN_IF_ERROR(dev_->ProgramPage(q, merged, bspare));
             const PhysAddr old_bp = map_.base(pid);
             // Skip the obsolete mark when the old base sits in any victim of
@@ -440,7 +521,7 @@ Status PdlStore::RunGcOnce() {
     FLASHDB_ASSIGN_OR_RETURN(PhysAddr q, bm_.AllocatePage(true, kDiffStream));
     ByteBuffer dspare(spare_size_, 0xFF);
     ftl::EncodeSpare(dspare, ftl::PageType::kDiff, kPaddingPid - 1,
-                     clock_.Next());
+                     clock_.Next(), image);
     FLASHDB_RETURN_IF_ERROR(dev_->ProgramPage(q, image, dspare));
     for (size_t k = first; k < i; ++k) {
       map_.AttachDiff(compacted[k].pid(), q,
@@ -510,7 +591,8 @@ Status PdlStore::Recover() {
           }
         } else if (info.type == ftl::PageType::kDiff) {
           // Case 2: r is a differential page -- inspect each differential.
-          FLASHDB_RETURN_IF_ERROR(dev_->ReadPage(addr, data, {}));
+          // Re-read data+spare in one verified read (same single-read cost).
+          FLASHDB_RETURN_IF_ERROR(ftl::ReadVerifiedPage(dev_, addr, data));
           BufferReader reader(data);
           Differential d;
           Status parse_status;

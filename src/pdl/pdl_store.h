@@ -86,6 +86,11 @@ class PdlStore : public PageStore {
   /// a one-shard batch costs ~ceil(total_diff_bytes / page) diff-page writes.
   Status WriteBatch(std::span<const PageWrite> writes) override;
   Status Flush() override;
+  /// Relocates live content at `addr`: a base page is folded with its
+  /// differential into a fresh base page; a differential page has its live
+  /// records compacted into a fresh differential page. Obsolete / stale
+  /// pages are skipped.
+  Status ScrubPhysPage(flash::PhysAddr addr, bool* relocated) override;
   Status Recover() override;
   uint32_t num_logical_pages() const override { return num_pages_; }
   std::vector<uint32_t> bad_blocks() const override {

@@ -57,7 +57,12 @@ Result<uint32_t> BufferPool::Pin(PageId pid) {
     FLASHDB_ASSIGN_OR_RETURN(idx, Evict());
   }
   Frame& f = frames_[idx];
-  FLASHDB_RETURN_IF_ERROR(store_->ReadPage(pid, f.data));
+  if (Status st = store_->ReadPage(pid, f.data); !st.ok()) {
+    // Return the frame before propagating (a corrupt or failed read must not
+    // leak the frame, or the pool shrinks to a permanent Busy).
+    free_frames_.push_back(idx);
+    return st;
+  }
   f.pid = pid;
   f.dirty = false;
   f.pins = 1;

@@ -163,6 +163,12 @@ Status UpdateDriver::Run(uint64_t num_ops, RunStats* out) {
   out->meta += stats1.by_category[static_cast<int>(flash::OpCategory::kMeta)] -
                stats0.by_category[static_cast<int>(flash::OpCategory::kMeta)];
   out->erases += stats1.total.erases - stats0.total.erases;
+  const flash::IntegrityCounters integrity =
+      stats1.integrity - stats0.integrity;
+  out->read_retries += integrity.read_retries;
+  out->retry_us += integrity.retry_us;
+  out->reads_corrected += integrity.reads_corrected;
+  out->reads_uncorrectable += integrity.reads_uncorrectable;
   out->plane_stall_us += stats1.plane_stall_us() - stats0.plane_stall_us();
   out->elapsed_vt_us += StoreClockUs() - clock0;
   return Status::OK();
@@ -295,7 +301,16 @@ void UpdateDriver::AccumulateRunStats(const flash::FlashStats& before,
       before.by_category[static_cast<int>(flash::OpCategory::kMigrate)];
   out->meta += after.by_category[static_cast<int>(flash::OpCategory::kMeta)] -
                before.by_category[static_cast<int>(flash::OpCategory::kMeta)];
+  out->scrub +=
+      after.by_category[static_cast<int>(flash::OpCategory::kScrub)] -
+      before.by_category[static_cast<int>(flash::OpCategory::kScrub)];
   out->erases += after.total.erases - before.total.erases;
+  const flash::IntegrityCounters integrity =
+      after.integrity - before.integrity;
+  out->read_retries += integrity.read_retries;
+  out->retry_us += integrity.retry_us;
+  out->reads_corrected += integrity.reads_corrected;
+  out->reads_uncorrectable += integrity.reads_uncorrectable;
   out->plane_stall_us += after.plane_stall_us() - before.plane_stall_us();
   out->elapsed_vt_us += StoreClockUs() - clock0_us;
 }
@@ -309,6 +324,7 @@ Status UpdateDriver::RunEpochs(
   const uint64_t epoch = params_.rebalance_epoch_ops;
   const bool leveling =
       sharded != nullptr && sharded->router()->rebalancing_enabled();
+  const bool scrubbing = params_.scrub && sharded != nullptr;
   const ChunkSpan all(schedule);
   if (epoch == 0) {
     FLASHDB_RETURN_IF_ERROR(run_chunk(all));
@@ -321,10 +337,13 @@ Status UpdateDriver::RunEpochs(
       const ChunkSpan chunk =
           all.subspan(begin, std::min<size_t>(epoch, all.size() - begin));
       FLASHDB_RETURN_IF_ERROR(run_chunk(chunk));
-      // Rebalance between epochs only: a trailing migration could not
-      // benefit any operation of this run.
+      // Rebalance / scrub between epochs only: a trailing migration or
+      // relocation could not benefit any operation of this run.
       if (leveling && begin + epoch < all.size()) {
         FLASHDB_RETURN_IF_ERROR(RebalanceEpoch(chunk, executor, out));
+      }
+      if (scrubbing && begin + epoch < all.size()) {
+        FLASHDB_RETURN_IF_ERROR(ScrubEpoch(out));
       }
     }
   }
@@ -349,6 +368,15 @@ Status UpdateDriver::RebalanceEpoch(ChunkSpan chunk,
   if (plan.empty()) return Status::OK();
   FLASHDB_RETURN_IF_ERROR(sharded->MigrateBuckets(plan, executor));
   out->migrations += plan.size();
+  return Status::OK();
+}
+
+Status UpdateDriver::ScrubEpoch(RunStats* out) {
+  auto* sharded = static_cast<ftl::ShardedStore*>(store_);
+  ftl::ShardedStore::ScrubResult res;
+  FLASHDB_RETURN_IF_ERROR(sharded->ScrubShards(&res));
+  out->scrub_candidates += res.candidates;
+  out->scrub_relocations += res.relocated;
   return Status::OK();
 }
 

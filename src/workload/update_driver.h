@@ -63,6 +63,13 @@ struct WorkloadParams {
   /// Maintain an in-memory shadow database and verify every page read
   /// against it (tests; costs RAM proportional to the database).
   bool verify = false;
+  /// Background integrity scrub for the scheduled modes: at every epoch
+  /// boundary (rebalance_epoch_ops windows -- scrub shares the rebalancer's
+  /// quiescent boundaries and needs a non-zero epoch length) the driver
+  /// drains the shards' scrub-candidate lists and relocates the flagged live
+  /// pages (ShardedStore::ScrubShards). Deterministic across run modes;
+  /// ignored on a non-sharded store.
+  bool scrub = false;
 };
 
 /// Virtual-time breakdown of a measured run.
@@ -74,8 +81,17 @@ struct RunStats {
   flash::OpCounters gc;           ///< Garbage collection / merging traffic.
   flash::OpCounters migrate;      ///< Wear-leveling migration traffic.
   flash::OpCounters meta;         ///< Durable-metadata journal traffic.
+  flash::OpCounters scrub;        ///< Background scrub / relocation traffic.
   uint64_t migrations = 0;        ///< Bucket swaps committed during the run.
   uint64_t erases = 0;            ///< Total erase operations in the run.
+  uint64_t scrub_candidates = 0;  ///< Flagged pages drained by scrub sweeps.
+  uint64_t scrub_relocations = 0; ///< Live pages the scrubber rewrote.
+
+  // --- Read-path integrity (delta of FlashStats::integrity) ---------------
+  uint64_t read_retries = 0;        ///< Re-read attempts after a failed read.
+  uint64_t retry_us = 0;            ///< Virtual time spent on those retries.
+  uint64_t reads_corrected = 0;     ///< Reads clean only after retrying.
+  uint64_t reads_uncorrectable = 0; ///< Reads corrupt after the full ladder.
 
   // --- Stall attribution --------------------------------------------------
   // Where an operation's virtual time went beyond the raw command latencies:
@@ -119,6 +135,15 @@ struct RunStats {
     return operations == 0
                ? 0
                : static_cast<double>(erases) / static_cast<double>(operations);
+  }
+  /// Background-scrub cost, reported separately like migration.
+  double scrub_us_per_op() const {
+    return operations == 0 ? 0 : static_cast<double>(scrub.total_us()) /
+                                     static_cast<double>(operations);
+  }
+  double retry_us_per_op() const {
+    return operations == 0 ? 0 : static_cast<double>(retry_us) /
+                                     static_cast<double>(operations);
   }
 };
 
@@ -262,6 +287,9 @@ class UpdateDriver {
   /// the planned bucket migrations.
   Status RebalanceEpoch(ChunkSpan chunk, ftl::ShardExecutor* executor,
                         RunStats* out);
+  /// Epoch boundary (shards quiescent): drains and relocates the shards'
+  /// scrub candidates (ShardedStore::ScrubShards).
+  Status ScrubEpoch(RunStats* out);
 
   /// Mode bodies, one chunk at a time (validation and accounting live in the
   /// public wrappers / RunEpochs).

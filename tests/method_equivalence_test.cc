@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <tuple>
@@ -14,7 +15,9 @@
 #include <utility>
 #include <vector>
 
+#include "common/crc32.h"
 #include "common/random.h"
+#include "flash/fault_injector.h"
 #include "ftl/sharded_store.h"
 #include "methods/method_factory.h"
 
@@ -362,6 +365,92 @@ INSTANTIATE_TEST_SUITE_P(
       }
       return name + "_x" + std::to_string(std::get<1>(i.param));
     });
+
+// Correctable bit errors must be invisible. With a BitErrorInjector at a low
+// error rate the retry ladder absorbs every raw error: reads finish corrected
+// (costing retry time on the shard clock), never uncorrectable, and -- the
+// strong claim -- the final flash contents are bit-identical to a zero-error
+// run. The error model may change *when* a read completes, never *what* the
+// store writes.
+
+/// Seed offset from the environment: the CI fault-matrix job re-runs this
+/// test with FLASHDB_TEST_SEED=1..8, varying both the workload and the
+/// injector's error pattern. Unset -> 0, the canonical run.
+uint64_t EnvSeed() {
+  const char* s = std::getenv("FLASHDB_TEST_SEED");
+  return s != nullptr ? std::strtoull(s, nullptr, 10) : 0;
+}
+
+uint32_t DeviceFingerprint(FlashDevice* dev) {
+  const auto& g = dev->geometry();
+  ByteBuffer data(g.data_size);
+  ByteBuffer spare(g.spare_size);
+  uint32_t crc = 0;
+  for (flash::PhysAddr addr = 0; addr < g.total_pages(); ++addr) {
+    EXPECT_TRUE(dev->ReadPage(addr, data, spare).ok()) << addr;
+    crc = Crc32c(data, crc);
+    crc = Crc32c(spare, crc);
+  }
+  return crc;
+}
+
+class BitErrorEquivalenceTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(BitErrorEquivalenceTest, CorrectableErrorsLeaveFlashBitIdentical) {
+  Result<MethodSpec> spec = ParseMethodSpec(GetParam());
+  ASSERT_TRUE(spec.ok());
+  const uint32_t kShards = 2;
+
+  auto run = [&](flash::FaultInjector* fi) {
+    std::unique_ptr<ftl::ShardedStore> store =
+        methods::CreateShardedStore(FlashConfig::Small(8), kShards, *spec);
+    if (fi != nullptr) {
+      for (uint32_t i = 0; i < kShards; ++i) {
+        store->shard_device(i)->set_fault_injector(fi);
+      }
+    }
+    RunRandomizedEquivalenceSuite(store.get(), 100,
+                                  /*seed=*/static_cast<int>(7 + EnvSeed()),
+                                  std::string(store->name()));
+    return store;
+  };
+
+  std::unique_ptr<ftl::ShardedStore> clean = run(nullptr);
+
+  flash::BitErrorInjector::Params p;
+  p.page_error_rate = 0.02;  // well inside the retry ladder's budget
+  p.seed ^= EnvSeed() * 0x9E3779B97F4A7C15ULL;
+  flash::BitErrorInjector injector(p);
+  std::unique_ptr<ftl::ShardedStore> noisy = run(&injector);
+
+  // The error model actually fired, and the ladder corrected every hit.
+  const flash::FlashStats stats = noisy->stats();
+  EXPECT_GT(stats.integrity.read_retries, 0u) << GetParam();
+  EXPECT_GT(stats.integrity.reads_corrected, 0u) << GetParam();
+  EXPECT_EQ(stats.integrity.reads_uncorrectable, 0u) << GetParam();
+
+  // Retries charge time, so the noisy run's clocks lag behind -- but the
+  // cells themselves must match the zero-error run bit for bit.
+  for (uint32_t i = 0; i < kShards; ++i) {
+    noisy->shard_device(i)->set_fault_injector(nullptr);
+    EXPECT_GE(noisy->shard_clocks()[i], clean->shard_clocks()[i]);
+    EXPECT_EQ(DeviceFingerprint(noisy->shard_device(i)),
+              DeviceFingerprint(clean->shard_device(i)))
+        << GetParam() << " shard " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMethods, BitErrorEquivalenceTest,
+                         ::testing::Values("PDL(256B)", "OPU", "IPU",
+                                           "IPL(18KB)"),
+                         [](const ::testing::TestParamInfo<std::string>& i) {
+                           std::string name = i.param;
+                           for (char& c : name) {
+                             if (!isalnum(static_cast<unsigned char>(c)))
+                               c = '_';
+                           }
+                           return name;
+                         });
 
 }  // namespace
 }  // namespace flashdb

@@ -142,19 +142,42 @@ def matches(row, where):
     return all(row.get(c) == v for c, v in where.items())
 
 
+def require_column(gate, table, column, rows, path, which):
+    """Fails (naming the column and dump file) when no row carries COLUMN.
+
+    A rule referencing a column the bench no longer emits would otherwise
+    surface as a per-row "non-numeric cell" wall -- this names the actual
+    problem: the rule and the dump disagree on the schema.
+    """
+    if any(column in r for r in rows):
+        return True
+    known = sorted({c for r in rows for c in r})
+    gate.fail(f"{table}: column {column!r} missing from {which} dump {path} "
+              f"(columns present: {', '.join(known) or 'none'})")
+    return False
+
+
 def describe(row, key_cols):
     if key_cols:
         return "/".join(row.get(c, "?") for c in key_cols)
     return "/".join(v for v in row.values() if v)[:60]
 
 
-def check_rule(gate, rule, baseline, current, keys):
+def check_rule(gate, rule, baseline, current, keys, baseline_path,
+               current_path):
     table = rule["table"]
     if table not in current:
-        gate.fail(f"{table}: missing from current dump")
+        gate.fail(f"{table}: missing from current dump {current_path}")
         return
     if table not in baseline:
-        gate.fail(f"{table}: missing from baseline (refresh baselines?)")
+        gate.fail(f"{table}: missing from baseline {baseline_path} "
+                  f"(refresh baselines?)")
+        return
+    if not require_column(gate, table, rule["column"], current[table],
+                          current_path, "current"):
+        return
+    if not require_column(gate, table, rule["column"], baseline[table],
+                          baseline_path, "baseline"):
         return
     key_cols = keys.get(table, [])
     base_rows = {row_key(r, key_cols): r for r in baseline[table]}
@@ -194,10 +217,13 @@ def check_rule(gate, rule, baseline, current, keys):
                       f"refresh with --update after review")
 
 
-def check_require(gate, req, current, keys):
+def check_require(gate, req, current, keys, current_path):
     table = req["table"]
     if table not in current:
-        gate.fail(f"{table}: missing from current dump")
+        gate.fail(f"{table}: missing from current dump {current_path}")
+        return
+    if not require_column(gate, table, req["column"], current[table],
+                          current_path, "current"):
         return
     key_cols = keys.get(table, [])
     for row in current[table]:
@@ -209,12 +235,15 @@ def check_require(gate, req, current, keys):
             gate.fail(f"{label}: expected {req['value']!r}, got {got!r}")
 
 
-def check_bound(gate, rule, current, ceiling):
+def check_bound(gate, rule, current, ceiling, current_path):
     """--min (ceiling=False) / --max (ceiling=True) absolute-bound checks."""
     kind = "--max" if ceiling else "--min"
     table = rule["table"]
     if table not in current:
-        gate.fail(f"{table}: missing from current dump")
+        gate.fail(f"{table}: missing from current dump {current_path}")
+        return
+    if not require_column(gate, table, rule["column"], current[table],
+                          current_path, "current"):
         return
     hit = False
     for row in current[table]:
@@ -272,13 +301,17 @@ def main():
         baseline = load_dump(args.baseline)
         current = load_dump(args.current)
         for spec in args.rule:
-            check_rule(gate, split_rule(spec), baseline, current, keys)
+            check_rule(gate, split_rule(spec), baseline, current, keys,
+                       args.baseline, args.current)
         for spec in args.require:
-            check_require(gate, split_require(spec), current, keys)
+            check_require(gate, split_require(spec), current, keys,
+                          args.current)
         for spec in args.mins:
-            check_bound(gate, split_min(spec), current, ceiling=False)
+            check_bound(gate, split_min(spec), current, ceiling=False,
+                        current_path=args.current)
         for spec in args.maxs:
-            check_bound(gate, split_min(spec), current, ceiling=True)
+            check_bound(gate, split_min(spec), current, ceiling=True,
+                        current_path=args.current)
     except (OSError, ValueError, json.JSONDecodeError) as e:
         gate.fail(str(e))
 

@@ -38,3 +38,11 @@ mkdir -p "$OUT_DIR"
 # bit-identically under the threaded executor.
 "$BUILD_DIR/exp13_planes" --blocks=128 --ops=2000 --warmup-max=3000 \
     --shards=2 --batch=8 --depth=4 --json="$OUT_DIR/exp13_planes.json"
+
+# Read-path integrity under injected bit errors: every column except the
+# injector-free anchor rows is deterministic virtual time and gates tightly.
+# The acceptance bounds ride in CI: zero uncorrectable reads on every
+# scrub=on row, and bit-identical shard clocks between the sequential and
+# pipelined executions of every cell.
+"$BUILD_DIR/exp14_integrity" --blocks=64 --ops=2000 --warmup-max=3000 \
+    --shards=2 --batch=8 --depth=4 --json="$OUT_DIR/exp14_integrity.json"
