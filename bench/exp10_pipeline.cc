@@ -21,6 +21,8 @@
 //   * lag_ms           -- shard clock spread max-min (virtual time) at the
 //     end of the run: how far the hot chip ran ahead, the skew observable;
 //   * par us/op        -- elapsed virtual time (max of the chip clocks);
+//   * p50/p99/p999     -- per-op virtual-time latency percentiles
+//     (deterministic; identical whether or not --pin is set);
 //   * determinism      -- per-chip virtual clocks must match a sequential
 //     RunBatched replay of the same schedule bit-for-bit (ok/FAIL; --check=0
 //     disables the replay).
@@ -33,8 +35,10 @@
 #include <chrono>
 #include <cstdio>
 #include <iostream>
+#include <numeric>
 #include <vector>
 
+#include "common/cpu_affinity.h"
 #include "ftl/shard_executor.h"
 #include "harness/experiment.h"
 #include "harness/table_printer.h"
@@ -56,6 +60,10 @@ struct PipelinePoint {
   double gc_us_per_op = 0;
   double meta_us_per_op = 0;
   double wait_ms = 0;
+  // Per-op virtual-time latency percentiles (deterministic, gateable).
+  uint64_t p50_us = 0;
+  uint64_t p99_us = 0;
+  uint64_t p999_us = 0;
   bool deterministic = true;
   bool checked = false;
 };
@@ -112,9 +120,19 @@ Result<PipelinePoint> RunPoint(const harness::ExperimentEnv& env,
                                uint32_t depth, size_t queue_capacity,
                                uint32_t reps,
                                const workload::WorkloadParams& params,
-                               uint32_t total_blocks, bool check) {
+                               uint32_t total_blocks, bool pin, bool check) {
   PipelinePoint point;
   std::unique_ptr<ftl::ShardedStore> last_store;
+  workload::RunStats last_stats;
+  // Pinning (when requested and supported) is a wall-clock-only knob:
+  // worker i -> core i mod available cores.
+  std::vector<int> pin_cores;
+  if (pin && CpuPinningSupported()) {
+    pin_cores.resize(num_shards);
+    std::iota(pin_cores.begin(), pin_cores.end(), 0);
+    const int cores = static_cast<int>(NumAvailableCores());
+    for (int& c : pin_cores) c %= cores;
+  }
   for (uint32_t rep = 0; rep < reps; ++rep) {
     FLASHDB_ASSIGN_OR_RETURN(
         PreparedRun run,
@@ -123,7 +141,7 @@ Result<PipelinePoint> RunPoint(const harness::ExperimentEnv& env,
 
     // Workers spawn outside the timed region; the measured span is pure
     // submit/execute/complete.
-    ftl::ShardExecutor executor(num_shards, queue_capacity);
+    ftl::ShardExecutor executor(num_shards, queue_capacity, pin_cores);
     workload::RunStats stats;
     const auto t0 = std::chrono::steady_clock::now();
     if (depth == 0) {
@@ -148,7 +166,11 @@ Result<PipelinePoint> RunPoint(const harness::ExperimentEnv& env,
     const double wait_ms =
         static_cast<double>(stats.credit_wait_ns) / 1e6;
     if (rep == 0 || wait_ms < point.wait_ms) point.wait_ms = wait_ms;
+    point.p50_us = stats.latency.p50();
+    point.p99_us = stats.latency.p99();
+    point.p999_us = stats.latency.p999();
     last_store = std::move(run.store);
+    last_stats = stats;
   }
   point.kops_per_sec =
       point.wall_ms > 0
@@ -167,7 +189,8 @@ Result<PipelinePoint> RunPoint(const harness::ExperimentEnv& env,
         ref.driver->RunBatched(ref.schedule, batch_size, &ref_stats));
     point.checked = true;
     point.deterministic =
-        run_store->shard_clocks() == ref.store->shard_clocks();
+        run_store->shard_clocks() == ref.store->shard_clocks() &&
+        last_stats.latency == ref_stats.latency;
   }
   return point;
 }
@@ -189,12 +212,16 @@ int main(int argc, char** argv) {
   const uint32_t reps =
       std::max<uint32_t>(1, static_cast<uint32_t>(flags.GetInt("reps", 1)));
   const bool check = flags.GetBool("check", true);
+  const bool pin = flags.GetBool("pin", false);
 
   workload::WorkloadParams params;
   params.pct_changed_by_one_op = flags.GetDouble("changed", 2.0);
   params.updates_till_write =
       static_cast<uint32_t>(flags.GetInt("updates", 1));
   params.hot_shard_pct = flags.GetDouble("hot", 60.0);
+  // Tail percentiles are virtual-time deltas: recording them never perturbs
+  // the clocks (LatencyHistogramTest.RecordingNeverChangesVirtualTime).
+  params.record_latency = true;
 
   std::vector<uint32_t> depths;
   if (flags.Has("depth")) {
@@ -215,7 +242,8 @@ int main(int argc, char** argv) {
   const std::vector<std::string> method_names = {"PDL(256B)", "OPU"};
   TablePrinter tbl({"Method", "Mode", "K", "wall_ms", "kops/s", "speedup",
                     "lag_ms", "par us/op", "gc us/op", "meta us/op",
-                    "wait_ms", "determinism"});
+                    "wait_ms", "p50 us", "p99 us", "p999 us",
+                    "determinism"});
   int failures = 0;
   for (const std::string& name : method_names) {
     auto spec = methods::ParseMethodSpec(name);
@@ -231,7 +259,7 @@ int main(int argc, char** argv) {
     for (uint32_t depth : points) {
       auto point =
           RunPoint(env, *spec, num_shards, batch_size, depth, queue_capacity,
-                   reps, params, total_blocks, check);
+                   reps, params, total_blocks, pin, check);
       if (!point.ok()) {
         std::cerr << name << " depth " << depth << ": "
                   << point.status().ToString() << "\n";
@@ -251,6 +279,9 @@ int main(int argc, char** argv) {
                   TablePrinter::Num(point->gc_us_per_op),
                   TablePrinter::Num(point->meta_us_per_op),
                   TablePrinter::Num(point->wait_ms, 2),
+                  std::to_string(point->p50_us),
+                  std::to_string(point->p99_us),
+                  std::to_string(point->p999_us),
                   point->checked ? (point->deterministic ? "ok" : "FAIL")
                                  : "-"});
     }

@@ -1,0 +1,328 @@
+// Experiment 15 (beyond the paper): per-operation latency tails.
+//
+// The paper (and exp1-exp14) reports mean cost per update; a serving system
+// lives and dies by its tail, where GC, wear-leveling migration, journal
+// writes, and scrub stalls concentrate. This bench sweeps method x run mode
+// x pipeline depth x core pinning x background work and reports the
+// virtual-time latency distribution recorded by the driver
+// (WorkloadParams::record_latency): p50/p99/p999/mean/max in microseconds,
+// plus the worst single operation and where its time went (gc/meta).
+//
+// Row layout per method ({OPU, PDL(256B)}):
+//   * seq   shards=1          -- the plain sequential Run() loop;
+//   * pipe  shards=1 K=1,4    -- the same ops through the single-worker
+//     pipelined mode (window size 1). These three rows' virtual columns are
+//     identical by construction: single-op windows read every page from
+//     flash and flush immediately, so scheduled execution degenerates to
+//     the sequential sequence. The table shows that equality directly.
+//   * pipe  shards=4 K=4      -- multi-chip pipelining (batch --batch);
+//   * ... pin=on              -- same point with workers pinned to cores
+//     (wall-clock knob only: virtual columns must equal the unpinned row);
+//   * ... extra=wear          -- wear-leveling rebalancer on (epoch --epoch),
+//     migrations at epoch boundaries;
+//   * ... extra=scrub         -- bit-error injector (--ber) plus background
+//     scrub at epoch boundaries.
+//
+// Every row carries a determinism cross-check: an identically prepared rig
+// replays the same operations through a *different* run mode (sequential
+// rows via single-worker RunPipelined; pipelined rows via RunBatched) and
+// the whole latency histogram, the worst-op sample, and the per-chip
+// virtual clocks must match bit-for-bit. The perf gate requires `ok` in
+// every row and bands the p50/p99/p999 columns tightly against the
+// baseline; wall_ms is machine-relative and stays warn-only.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "common/cpu_affinity.h"
+#include "flash/fault_injector.h"
+#include "ftl/shard_executor.h"
+#include "ftl/shard_router.h"
+#include "harness/experiment.h"
+#include "harness/table_printer.h"
+
+using namespace flashdb;
+using harness::TablePrinter;
+
+namespace {
+
+/// One swept cell.
+struct Config {
+  const char* mode;   // "seq" or "pipe"
+  uint32_t shards;
+  uint32_t depth;     // pipelined in-flight windows (0 = sequential)
+  bool pin;
+  const char* extra;  // "-", "wear", "scrub"
+};
+
+struct LatencyPoint {
+  workload::RunStats stats;
+  double wall_ms = 0;
+  bool deterministic = true;
+  bool checked = false;
+};
+
+/// A fully prepared rig: flat (one chip) or sharded, at steady state, with
+/// the measured schedule pre-drawn. Identical arguments yield identical
+/// state, which is what the determinism replays rely on.
+struct PreparedRun {
+  std::unique_ptr<flash::FlashDevice> flat_dev;  // flat rigs only
+  std::unique_ptr<PageStore> flat_store;
+  std::unique_ptr<ftl::ShardedStore> sharded;
+  std::unique_ptr<workload::UpdateDriver> driver;
+
+  PageStore* store() {
+    return sharded != nullptr ? static_cast<PageStore*>(sharded.get())
+                              : flat_store.get();
+  }
+  /// Per-chip virtual clocks, uniform across both rig shapes.
+  std::vector<uint64_t> clocks() {
+    if (sharded != nullptr) return sharded->shard_clocks();
+    return {flat_dev->clock().now_us()};
+  }
+};
+
+Result<PreparedRun> Prepare(const harness::ExperimentEnv& env,
+                            const methods::MethodSpec& spec,
+                            const Config& cfg, uint32_t total_blocks,
+                            uint64_t epoch_ops, double hot_pct,
+                            uint32_t disturb_limit,
+                            flash::FaultInjector* injector) {
+  flash::FlashConfig shard_cfg = env.flash_cfg;
+  shard_cfg.geometry.num_blocks = total_blocks / cfg.shards;
+  if (shard_cfg.geometry.num_blocks < 8) {
+    return Status::InvalidArgument(
+        "too many shards for --blocks: " +
+        std::to_string(shard_cfg.geometry.num_blocks) +
+        " blocks/shard, need >= 8");
+  }
+  const bool scrubbing = std::string(cfg.extra) == "scrub";
+  const bool leveling = std::string(cfg.extra) == "wear";
+  if (scrubbing) shard_cfg.read_disturb_limit = disturb_limit;
+  const auto& g = shard_cfg.geometry;
+  const uint32_t pages_per_shard = g.total_pages() - 2 * g.pages_per_block;
+  const uint32_t db_pages = static_cast<uint32_t>(
+      env.utilization * static_cast<double>(pages_per_shard) * cfg.shards);
+
+  PreparedRun run;
+  PageStore* store = nullptr;
+  if (cfg.shards == 1) {
+    // The flat rig exercises the "no ShardedStore required" pipelined path.
+    run.flat_dev = std::make_unique<flash::FlashDevice>(shard_cfg);
+    run.flat_store = methods::CreateStore(run.flat_dev.get(), spec);
+    store = run.flat_store.get();
+  } else {
+    run.sharded = methods::CreateShardedStore(shard_cfg, cfg.shards, spec);
+    store = run.sharded.get();
+  }
+
+  workload::WorkloadParams wp;
+  wp.seed = env.seed;
+  wp.record_latency = true;
+  if (leveling) {
+    wp.rebalance_epoch_ops = epoch_ops;
+    wp.hot_shard_pct = hot_pct;  // gives the rebalancer something to level
+    ftl::WearLevelConfig wl;
+    FLASHDB_RETURN_IF_ERROR(run.sharded->router()->EnableRebalancing(wl));
+  }
+  if (scrubbing) {
+    wp.rebalance_epoch_ops = epoch_ops;
+    wp.scrub = true;
+  }
+  run.driver = std::make_unique<workload::UpdateDriver>(store, wp);
+  FLASHDB_RETURN_IF_ERROR(run.driver->LoadDatabase(db_pages));
+  const uint64_t warmup_cap =
+      env.warmup_max_ops != 0 ? env.warmup_max_ops : 20ULL * db_pages;
+  FLASHDB_RETURN_IF_ERROR(
+      run.driver->Warmup(env.warmup_erases_per_block, warmup_cap));
+  // The measured schedule is NOT pre-drawn here: the sequential rows draw
+  // their ops inside Run(), so a scheduled rig must call MakeSchedule at
+  // this exact RNG point to execute the very same operations.
+  // Post-warmup attach: every point measures the same warmed flash image.
+  if (injector != nullptr && scrubbing) {
+    if (run.sharded != nullptr) {
+      for (uint32_t i = 0; i < cfg.shards; ++i) {
+        run.sharded->shard_device(i)->set_fault_injector(injector);
+      }
+    } else {
+      run.flat_dev->set_fault_injector(injector);
+    }
+  }
+  return run;
+}
+
+/// Runs one cell in its own mode, then (with `check`) replays the identical
+/// operations through a different mode on an identically prepared rig and
+/// compares chip clocks, the full histogram, and the worst-op sample.
+Result<LatencyPoint> RunPoint(const harness::ExperimentEnv& env,
+                              const methods::MethodSpec& spec,
+                              const Config& cfg, uint32_t batch_size,
+                              size_t queue_capacity, uint32_t total_blocks,
+                              uint64_t epoch_ops, double hot_pct,
+                              uint32_t disturb_limit, double ber,
+                              bool check) {
+  // Each rig gets its own injector so retry-attenuation RNG state never
+  // leaks between the primary run and the replay.
+  flash::BitErrorInjector::Params inj_params;
+  inj_params.page_error_rate = ber;
+  flash::BitErrorInjector primary_injector(inj_params);
+  flash::BitErrorInjector replay_injector(inj_params);
+
+  // Single-op windows make the shards=1 rows bit-identical to the
+  // sequential Run() loop; multi-chip rows use the windowed batch size.
+  const uint32_t batch = cfg.shards == 1 ? 1 : batch_size;
+
+  LatencyPoint point;
+  FLASHDB_ASSIGN_OR_RETURN(
+      PreparedRun run,
+      Prepare(env, spec, cfg, total_blocks, epoch_ops, hot_pct, disturb_limit,
+              &primary_injector));
+  if (cfg.depth == 0) {
+    const auto t0 = std::chrono::steady_clock::now();
+    FLASHDB_RETURN_IF_ERROR(
+        run.driver->Run(env.measure_ops, &point.stats));
+    point.wall_ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+  } else {
+    const workload::Schedule schedule =
+        run.driver->MakeSchedule(env.measure_ops);
+    std::vector<int> pins;
+    if (cfg.pin && CpuPinningSupported()) {
+      pins.resize(cfg.shards);
+      std::iota(pins.begin(), pins.end(), 0);
+      const uint32_t cores = NumAvailableCores();
+      for (int& c : pins) c = c % static_cast<int>(cores);
+    }
+    // Workers spawn (and pin) outside the timed region; the measured span
+    // is pure submit/execute/complete.
+    ftl::ShardExecutor executor(cfg.shards, queue_capacity, pins);
+    const auto t0 = std::chrono::steady_clock::now();
+    FLASHDB_RETURN_IF_ERROR(run.driver->RunPipelined(
+        schedule, batch, cfg.depth, &executor, &point.stats));
+    point.wall_ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+  }
+
+  if (check) {
+    FLASHDB_ASSIGN_OR_RETURN(
+        PreparedRun ref,
+        Prepare(env, spec, cfg, total_blocks, epoch_ops, hot_pct,
+                disturb_limit, &replay_injector));
+    workload::RunStats ref_stats;
+    const workload::Schedule ref_schedule =
+        ref.driver->MakeSchedule(env.measure_ops);
+    if (cfg.depth == 0) {
+      // Sequential rows replay through the single-worker pipelined mode --
+      // the cross-mode proof the flat path exists for.
+      ftl::ShardExecutor executor(1, queue_capacity);
+      FLASHDB_RETURN_IF_ERROR(ref.driver->RunPipelined(
+          ref_schedule, 1, 4, &executor, &ref_stats));
+    } else {
+      FLASHDB_RETURN_IF_ERROR(
+          ref.driver->RunBatched(ref_schedule, batch, &ref_stats));
+    }
+    point.checked = true;
+    point.deterministic = ref.clocks() == run.clocks() &&
+                          ref_stats.latency == point.stats.latency &&
+                          ref_stats.worst_op == point.stats.worst_op;
+  }
+  return point;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  harness::Flags flags(argc, argv);
+  harness::ExperimentEnv env = harness::ExperimentEnv::FromFlags(flags);
+  if (env.measure_ops == 0) {
+    std::cerr << "--ops must be > 0\n";
+    return 1;
+  }
+  const uint32_t total_blocks = env.flash_cfg.geometry.num_blocks;
+  const uint32_t num_shards = static_cast<uint32_t>(flags.GetInt("shards", 4));
+  const uint32_t batch_size = static_cast<uint32_t>(flags.GetInt("batch", 8));
+  const uint32_t depth = static_cast<uint32_t>(flags.GetInt("depth", 4));
+  const size_t queue_capacity = static_cast<size_t>(flags.GetInt("queue", 8));
+  const uint64_t epoch_ops =
+      static_cast<uint64_t>(flags.GetInt("epoch", 500));
+  const double hot_pct = flags.GetDouble("hot", 60.0);
+  const double ber = flags.GetDouble("ber", 0.01);
+  const uint32_t disturb_limit =
+      static_cast<uint32_t>(flags.GetInt("disturb-limit", 48));
+  const bool check = flags.GetBool("check", true);
+
+  std::printf(
+      "Experiment 15: per-operation latency tails, %u blocks total, "
+      "%llu ops\n(virtual-time percentiles in us; seq and shards=1 pipe "
+      "rows are bit-identical by\n construction; pin rows may only move "
+      "wall_ms; extra=wear/scrub add epoch work\n every %llu ops)\n\n",
+      total_blocks, static_cast<unsigned long long>(env.measure_ops),
+      static_cast<unsigned long long>(epoch_ops));
+
+  const std::vector<Config> configs = {
+      {"seq", 1, 0, false, "-"},
+      {"pipe", 1, 1, false, "-"},
+      {"pipe", 1, 4, false, "-"},
+      {"pipe", num_shards, depth, false, "-"},
+      {"pipe", num_shards, depth, true, "-"},
+      {"pipe", num_shards, depth, false, "wear"},
+      {"pipe", num_shards, depth, false, "scrub"},
+  };
+
+  const std::vector<std::string> method_names = {"OPU", "PDL(256B)"};
+  TablePrinter tbl({"Method", "mode", "shards", "K", "pin", "extra",
+                    "p50 us", "p99 us", "p999 us", "mean us", "max us",
+                    "worst us", "w_gc us", "w_meta us", "wall_ms",
+                    "determinism"});
+  int failures = 0;
+  for (const std::string& name : method_names) {
+    auto spec = methods::ParseMethodSpec(name);
+    if (!spec.ok()) {
+      std::cerr << spec.status().ToString() << "\n";
+      return 1;
+    }
+    for (const Config& cfg : configs) {
+      auto point = RunPoint(env, *spec, cfg, batch_size, queue_capacity,
+                            total_blocks, epoch_ops, hot_pct, disturb_limit,
+                            ber, check);
+      if (!point.ok()) {
+        std::cerr << name << " " << cfg.mode << " shards=" << cfg.shards
+                  << " K=" << cfg.depth << " extra=" << cfg.extra << ": "
+                  << point.status().ToString() << "\n";
+        return 1;
+      }
+      if (point->checked && !point->deterministic) failures++;
+      const workload::LatencyHistogram& h = point->stats.latency;
+      tbl.AddRow({name, cfg.mode, std::to_string(cfg.shards),
+                  cfg.depth == 0 ? "-" : std::to_string(cfg.depth),
+                  cfg.pin ? "on" : "off", cfg.extra,
+                  std::to_string(h.p50()), std::to_string(h.p99()),
+                  std::to_string(h.p999()), TablePrinter::Num(h.mean(), 1),
+                  std::to_string(h.max()),
+                  std::to_string(point->stats.worst_op.total_us),
+                  std::to_string(point->stats.worst_op.gc_us),
+                  std::to_string(point->stats.worst_op.meta_us),
+                  TablePrinter::Num(point->wall_ms, 2),
+                  point->checked ? (point->deterministic ? "ok" : "FAIL")
+                                 : "-"});
+    }
+  }
+  tbl.Print(std::cout);
+  harness::JsonDump json(flags.GetString("json", ""));
+  json.Add("exp15_latency", tbl);
+  if (!json.Finish()) return 1;
+  if (failures != 0) {
+    std::cerr << "\n" << failures
+              << " configuration(s) broke latency determinism\n";
+    return 1;
+  }
+  return 0;
+}

@@ -10,6 +10,8 @@
 //     ops; this is the figure that should scale with S on a multi-core host
 //     (the virtual-time speedup of exp8 becomes real).
 //   * par us/op       -- elapsed virtual time (max of the chip clocks).
+//   * p50/p99/p999    -- per-op virtual-time latency percentiles
+//     (deterministic; identical whether or not --pin is set).
 //   * determinism     -- the same schedule is replayed sequentially through
 //     RunBatched on an identically prepared store; per-chip virtual clocks
 //     must match the threaded run bit-for-bit (ok/FAIL). Disable the second
@@ -18,13 +20,16 @@
 // Expected shape: wall-clock speedup approaching min(S, cores), flat
 // per-shard virtual time, determinism always ok. Larger B amortizes
 // submission/future overhead and saves read-step work (window-local reads
-// are served from queued images).
+// are served from queued images). --pin=1 pins worker i to core i (mod
+// available cores); it can only move wall_ms, never the virtual columns.
 
 #include <chrono>
 #include <cstdio>
 #include <iostream>
+#include <numeric>
 #include <vector>
 
+#include "common/cpu_affinity.h"
 #include "ftl/shard_executor.h"
 #include "harness/experiment.h"
 #include "harness/table_printer.h"
@@ -44,6 +49,10 @@ struct ParallelPoint {
   double gc_us_per_op = 0;
   double meta_us_per_op = 0;
   double plane_stall_us_per_op = 0;
+  // Per-op virtual-time latency percentiles (deterministic, gateable).
+  uint64_t p50_us = 0;
+  uint64_t p99_us = 0;
+  uint64_t p999_us = 0;
   bool deterministic = true;
   bool checked = false;
 };
@@ -94,15 +103,24 @@ Result<ParallelPoint> RunParallelPoint(const harness::ExperimentEnv& env,
                                        uint32_t num_shards,
                                        uint32_t batch_size,
                                        const workload::WorkloadParams& params,
-                                       uint32_t total_blocks, bool check) {
+                                       uint32_t total_blocks, bool pin,
+                                       bool check) {
   FLASHDB_ASSIGN_OR_RETURN(
       PreparedRun run, Prepare(env, spec, num_shards, params, total_blocks));
   const uint64_t parallel0 = run.store->parallel_time_us();
   const uint64_t total0 = run.store->total_work_us();
 
   // Workers spawn outside the timed region; the measured span is pure
-  // submit/execute/join.
-  ftl::ShardExecutor executor(num_shards);
+  // submit/execute/join. Pinning (when requested and supported) is a
+  // wall-clock-only knob: worker i -> core i mod available cores.
+  std::vector<int> pin_cores;
+  if (pin && CpuPinningSupported()) {
+    pin_cores.resize(num_shards);
+    std::iota(pin_cores.begin(), pin_cores.end(), 0);
+    const int cores = static_cast<int>(NumAvailableCores());
+    for (int& c : pin_cores) c %= cores;
+  }
+  ftl::ShardExecutor executor(num_shards, /*queue_capacity=*/1024, pin_cores);
   workload::RunStats stats;
   const auto t0 = std::chrono::steady_clock::now();
   FLASHDB_RETURN_IF_ERROR(run.driver->RunParallel(run.schedule, batch_size,
@@ -127,6 +145,9 @@ Result<ParallelPoint> RunParallelPoint(const harness::ExperimentEnv& env,
   point.meta_us_per_op = static_cast<double>(stats.meta.total_us()) / ops;
   point.plane_stall_us_per_op =
       static_cast<double>(stats.plane_stall_us) / ops;
+  point.p50_us = stats.latency.p50();
+  point.p99_us = stats.latency.p99();
+  point.p999_us = stats.latency.p999();
 
   if (check) {
     // Replay the identical schedule sequentially on an identically prepared
@@ -139,7 +160,8 @@ Result<ParallelPoint> RunParallelPoint(const harness::ExperimentEnv& env,
         ref.driver->RunBatched(ref.schedule, batch_size, &ref_stats));
     point.checked = true;
     point.deterministic =
-        run.store->shard_clocks() == ref.store->shard_clocks();
+        run.store->shard_clocks() == ref.store->shard_clocks() &&
+        stats.latency == ref_stats.latency;
   }
   return point;
 }
@@ -155,11 +177,15 @@ int main(int argc, char** argv) {
   }
   const uint32_t total_blocks = env.flash_cfg.geometry.num_blocks;
   const bool check = flags.GetBool("check", true);
+  const bool pin = flags.GetBool("pin", false);
 
   workload::WorkloadParams params;
   params.pct_changed_by_one_op = flags.GetDouble("changed", 2.0);
   params.updates_till_write =
       static_cast<uint32_t>(flags.GetInt("updates", 1));
+  // Tail percentiles are virtual-time deltas: recording them never perturbs
+  // the clocks (LatencyHistogramTest.RecordingNeverChangesVirtualTime).
+  params.record_latency = true;
 
   std::vector<uint32_t> batch_sizes;
   if (flags.Has("batch")) {
@@ -177,7 +203,8 @@ int main(int argc, char** argv) {
   const std::vector<std::string> method_names = {"PDL(256B)", "OPU"};
   TablePrinter tbl({"Method", "Shards", "Batch", "wall_ms", "kops/s",
                     "speedup", "par us/op", "total us/op", "gc us/op",
-                    "meta us/op", "stall us/op", "determinism"});
+                    "meta us/op", "stall us/op", "p50 us", "p99 us",
+                    "p999 us", "determinism"});
   int failures = 0;
   for (const std::string& name : method_names) {
     auto spec = methods::ParseMethodSpec(name);
@@ -189,7 +216,7 @@ int main(int argc, char** argv) {
       double base_wall = 0;
       for (uint32_t shards : {1u, 2u, 4u, 8u}) {
         auto point = RunParallelPoint(env, *spec, shards, batch, params,
-                                      total_blocks, check);
+                                      total_blocks, pin, check);
         if (!point.ok()) {
           std::cerr << name << " x" << shards << " b" << batch << ": "
                     << point.status().ToString() << "\n";
@@ -208,6 +235,9 @@ int main(int argc, char** argv) {
                     TablePrinter::Num(point->gc_us_per_op),
                     TablePrinter::Num(point->meta_us_per_op),
                     TablePrinter::Num(point->plane_stall_us_per_op),
+                    std::to_string(point->p50_us),
+                    std::to_string(point->p99_us),
+                    std::to_string(point->p999_us),
                     point->checked ? (point->deterministic ? "ok" : "FAIL")
                                    : "-"});
       }

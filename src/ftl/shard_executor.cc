@@ -2,9 +2,13 @@
 
 #include <cassert>
 
+#include "common/cpu_affinity.h"
+
 namespace flashdb::ftl {
 
-ShardExecutor::ShardExecutor(uint32_t num_workers, size_t queue_capacity) {
+ShardExecutor::ShardExecutor(uint32_t num_workers, size_t queue_capacity,
+                             std::vector<int> pin_cores)
+    : pin_cores_(std::move(pin_cores)) {
   assert(num_workers > 0 && "executor needs at least one worker");
   workers_.reserve(num_workers);
   for (uint32_t i = 0; i < num_workers; ++i) {
@@ -12,8 +16,10 @@ ShardExecutor::ShardExecutor(uint32_t num_workers, size_t queue_capacity) {
   }
   // Spawn only after the vector is fully built so no worker pointer moves
   // underneath a running thread.
-  for (auto& w : workers_) {
-    w->thread = std::thread([this, worker = w.get()] { WorkerLoop(worker); });
+  for (uint32_t i = 0; i < num_workers; ++i) {
+    Worker* worker = workers_[i].get();
+    workers_[i]->thread =
+        std::thread([this, worker, i] { WorkerLoop(worker, i); });
   }
 }
 
@@ -106,7 +112,16 @@ void ShardExecutor::RunTask(Worker* w, Task* task) {
   w->completed.fetch_add(1, std::memory_order_release);
 }
 
-void ShardExecutor::WorkerLoop(Worker* w) {
+void ShardExecutor::WorkerLoop(Worker* w, uint32_t index) {
+  if (!pin_cores_.empty()) {
+    // Best-effort: a rejected mask (cpuset restriction, bad core id) or an
+    // unsupported platform leaves this worker unpinned and the run intact.
+    const int core = pin_cores_[index % pin_cores_.size()];
+    if (core >= 0 &&
+        PinCurrentThreadToCore(static_cast<uint32_t>(core)).ok()) {
+      pinned_workers_.fetch_add(1, std::memory_order_release);
+    }
+  }
   for (;;) {
     Task task;
     if (w->queue.TryPop(&task)) {

@@ -104,7 +104,14 @@ class ShardExecutor {
   /// Spawns `num_workers` threads, each with a task ring of
   /// `queue_capacity` entries. Submission to a full ring blocks (yield-spin):
   /// the queue depth is backpressure, not a correctness limit.
-  explicit ShardExecutor(uint32_t num_workers, size_t queue_capacity = 1024);
+  ///
+  /// When `pin_cores` is nonempty, worker i pins itself to
+  /// pin_cores[i % pin_cores.size()] at thread start (best-effort: a failed
+  /// or unsupported pin leaves the worker unpinned and the run proceeds).
+  /// Pinning is a wall-clock knob only -- task results and virtual clocks
+  /// are identical with it on or off.
+  explicit ShardExecutor(uint32_t num_workers, size_t queue_capacity = 1024,
+                         std::vector<int> pin_cores = {});
 
   /// Calls Shutdown(): joins every worker after draining the queued tasks.
   ~ShardExecutor();
@@ -160,6 +167,14 @@ class ShardExecutor {
     return submitted_count(worker) - done;
   }
 
+  /// Workers whose affinity pin succeeded. 0 unless pin_cores was passed
+  /// (and the platform supports pinning). Settles once every worker has
+  /// started; benches read it after construction to report pin=on/off
+  /// truthfully.
+  uint32_t pinned_workers() const {
+    return pinned_workers_.load(std::memory_order_acquire);
+  }
+
  private:
   /// One queued unit of work: the task body plus an optional completion
   /// callback run on the worker thread right after it.
@@ -182,12 +197,14 @@ class ShardExecutor {
     std::thread thread;
   };
 
-  void WorkerLoop(Worker* w);
+  void WorkerLoop(Worker* w, uint32_t index);
   void RunTask(Worker* w, Task* task);
   /// Wakes `w` if (and only if) it parked on its condition variable.
   void WakeIfSleeping(Worker* w);
 
   std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<int> pin_cores_;
+  std::atomic<uint32_t> pinned_workers_{0};
   std::atomic<bool> stop_{false};
 };
 

@@ -1,5 +1,7 @@
 #include "harness/experiment.h"
 
+#include "ftl/shard_executor.h"
+
 namespace flashdb::harness {
 
 ExperimentEnv ExperimentEnv::FromFlags(const Flags& flags) {
@@ -24,6 +26,8 @@ ExperimentEnv ExperimentEnv::FromFlags(const Flags& flags) {
       static_cast<uint64_t>(flags.GetInt("warmup-max", 0));
   env.measure_ops = static_cast<uint64_t>(flags.GetInt("ops", 4000));
   env.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  env.pipeline_depth =
+      static_cast<uint32_t>(flags.GetInt("pipeline", 0));
   return env;
 }
 
@@ -43,7 +47,19 @@ Result<PointResult> RunWorkloadPoint(const ExperimentEnv& env,
       driver.Warmup(env.warmup_erases_per_block, warmup_cap));
   PointResult result;
   result.method = std::string(store->name());
-  FLASHDB_RETURN_IF_ERROR(driver.Run(env.measure_ops, &result.stats));
+  if (env.pipeline_depth == 0) {
+    FLASHDB_RETURN_IF_ERROR(driver.Run(env.measure_ops, &result.stats));
+  } else {
+    // Threaded single-chip mode: window size 1 makes scheduled execution
+    // degenerate to the sequential op sequence (every read from flash,
+    // every write-back flushed immediately), so the measured virtual time
+    // is bit-identical to the Run() path above for the same flags.
+    const workload::Schedule schedule = driver.MakeSchedule(env.measure_ops);
+    ftl::ShardExecutor executor(1);
+    FLASHDB_RETURN_IF_ERROR(driver.RunPipelined(
+        schedule, /*batch_size=*/1, env.pipeline_depth, &executor,
+        &result.stats));
+  }
   return result;
 }
 

@@ -36,6 +36,13 @@ struct ExperimentEnv {
   uint64_t warmup_max_ops = 0;
   uint64_t measure_ops = 4000;
   uint64_t seed = 42;
+  /// Measured-run execution mode (--pipeline=K). 0 runs the plain
+  /// sequential Run() loop. K > 0 pre-draws the schedule and streams it
+  /// depth-K to a one-worker ShardExecutor via RunPipelined with window
+  /// size 1 -- the single-chip threaded mode, bit-identical to sequential
+  /// (single-op windows read every page from flash and flush immediately,
+  /// so scheduled execution degenerates to exactly the Run() sequence).
+  uint32_t pipeline_depth = 0;
 
   uint32_t num_db_pages() const {
     // Two blocks of headroom keep IPL(64KB) feasible at 50% utilization: its
@@ -49,7 +56,7 @@ struct ExperimentEnv {
 
   /// Common bench flags: --blocks, --page-size, --util, --warmup-epb,
   /// --warmup-max, --ops, --seed, --tread, --twrite, --terase, --dies,
-  /// --planes.
+  /// --planes, --pipeline.
   static ExperimentEnv FromFlags(const Flags& flags);
 };
 

@@ -10,6 +10,7 @@
 #include <string>
 #include <thread>
 
+#include "flash/flash_device.h"
 #include "ftl/shard_executor.h"
 #include "ftl/sharded_store.h"
 
@@ -137,20 +138,43 @@ Status UpdateDriver::Warmup(double erases_per_block, uint64_t max_ops) {
 }
 
 Status UpdateDriver::Run(uint64_t num_ops, RunStats* out) {
+  pending_latency_.Reset();
+  pending_worst_ = WorstOpSample{};
   const flash::FlashStats stats0 = store_->stats();
   const uint64_t clock0 = StoreClockUs();
+  auto* sharded = dynamic_cast<ftl::ShardedStore*>(store_);
 
   for (uint64_t i = 0; i < num_ops; ++i) {
     const PageId pid = DrawPid();
-    if (rng_.NextDouble() * 100.0 < params_.pct_update_ops) {
+    // Hoisting the kind draw off the branch keeps RNG consumption (pid,
+    // then kind) identical to older versions and to MakeSchedule.
+    const bool is_update = rng_.NextDouble() * 100.0 < params_.pct_update_ops;
+    flash::FlashDevice* dev = nullptr;
+    CostSnap snap;
+    if (params_.record_latency) {
+      // The op's latency is its own chip's clock advance, so on a sharded
+      // store the sample brackets the owning shard's device.
+      dev = sharded != nullptr
+                ? sharded->shard_device(sharded->shard_of(pid))
+                : store_->device();
+      snap = SnapCost(dev);
+    }
+    if (is_update) {
       FLASHDB_RETURN_IF_ERROR(UpdateOperation(pid));
       out->update_ops++;
     } else {
       FLASHDB_RETURN_IF_ERROR(ReadOperation(pid));
     }
+    if (params_.record_latency) {
+      const WorstOpSample sample = CostSince(snap, dev, pid);
+      pending_latency_.Record(sample.total_us);
+      pending_worst_.Offer(sample);
+    }
     out->operations++;
   }
 
+  out->latency.Merge(pending_latency_);
+  out->worst_op.Offer(pending_worst_);
   const flash::FlashStats stats1 = store_->stats();
   out->read_step +=
       stats1.by_category[static_cast<int>(flash::OpCategory::kReadStep)] -
@@ -217,6 +241,31 @@ std::vector<UpdateDriver::ShardStream> UpdateDriver::PartitionSchedule(
 
 Status UpdateDriver::FlushShardWindow(ShardStream* s) {
   if (s->queued_n == 0) return Status::OK();
+  if (params_.record_latency) {
+    // Per-write flush so each queued op gets its own clock delta. The
+    // batched-write equivalence (WriteBatch == same writes via WriteBack,
+    // pinned by tests/batched_write_test.cc) makes this path produce the
+    // exact device state and virtual clocks of the WriteBatch path below --
+    // recording changes attribution, never the gated numbers.
+    flash::FlashDevice* dev = s->store->device();
+    StoreCategoryScope cat(s->store, flash::OpCategory::kWriteStep);
+    for (size_t i = 0; i < s->queued_n; ++i) {
+      ShardStream::QueuedWrite& q = s->queued[i];
+      const CostSnap snap = SnapCost(dev);
+      FLASHDB_RETURN_IF_ERROR(s->store->WriteBack(q.inner_pid, q.image));
+      const WorstOpSample wb = CostSince(snap, dev, q.cost.pid);
+      q.cost.total_us += wb.total_us;
+      q.cost.read_us += wb.read_us;
+      q.cost.write_us += wb.write_us;
+      q.cost.gc_us += wb.gc_us;
+      q.cost.meta_us += wb.meta_us;
+      s->hist.Record(q.cost.total_us);
+      s->worst.Offer(q.cost);
+    }
+    s->queued_n = 0;
+    s->latest.clear();
+    return Status::OK();
+  }
   std::vector<PageWrite> writes;
   writes.reserve(s->queued_n);
   for (size_t i = 0; i < s->queued_n; ++i) {
@@ -230,10 +279,14 @@ Status UpdateDriver::FlushShardWindow(ShardStream* s) {
 }
 
 Status UpdateDriver::RunShardWindow(ShardStream* s, size_t begin, size_t end) {
+  const bool record = params_.record_latency;
+  flash::FlashDevice* dev = record ? s->store->device() : nullptr;
   for (size_t k = begin; k < end; ++k) {
     const PlannedOp& op = *s->ops[k];
     const PageId ipid = s->inner_pids[k];
     const PageId gpid = s->global_pids[k];
+    CostSnap snap;
+    if (record) snap = SnapCost(dev);
     // Reading step. A page whose write-back is still queued in this window
     // is served from the queued image (its on-flash copy is stale).
     const auto it = s->latest.find(ipid);
@@ -247,7 +300,17 @@ Status UpdateDriver::RunShardWindow(ShardStream* s, size_t begin, size_t end) {
       return Status::Corruption("shadow mismatch on read of pid " +
                                 std::to_string(gpid));
     }
-    if (!op.is_update) continue;
+    if (!op.is_update) {
+      // A read-only op completes here; one served from a queued image cost
+      // no device time and records a 0 -- the same 0 in every run mode,
+      // since window composition is fixed by the schedule.
+      if (record) {
+        const WorstOpSample sample = CostSince(snap, dev, gpid);
+        s->hist.Record(sample.total_us);
+        s->worst.Offer(sample);
+      }
+      continue;
+    }
     // Updating step: apply the planned commands, notifying the store.
     {
       StoreCategoryScope cat(s->store, flash::OpCategory::kWriteStep);
@@ -266,10 +329,53 @@ Status UpdateDriver::RunShardWindow(ShardStream* s, size_t begin, size_t end) {
     ShardStream::QueuedWrite& q = s->queued[s->queued_n];
     q.inner_pid = ipid;
     q.image.assign(s->scratch.begin(), s->scratch.end());
+    // An update op's sample stays open until its write-back flushes: stash
+    // the inline cost (reading step + log spills) with the queued write.
+    q.cost = record ? CostSince(snap, dev, gpid) : WorstOpSample{};
     s->latest[ipid] = s->queued_n;
     ++s->queued_n;
   }
   return FlushShardWindow(s);
+}
+
+UpdateDriver::CostSnap UpdateDriver::SnapCost(flash::FlashDevice* dev) {
+  // stats() returns a reference, so this is five counter loads -- cheap
+  // enough to bracket every operation when recording is on.
+  const flash::FlashStats& st = dev->stats();
+  CostSnap snap;
+  snap.clock_us = dev->clock().now_us();
+  snap.read_us =
+      st.by_category[static_cast<int>(flash::OpCategory::kReadStep)].total_us();
+  snap.write_us =
+      st.by_category[static_cast<int>(flash::OpCategory::kWriteStep)]
+          .total_us();
+  snap.gc_us =
+      st.by_category[static_cast<int>(flash::OpCategory::kGc)].total_us();
+  snap.meta_us =
+      st.by_category[static_cast<int>(flash::OpCategory::kMeta)].total_us();
+  return snap;
+}
+
+WorstOpSample UpdateDriver::CostSince(const CostSnap& before,
+                                      flash::FlashDevice* dev, PageId pid) {
+  const CostSnap after = SnapCost(dev);
+  WorstOpSample s;
+  s.total_us = after.clock_us - before.clock_us;
+  s.read_us = after.read_us - before.read_us;
+  s.write_us = after.write_us - before.write_us;
+  s.gc_us = after.gc_us - before.gc_us;
+  s.meta_us = after.meta_us - before.meta_us;
+  s.pid = pid;
+  s.valid = true;
+  return s;
+}
+
+void UpdateDriver::FoldStreamLatency(std::vector<ShardStream>* streams) {
+  if (!params_.record_latency) return;
+  for (ShardStream& s : *streams) {
+    pending_latency_.Merge(s.hist);
+    pending_worst_.Offer(s.worst);
+  }
 }
 
 uint64_t UpdateDriver::StoreClockUs() const {
@@ -313,11 +419,15 @@ void UpdateDriver::AccumulateRunStats(const flash::FlashStats& before,
   out->reads_uncorrectable += integrity.reads_uncorrectable;
   out->plane_stall_us += after.plane_stall_us() - before.plane_stall_us();
   out->elapsed_vt_us += StoreClockUs() - clock0_us;
+  out->latency.Merge(pending_latency_);
+  out->worst_op.Offer(pending_worst_);
 }
 
 Status UpdateDriver::RunEpochs(
     const Schedule& schedule, ftl::ShardExecutor* executor, RunStats* out,
     const std::function<Status(ChunkSpan)>& run_chunk) {
+  pending_latency_.Reset();
+  pending_worst_ = WorstOpSample{};
   const flash::FlashStats stats0 = store_->stats();
   const uint64_t clock0 = StoreClockUs();
   auto* sharded = dynamic_cast<ftl::ShardedStore*>(store_);
@@ -401,6 +511,7 @@ Status UpdateDriver::RunBatchedChunk(ChunkSpan chunk, uint32_t batch_size) {
       FLASHDB_RETURN_IF_ERROR(RunShardWindow(&s, begin, end));
     }
   }
+  FoldStreamLatency(&streams);
   return Status::OK();
 }
 
@@ -445,6 +556,9 @@ Status UpdateDriver::RunParallelChunk(ChunkSpan chunk, uint32_t batch_size,
     const Status st = f.get();
     if (!st.ok() && first_error.ok()) first_error = st;
   }
+  // The joins above quiesced every worker, so the streams' histograms are
+  // safe to fold here (shard order, same as the other modes).
+  FoldStreamLatency(&streams);
   return first_error;
 }
 
@@ -458,12 +572,13 @@ Status UpdateDriver::RunPipelined(const Schedule& schedule,
   if (max_inflight == 0) {
     return Status::InvalidArgument("max_inflight must be > 0");
   }
+  // A flat store pipelines too: the whole schedule is one stream streamed
+  // depth-max_inflight to worker 0 (see the header comment) -- that is the
+  // threaded run mode of the single-chip experiments.
   auto* sharded = dynamic_cast<ftl::ShardedStore*>(store_);
-  if (sharded == nullptr) {
-    return Status::InvalidArgument("RunPipelined needs a ShardedStore");
-  }
-  if (executor == nullptr ||
-      executor->num_workers() < sharded->num_shards()) {
+  const uint32_t workers_needed =
+      sharded != nullptr ? sharded->num_shards() : 1;
+  if (executor == nullptr || executor->num_workers() < workers_needed) {
     return Status::InvalidArgument("executor must have one worker per shard");
   }
   const uint64_t wait0 = credit_wait_ns_;
@@ -611,6 +726,7 @@ Status UpdateDriver::RunPipelinedChunk(ChunkSpan chunk, uint32_t batch_size,
       std::this_thread::yield();  // tail is at most max_inflight windows
     }
   }
+  FoldStreamLatency(&streams);
   return ctl.first_error;
 }
 

@@ -27,6 +27,7 @@
 #include "common/random.h"
 #include "flash/flash_stats.h"
 #include "ftl/page_store.h"
+#include "workload/latency_histogram.h"
 
 namespace flashdb::ftl {
 class ShardExecutor;
@@ -70,6 +71,42 @@ struct WorkloadParams {
   /// pages (ShardedStore::ScrubShards). Deterministic across run modes;
   /// ignored on a non-sharded store.
   bool scrub = false;
+  /// Sample every operation's virtual latency into RunStats::latency (and
+  /// track the worst op with its per-cause breakdown). An op's latency is
+  /// the advance of its owning chip's virtual clock from the op's start to
+  /// its write-back completion. To give each queued write-back its own
+  /// clock delta, the scheduled modes flush windows write-by-write
+  /// (WriteBack) instead of as one WriteBatch -- on-flash state and virtual
+  /// clocks are identical either way (the batched-write equivalence the
+  /// tests pin down), so recording never changes any gated virtual-time
+  /// column. Off by default to keep the WriteBatch fast path.
+  bool record_latency = false;
+};
+
+/// The slowest operation of a run, with the per-cause breakdown of where its
+/// virtual time went. Per-cause values are deltas of the owning chip's
+/// by-category device counters across the op, so gc_us captures garbage
+/// collection the op's write-back triggered, meta_us the journal traffic it
+/// induced. Deterministic across the scheduled run modes: per-shard op order
+/// is fixed by the schedule and the cross-shard fold visits shards in index
+/// order, with a strictly-greater-wins rule so ties keep the first sample.
+struct WorstOpSample {
+  uint64_t total_us = 0;  ///< Virtual-clock advance across the whole op.
+  uint64_t read_us = 0;   ///< Reading-step device time within the op.
+  uint64_t write_us = 0;  ///< Writing-step device time (incl. log spills).
+  uint64_t gc_us = 0;     ///< GC the op triggered inside the store.
+  uint64_t meta_us = 0;   ///< Journal traffic the op induced.
+  PageId pid = 0;         ///< Global pid of the op.
+  bool valid = false;     ///< False until a first sample is offered.
+
+  /// Keeps the stricter maximum: `cand` replaces *this only when strictly
+  /// slower (first-seen wins ties, which makes the fold order-stable).
+  void Offer(const WorstOpSample& cand) {
+    if (cand.valid && (!valid || cand.total_us > total_us)) *this = cand;
+  }
+
+  friend bool operator==(const WorstOpSample& a,
+                         const WorstOpSample& b) = default;
 };
 
 /// Virtual-time breakdown of a measured run.
@@ -109,6 +146,19 @@ struct RunStats {
   /// a per-shard credit (RunPipelined only; 0 elsewhere). Wall time, not
   /// virtual time: excluded from determinism comparisons.
   uint64_t credit_wait_ns = 0;
+
+  // --- Per-operation latency (WorkloadParams::record_latency only) --------
+  /// Distribution of per-op virtual latency in microseconds. Merged across
+  /// shards by counter addition, so it is bit-identical across the
+  /// sequential, batched, parallel, and pipelined executions of one
+  /// schedule. Empty when recording is off. Epoch-boundary work (bucket
+  /// migration, scrub sweeps, the migration journal) runs while the shards
+  /// are quiescent and belongs to no operation, so it appears in the
+  /// migrate/scrub/meta counters above but never in this distribution.
+  LatencyHistogram latency;
+  /// The run's slowest operation with per-cause attribution (see
+  /// WorstOpSample). Invalid when recording is off.
+  WorstOpSample worst_op;
 
   /// Paper-style per-operation figures (microseconds).
   double read_us_per_op() const {
@@ -224,6 +274,12 @@ class UpdateDriver {
   /// the in-flight windows are drained before the error returns.
   /// `max_inflight` should not exceed the executor's ring capacity or
   /// submission degrades to blocking pushes.
+  ///
+  /// Unlike RunParallel, this mode does not need a ShardedStore: against a
+  /// flat store the whole schedule is one stream fed depth-`max_inflight` to
+  /// executor worker 0, giving the single-chip experiments a threaded run
+  /// mode that is bit-identical to RunBatched on the same schedule (and,
+  /// with batch_size 1, to the plain sequential Run() path).
   Status RunPipelined(const Schedule& schedule, uint32_t batch_size,
                       uint32_t max_inflight, ftl::ShardExecutor* executor,
                       RunStats* out);
@@ -249,12 +305,22 @@ class UpdateDriver {
     struct QueuedWrite {
       PageId inner_pid = 0;
       ByteBuffer image;
+      /// Latency recording only: the op's inline cost (reading step +
+      /// in-memory updates' log spills), completed with the write-back
+      /// delta at flush time.
+      WorstOpSample cost;
     };
     ByteBuffer scratch;                    ///< Current page image.
     UpdateLog log_scratch;                 ///< Reused OnUpdate log.
     std::vector<QueuedWrite> queued;       ///< Window pool, reused per flush.
     size_t queued_n = 0;
     std::unordered_map<PageId, size_t> latest;  ///< inner pid -> queue slot.
+
+    /// Latency recording only; thread-confined to the shard's worker like
+    /// everything else here, folded into the driver's pending accumulators
+    /// after the chunk quiesces.
+    LatencyHistogram hist;
+    WorstOpSample worst;
   };
 
   /// One contiguous slice of a schedule: the unit the epoch wrapper hands to
@@ -265,6 +331,23 @@ class UpdateDriver {
   /// using the store's *current* pid routing -- must be re-done after any
   /// bucket migration.
   std::vector<ShardStream> PartitionSchedule(ChunkSpan chunk);
+  /// Point-in-time read of one chip's virtual clock and by-category time
+  /// totals -- the before-side of a per-op latency sample.
+  struct CostSnap {
+    uint64_t clock_us = 0;
+    uint64_t read_us = 0;
+    uint64_t write_us = 0;
+    uint64_t gc_us = 0;
+    uint64_t meta_us = 0;
+  };
+  static CostSnap SnapCost(flash::FlashDevice* dev);
+  /// Sample formed by the counter advance since `before` on the same chip.
+  static WorstOpSample CostSince(const CostSnap& before,
+                                 flash::FlashDevice* dev, PageId pid);
+  /// Folds every stream's histogram and worst-op into the driver's pending
+  /// accumulators, in shard-index order (order-stable ties). Caller must
+  /// have quiesced the streams' workers first.
+  void FoldStreamLatency(std::vector<ShardStream>* streams);
   /// Executes ops [begin, end) of `s` and flushes the queued write-backs.
   Status RunShardWindow(ShardStream* s, size_t begin, size_t end);
   Status FlushShardWindow(ShardStream* s);
@@ -323,6 +406,11 @@ class UpdateDriver {
   /// Cumulative wall time the pipelined producer spent parked on credits
   /// (only the submitting thread writes it; see RunStats::credit_wait_ns).
   uint64_t credit_wait_ns_ = 0;
+  /// Latency samples of the run in progress, reset at the start of every
+  /// public run entry point and folded into the caller's RunStats at the
+  /// end (see AccumulateRunStats). Only the submitting thread touches them.
+  LatencyHistogram pending_latency_;
+  WorstOpSample pending_worst_;
   ByteBuffer scratch_;
   std::vector<ByteBuffer> shadow_;  ///< Only when params_.verify.
 };

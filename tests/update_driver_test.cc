@@ -439,13 +439,16 @@ TEST(UpdateDriverPipelinedTest, RejectsBadArguments) {
   EXPECT_TRUE(driver.RunPipelined(schedule, 4, 2, &short_executor, &stats)
                   .IsInvalidArgument());  // 2 workers < 4 shards
 
+  // A flat store is pipelineable (single-worker mode): it only rejects a
+  // missing executor, never the store itself.
   FlashDevice dev(FlashConfig::Small(8));
   auto flat = MakeStore(&dev, "OPU");
   UpdateDriver flat_driver(flat.get(), params);
   ASSERT_TRUE(flat_driver.LoadDatabase(50).ok());
   Schedule s2 = flat_driver.MakeSchedule(10);
-  EXPECT_TRUE(flat_driver.RunPipelined(s2, 4, 2, &executor, &stats)
-                  .IsInvalidArgument());  // flat store
+  EXPECT_TRUE(flat_driver.RunPipelined(s2, 4, 2, nullptr, &stats)
+                  .IsInvalidArgument());  // no executor
+  EXPECT_TRUE(flat_driver.RunPipelined(s2, 4, 2, &executor, &stats).ok());
 }
 
 TEST(UpdateDriverParallelTest, RejectsFlatStoreAndShortExecutor) {

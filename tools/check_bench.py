@@ -20,6 +20,16 @@ kinds of checks:
       Every current row's COLUMN must equal VALUE exactly (e.g. the benches'
       determinism column must say "ok"). Independent of the baseline.
 
+  --pctl  TABLE:COLUMN[:band=B][:warn=W]
+      Two-sided multiplicative band around the baseline row with the same
+      key: fails when current > baseline*B or current < baseline/B
+      (default band 1.02, i.e. +/-2%). Unlike --rule, a move in *either*
+      direction fails -- the right check for exact-valued columns like the
+      deterministic latency percentiles (p50/p99/p999), where a silent drop
+      is as suspicious as a jump. warn=W (default: the failing band) draws
+      a warning band inside the failing one. A baseline of 0 requires the
+      current value to be exactly 0.
+
   --min   TABLE:COLUMN:THRESHOLD[:where=COL=VAL,COL2=VAL2]
       Current-run absolute floor on a numeric column, optionally restricted
       to rows matching the `where` filter. Machine-relative metrics computed
@@ -111,6 +121,78 @@ def split_rule(spec):
             raise ValueError(f"bad option {extra!r} in --rule {spec!r}")
     return {"table": table, "column": column, "direction": direction,
             "fail": fail, "warn": warn}
+
+
+def split_pctl(spec):
+    """TABLE:COLUMN[:band=B][:warn=W] -> parsed dict."""
+    parts = spec.split(":")
+    if len(parts) < 2:
+        raise ValueError(f"bad --pctl {spec!r}")
+    table, column = parts[0], parts[1]
+    band = 1.02
+    warn = None
+    for extra in parts[2:]:
+        k, _, v = extra.partition("=")
+        if k == "band":
+            band = float(v)
+        elif k == "warn":
+            warn = float(v)
+        else:
+            raise ValueError(f"bad option {extra!r} in --pctl {spec!r}")
+    if band < 1.0 or (warn is not None and warn < 1.0):
+        raise ValueError(f"--pctl bands must be >= 1.0: {spec!r}")
+    if warn is None:
+        warn = band
+    return {"table": table, "column": column, "band": band, "warn": warn}
+
+
+def check_pctl(gate, rule, baseline, current, keys, baseline_path,
+               current_path):
+    table = rule["table"]
+    if table not in current:
+        gate.fail(f"{table}: missing from current dump {current_path}")
+        return
+    if table not in baseline:
+        gate.fail(f"{table}: missing from baseline {baseline_path} "
+                  f"(refresh baselines?)")
+        return
+    if not require_column(gate, table, rule["column"], current[table],
+                          current_path, "current"):
+        return
+    if not require_column(gate, table, rule["column"], baseline[table],
+                          baseline_path, "baseline"):
+        return
+    key_cols = keys.get(table, [])
+    cur_rows = {row_key(r, key_cols): r for r in current[table]}
+    for brow in baseline[table]:
+        label = f"{table}[{describe(brow, key_cols)}].{rule['column']}"
+        crow = cur_rows.get(row_key(brow, key_cols))
+        if crow is None:
+            gate.fail(f"{label}: row present in baseline but not in current "
+                      f"run (coverage loss)")
+            continue
+        bval = parse_number(brow.get(rule["column"], ""))
+        cval = parse_number(crow.get(rule["column"], ""))
+        if bval is None or cval is None:
+            gate.fail(f"{label}: non-numeric cell "
+                      f"(baseline {brow.get(rule['column'])!r}, "
+                      f"current {crow.get(rule['column'])!r})")
+            continue
+        if bval == 0:
+            if cval == 0:
+                gate.ok(f"{label}: baseline 0, current 0")
+            else:
+                gate.fail(f"{label}: baseline 0 but current {cval:g}")
+            continue
+        ratio = cval / bval
+        detail = (f"{label}: baseline {bval:g}, current {cval:g} "
+                  f"(x{ratio:.4f}, band x{rule['band']:g})")
+        if ratio > rule["band"] or ratio < 1.0 / rule["band"]:
+            gate.fail(detail)
+        elif ratio > rule["warn"] or ratio < 1.0 / rule["warn"]:
+            gate.warn(detail)
+        else:
+            gate.ok(detail)
 
 
 def split_require(spec):
@@ -278,6 +360,8 @@ def main():
                     metavar="TABLE:COLUMN:DIRECTION[:fail=F][:warn=W]")
     ap.add_argument("--require", action="append", default=[],
                     metavar="TABLE:COLUMN=VALUE")
+    ap.add_argument("--pctl", action="append", default=[], dest="pctls",
+                    metavar="TABLE:COLUMN[:band=B][:warn=W]")
     ap.add_argument("--min", action="append", default=[], dest="mins",
                     metavar="TABLE:COLUMN:THRESHOLD[:where=C=V,...]")
     ap.add_argument("--max", action="append", default=[], dest="maxs",
@@ -302,6 +386,9 @@ def main():
         current = load_dump(args.current)
         for spec in args.rule:
             check_rule(gate, split_rule(spec), baseline, current, keys,
+                       args.baseline, args.current)
+        for spec in args.pctls:
+            check_pctl(gate, split_pctl(spec), baseline, current, keys,
                        args.baseline, args.current)
         for spec in args.require:
             check_require(gate, split_require(spec), current, keys,

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Rewrites every gated bench baseline under bench/baselines/ in one command,
+# using exactly the canonical flags CI runs (tools/run_perf_gate.sh) -- the
+# tightly gated virtual-time columns only reproduce when the schedule
+# (ops/seed/skew/batch) matches the baseline bit-for-bit.
+#
+# Run this after an intentional perf change, eyeball the diff (virtual-time
+# columns should move only where the change says they should; wall-clock
+# columns churn freely -- they are warn-only in CI), then commit the result.
+#
+# Usage: tools/refresh_baselines.sh [build-dir]
+set -euo pipefail
+
+BUILD_DIR=${1:-build}
+REPO_ROOT=$(cd "$(dirname "$0")/.." && pwd)
+
+if [ ! -x "$BUILD_DIR/exp9_parallel" ]; then
+  echo "error: $BUILD_DIR/exp9_parallel not found -- build the benches" \
+       "first (cmake --build $BUILD_DIR -j)" >&2
+  exit 1
+fi
+
+"$REPO_ROOT/tools/run_perf_gate.sh" "$BUILD_DIR" "$REPO_ROOT/bench/baselines"
+
+echo
+echo "Baselines rewritten. Review before committing:"
+git -C "$REPO_ROOT" --no-pager diff --stat -- bench/baselines || true

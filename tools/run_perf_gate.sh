@@ -46,3 +46,11 @@ mkdir -p "$OUT_DIR"
 # pipelined executions of every cell.
 "$BUILD_DIR/exp14_integrity" --blocks=64 --ops=2000 --warmup-max=3000 \
     --shards=2 --batch=8 --depth=4 --json="$OUT_DIR/exp14_integrity.json"
+
+# Per-op latency floor: p50/p99/p999 and the worst-op attribution are
+# virtual-time deltas of the owning chip's clock, so they gate tightly
+# (--pctl); wall_ms is warn-only. Every row's determinism column must be ok:
+# the schedule replayed through the alternate run mode must reproduce the
+# exact same histogram, worst op, and per-chip clocks.
+"$BUILD_DIR/exp15_latency" --blocks=64 --ops=2000 --warmup-max=3000 \
+    --shards=4 --batch=8 --epoch=500 --json="$OUT_DIR/exp15_latency.json"
