@@ -77,6 +77,7 @@ class Status {
   bool IsFlashConstraint() const {
     return code_ == StatusCode::kFlashConstraint;
   }
+  bool IsBusy() const { return code_ == StatusCode::kBusy; }
 
   StatusCode code() const { return code_; }
   const std::string& message() const { return msg_; }

@@ -1,9 +1,33 @@
 #include "storage/buffer_pool.h"
 
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
 namespace flashdb::storage {
+
+BufferPool::ConfinementScope::ConfinementScope(BufferPool* pool)
+    : pool_(pool) {
+  const std::thread::id self = std::this_thread::get_id();
+  std::thread::id expected{};
+  if (!pool_->owner_.compare_exchange_strong(expected, self,
+                                             std::memory_order_acquire) &&
+      expected != self) {
+    std::fprintf(stderr,
+                 "BufferPool: concurrent access from two threads -- the pool "
+                 "is thread-confined (drive each shard's pool from its own "
+                 "ShardExecutor worker)\n");
+    std::abort();
+  }
+  pool_->depth_++;
+}
+
+BufferPool::ConfinementScope::~ConfinementScope() {
+  if (--pool_->depth_ == 0) {
+    pool_->owner_.store(std::thread::id{}, std::memory_order_release);
+  }
+}
 
 BufferPool::BufferPool(PageStore* store, uint32_t num_frames)
     : store_(store),
@@ -14,7 +38,6 @@ BufferPool::BufferPool(PageStore* store, uint32_t num_frames)
     frames_[i].data.resize(data_size_);
     free_frames_.push_back(num_frames_ - 1 - i);
   }
-  snapshot_.resize(data_size_);
 }
 
 Result<uint32_t> BufferPool::Evict() {
@@ -83,6 +106,7 @@ void BufferPool::Unpin(uint32_t frame_idx) {
 
 Status BufferPool::ReadPage(PageId pid,
                             const std::function<Status(ConstBytes)>& fn) {
+  ConfinementScope confined(this);
   FLASHDB_ASSIGN_OR_RETURN(uint32_t idx, Pin(pid));
   Status st = fn(frames_[idx].data);
   Unpin(idx);
@@ -91,22 +115,34 @@ Status BufferPool::ReadPage(PageId pid,
 
 Status BufferPool::WithPage(PageId pid,
                             const std::function<Status(MutBytes)>& fn) {
+  ConfinementScope confined(this);
   FLASHDB_ASSIGN_OR_RETURN(uint32_t idx, Pin(pid));
   Frame& f = frames_[idx];
-  std::memcpy(snapshot_.data(), f.data.data(), data_size_);
+  // Per-depth snapshot: `fn` may reenter WithPage (a B-tree split mutates the
+  // new right sibling while the parent call's frame is mid-mutation), and the
+  // nested call must not overwrite this call's pre-image. Index the scratch
+  // list afresh after `fn` returns -- a nested call may have grown it and
+  // moved the buffers.
+  const size_t snap_idx = depth_ - 1;
+  if (snapshots_.size() <= snap_idx) snapshots_.resize(snap_idx + 1);
+  if (snapshots_[snap_idx].size() != data_size_) {
+    snapshots_[snap_idx].resize(data_size_);
+  }
+  std::memcpy(snapshots_[snap_idx].data(), f.data.data(), data_size_);
   Status st = fn(f.data);
+  const ByteBuffer& snapshot = snapshots_[snap_idx];
   if (!st.ok()) {
     // Roll the frame back so a failed mutation leaves no trace.
-    std::memcpy(f.data.data(), snapshot_.data(), data_size_);
+    std::memcpy(f.data.data(), snapshot.data(), data_size_);
     Unpin(idx);
     return st;
   }
   // Minimal changed range -> update log for tightly-coupled methods.
   uint32_t lo = 0;
-  while (lo < data_size_ && snapshot_[lo] == f.data[lo]) ++lo;
+  while (lo < data_size_ && snapshot[lo] == f.data[lo]) ++lo;
   if (lo < data_size_) {
     uint32_t hi = data_size_;
-    while (hi > lo && snapshot_[hi - 1] == f.data[hi - 1]) --hi;
+    while (hi > lo && snapshot[hi - 1] == f.data[hi - 1]) --hi;
     UpdateLog log;
     log.offset = lo;
     log.data.assign(f.data.begin() + lo, f.data.begin() + hi);
@@ -118,6 +154,7 @@ Status BufferPool::WithPage(PageId pid,
 }
 
 Status BufferPool::FlushPage(PageId pid) {
+  ConfinementScope confined(this);
   auto it = table_.find(pid);
   if (it == table_.end()) return Status::OK();
   Frame& f = frames_[it->second];
@@ -130,17 +167,31 @@ Status BufferPool::FlushPage(PageId pid) {
 }
 
 Status BufferPool::FlushAll() {
-  for (Frame& f : frames_) {
-    if (f.pins == 0 && f.dirty && table_.count(f.pid)) {
-      FLASHDB_RETURN_IF_ERROR(store_->WriteBack(f.pid, f.data));
-      stats_.dirty_writebacks++;
-      f.dirty = false;
+  ConfinementScope confined(this);
+  // Collect every dirty resident frame (frame-index order, so the batch is
+  // deterministic), then hand the store one WriteBatch -- over a
+  // ShardedStore this partitions per shard instead of ping-ponging chips.
+  std::vector<PageWrite> writes;
+  std::vector<uint32_t> dirty_idx;
+  for (uint32_t i = 0; i < num_frames_; ++i) {
+    Frame& f = frames_[i];
+    if (!f.dirty || table_.count(f.pid) == 0) continue;
+    if (f.pins != 0) {
+      return Status::Busy("dirty frame pinned during FlushAll");
     }
+    writes.push_back(PageWrite{f.pid, ConstBytes(f.data.data(), data_size_)});
+    dirty_idx.push_back(i);
+  }
+  if (!writes.empty()) {
+    FLASHDB_RETURN_IF_ERROR(store_->WriteBatch(writes));
+    stats_.dirty_writebacks += writes.size();
+    for (uint32_t i : dirty_idx) frames_[i].dirty = false;
   }
   return store_->Flush();
 }
 
 Status BufferPool::Reset() {
+  ConfinementScope confined(this);
   for (Frame& f : frames_) {
     if (f.pins != 0) return Status::Busy("frame pinned during Reset");
   }

@@ -5,15 +5,18 @@
 // mutate it, and then reports the minimal changed byte range to the store via
 // OnUpdate -- this is the "storage management module" hook that tightly-
 // coupled methods (IPL) require, and that loosely-coupled methods ignore.
-// Dirty pages are reflected into flash with WriteBack when evicted or
-// flushed, exactly like a disk-based DBMS swapping pages out of its buffer.
+// Dirty pages are reflected into flash with WriteBack when evicted, and in
+// one WriteBatch when flushed -- over a ShardedStore the batch is partitioned
+// per shard, exactly like a disk-based DBMS swapping pages out of its buffer.
 
 #ifndef FLASHDB_STORAGE_BUFFER_POOL_H_
 #define FLASHDB_STORAGE_BUFFER_POOL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <list>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -35,7 +38,14 @@ struct BufferPoolStats {
   }
 };
 
-/// See file comment. Single-threaded.
+/// See file comment.
+///
+/// Thread-confined, like FlashDevice one layer down: any single thread may
+/// drive the pool (ownership hands off whenever the pool is quiescent), but
+/// two threads inside it at once abort the process. Same-thread reentrancy
+/// (B-tree splits nest WithPage; scans nest reads) is fine. In the sharded
+/// OLTP layer each shard's pool is driven only by that shard's
+/// ShardExecutor worker, which satisfies this by construction.
 class BufferPool {
  public:
   BufferPool(PageStore* store, uint32_t num_frames);
@@ -48,7 +58,10 @@ class BufferPool {
   /// frame is marked dirty.
   Status WithPage(PageId pid, const std::function<Status(MutBytes)>& fn);
 
-  /// Writes back every dirty frame and flushes the store (write-through).
+  /// Writes back every dirty frame in one store WriteBatch (partitioned per
+  /// shard over a ShardedStore) and flushes the store. Returns Busy -- with
+  /// nothing written -- if any dirty frame is still pinned: silently keeping
+  /// a pinned page out of the batch would tear the write-through contract.
   Status FlushAll();
 
   /// Writes back `pid` if dirty (stays cached).
@@ -76,6 +89,22 @@ class BufferPool {
     bool in_lru = false;
   };
 
+  /// RAII confinement guard taken by every public entry point: first entry
+  /// claims the pool for the calling thread, nested entries on that thread
+  /// just deepen, and the claim releases when the outermost entry exits. A
+  /// second thread entering while claimed aborts (same contract and failure
+  /// mode as FlashDevice's per-chip guard).
+  class ConfinementScope {
+   public:
+    explicit ConfinementScope(BufferPool* pool);
+    ~ConfinementScope();
+    ConfinementScope(const ConfinementScope&) = delete;
+    ConfinementScope& operator=(const ConfinementScope&) = delete;
+
+   private:
+    BufferPool* pool_;
+  };
+
   /// Returns the frame index holding pid, faulting it in as needed; pins it.
   Result<uint32_t> Pin(PageId pid);
   void Unpin(uint32_t frame_idx);
@@ -90,7 +119,11 @@ class BufferPool {
   std::unordered_map<PageId, uint32_t> table_;  ///< pid -> frame index.
   std::list<uint32_t> lru_;                     ///< Front = least recent.
   BufferPoolStats stats_;
-  ByteBuffer snapshot_;  ///< Scratch for WithPage diffing.
+  /// WithPage diff scratch, one buffer per reentrancy depth: a nested
+  /// WithPage (B-tree split) must not clobber the outer call's snapshot.
+  std::vector<ByteBuffer> snapshots_;
+  std::atomic<std::thread::id> owner_{};  ///< Claiming thread; empty if none.
+  uint32_t depth_ = 0;  ///< Reentrancy depth; touched only by the owner.
 };
 
 }  // namespace flashdb::storage

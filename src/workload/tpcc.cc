@@ -1,6 +1,8 @@
 #include "workload/tpcc.h"
 
 #include <algorithm>
+#include <cassert>
+#include <numeric>
 #include <set>
 
 #include "common/coding.h"
@@ -67,17 +69,21 @@ struct Layout {
   }
 };
 
-Layout ComputeLayout(const TpccScale& s, uint32_t page_size) {
-  const uint64_t wd = static_cast<uint64_t>(s.warehouses) *
+/// Table layout for an instance hosting `hosted` warehouses. The ITEM table
+/// stays full size (replicated read-only); the transaction_headroom is NOT
+/// scaled down -- under skewed routing one shard can receive nearly every
+/// transaction, so each instance keeps the full growth budget.
+Layout ComputeLayout(const TpccScale& s, uint32_t page_size, uint32_t hosted) {
+  const uint64_t wd = static_cast<uint64_t>(hosted) *
                       s.districts_per_warehouse;
   const uint64_t customers = wd * s.customers_per_district;
   const uint64_t init_orders = wd * s.init_orders_per_district;
   const uint64_t orders = init_orders + s.transaction_headroom;
   const uint64_t order_lines = orders * 15;
-  const uint64_t stock = static_cast<uint64_t>(s.warehouses) * s.items;
+  const uint64_t stock = static_cast<uint64_t>(hosted) * s.items;
   Layout l{};
-  l.warehouse_h = HeapPagesFor(s.warehouses, kWarehouseRow, page_size);
-  l.warehouse_i = IndexPagesFor(s.warehouses, page_size);
+  l.warehouse_h = HeapPagesFor(hosted, kWarehouseRow, page_size);
+  l.warehouse_i = IndexPagesFor(hosted, page_size);
   l.district_h = HeapPagesFor(wd, kDistrictRow, page_size);
   l.district_i = IndexPagesFor(wd, page_size);
   l.customer_h = HeapPagesFor(customers, kCustomerRow, page_size);
@@ -113,20 +119,65 @@ ByteBuffer MakeRow(uint32_t size, Random* rng,
   rng->Fill(MutBytes(row.data() + off, size - off));
   return row;
 }
+
+std::vector<uint32_t> FullWarehouseRange(uint32_t warehouses) {
+  std::vector<uint32_t> ids(warehouses);
+  std::iota(ids.begin(), ids.end(), 1u);
+  return ids;
+}
 }  // namespace
+
+const char* TpccTxnTypeName(TpccTxnType t) {
+  switch (t) {
+    case TpccTxnType::kNewOrder: return "new_order";
+    case TpccTxnType::kPayment: return "payment";
+    case TpccTxnType::kOrderStatus: return "order_status";
+    case TpccTxnType::kDelivery: return "delivery";
+    case TpccTxnType::kStockLevel: return "stock_level";
+  }
+  return "?";
+}
 
 TpccWorkload::TpccWorkload(storage::BufferPool* pool, const TpccScale& scale,
                            uint64_t seed)
-    : pool_(pool), scale_(scale), rng_(seed) {
-  const uint64_t wd =
-      static_cast<uint64_t>(scale_.warehouses) * scale_.districts_per_warehouse;
+    : TpccWorkload(pool, scale, FullWarehouseRange(scale.warehouses), seed) {}
+
+TpccWorkload::TpccWorkload(storage::BufferPool* pool, const TpccScale& scale,
+                           std::vector<uint32_t> warehouse_ids, uint64_t seed)
+    : pool_(pool),
+      scale_(scale),
+      warehouse_ids_(std::move(warehouse_ids)),
+      rng_(seed) {
+  assert(!warehouse_ids_.empty());
+  w_slot_.assign(scale_.warehouses + 1, 0);
+  for (uint32_t i = 0; i < warehouse_ids_.size(); ++i) {
+    assert(warehouse_ids_[i] >= 1 && warehouse_ids_[i] <= scale_.warehouses);
+    w_slot_[warehouse_ids_[i]] = i;
+  }
+  const uint64_t wd = static_cast<uint64_t>(warehouse_ids_.size()) *
+                      scale_.districts_per_warehouse;
   next_o_id_.assign(wd, scale_.init_orders_per_district + 1);
   next_delivery_o_id_.assign(wd, scale_.init_orders_per_district * 2 / 3 + 1);
 }
 
 uint32_t TpccWorkload::RequiredPages(const TpccScale& scale,
                                      uint32_t page_size) {
-  return ComputeLayout(scale, page_size).total();
+  return ComputeLayout(scale, page_size, scale.warehouses).total();
+}
+
+uint32_t TpccWorkload::RequiredPagesHosted(const TpccScale& scale,
+                                           uint32_t page_size,
+                                           uint32_t hosted_warehouses) {
+  return ComputeLayout(scale, page_size, hosted_warehouses).total();
+}
+
+TpccTxnType TpccWorkload::PickTxnType(Random* rng) {
+  const uint32_t pick = static_cast<uint32_t>(rng->Uniform(100));
+  if (pick < 45) return TpccTxnType::kNewOrder;
+  if (pick < 88) return TpccTxnType::kPayment;
+  if (pick < 92) return TpccTxnType::kOrderStatus;
+  if (pick < 96) return TpccTxnType::kDelivery;
+  return TpccTxnType::kStockLevel;
 }
 
 TpccWorkload::Table TpccWorkload::MakeTable(uint32_t heap_pages,
@@ -162,7 +213,8 @@ Status TpccWorkload::UpdateRow(Table& t, uint64_t key, ByteBuffer* row,
 
 Status TpccWorkload::Load() {
   const uint32_t page_size = pool_->store()->device()->geometry().data_size;
-  const Layout l = ComputeLayout(scale_, page_size);
+  const Layout l = ComputeLayout(
+      scale_, page_size, static_cast<uint32_t>(warehouse_ids_.size()));
   next_page_ = 0;
   warehouse_ = MakeTable(l.warehouse_h, l.warehouse_i);
   district_ = MakeTable(l.district_h, l.district_i);
@@ -181,7 +233,7 @@ Status TpccWorkload::Load() {
   }
 
   // WAREHOUSE / DISTRICT / CUSTOMER.
-  for (uint32_t w = 1; w <= scale_.warehouses; ++w) {
+  for (uint32_t w : warehouse_ids_) {
     // w_ytd at offset 0.
     FLASHDB_RETURN_IF_ERROR(InsertRow(
         warehouse_, WKey(w), MakeRow(kWarehouseRow, &rng_, {300000ULL})));
@@ -199,13 +251,14 @@ Status TpccWorkload::Load() {
       }
     }
   }
-  // ITEM / STOCK.
+  // ITEM (full, read-only after load: replicated into every instance) /
+  // STOCK (hosted warehouses only).
   for (uint32_t i = 1; i <= scale_.items; ++i) {
     // i_price @0.
     FLASHDB_RETURN_IF_ERROR(InsertRow(
         item_, i, MakeRow(kItemRow, &rng_, {rng_.Range(100, 10000)})));
   }
-  for (uint32_t w = 1; w <= scale_.warehouses; ++w) {
+  for (uint32_t w : warehouse_ids_) {
     for (uint32_t i = 1; i <= scale_.items; ++i) {
       // s_quantity @0 (u32), s_ytd @4 (u32), s_order_cnt @8 (u32).
       FLASHDB_RETURN_IF_ERROR(
@@ -216,7 +269,7 @@ Status TpccWorkload::Load() {
     }
   }
   // Initial ORDER / ORDER-LINE / NEW-ORDER rows.
-  for (uint32_t w = 1; w <= scale_.warehouses; ++w) {
+  for (uint32_t w : warehouse_ids_) {
     for (uint32_t d = 1; d <= scale_.districts_per_warehouse; ++d) {
       for (uint32_t o = 1; o <= scale_.init_orders_per_district; ++o) {
         const uint32_t c =
@@ -250,6 +303,11 @@ Status TpccWorkload::Load() {
   return pool_->FlushAll();
 }
 
+uint32_t TpccWorkload::PickWarehouse() {
+  return warehouse_ids_[static_cast<size_t>(
+      rng_.Uniform(warehouse_ids_.size()))];
+}
+
 uint32_t TpccWorkload::PickCustomer() {
   // NURand(1023, 1, C) per spec 2.1.6 with C-run constant 123.
   const uint32_t c = scale_.customers_per_district;
@@ -265,13 +323,13 @@ uint32_t TpccWorkload::PickItem() {
   return ((a | b) + 987) % n + 1;
 }
 
-Status TpccWorkload::NewOrder() {
-  const uint32_t w = 1 + static_cast<uint32_t>(rng_.Uniform(scale_.warehouses));
+Status TpccWorkload::NewOrder() { return NewOrderAt(PickWarehouse()); }
+
+Status TpccWorkload::NewOrderAt(uint32_t w) {
   const uint32_t d =
       1 + static_cast<uint32_t>(rng_.Uniform(scale_.districts_per_warehouse));
   const uint32_t c = PickCustomer();
-  const uint32_t wd_idx =
-      (w - 1) * scale_.districts_per_warehouse + (d - 1);
+  const uint32_t wd_idx = WdIndex(w, d);
   ByteBuffer row;
   // Warehouse tax (read).
   FLASHDB_RETURN_IF_ERROR(GetRow(warehouse_, WKey(w), &row));
@@ -311,8 +369,9 @@ Status TpccWorkload::NewOrder() {
   return Status::OK();
 }
 
-Status TpccWorkload::Payment() {
-  const uint32_t w = 1 + static_cast<uint32_t>(rng_.Uniform(scale_.warehouses));
+Status TpccWorkload::Payment() { return PaymentAt(PickWarehouse()); }
+
+Status TpccWorkload::PaymentAt(uint32_t w) {
   const uint32_t d =
       1 + static_cast<uint32_t>(rng_.Uniform(scale_.districts_per_warehouse));
   const uint32_t c = PickCustomer();
@@ -340,12 +399,13 @@ Status TpccWorkload::Payment() {
   return Status::OK();
 }
 
-Status TpccWorkload::OrderStatus() {
-  const uint32_t w = 1 + static_cast<uint32_t>(rng_.Uniform(scale_.warehouses));
+Status TpccWorkload::OrderStatus() { return OrderStatusAt(PickWarehouse()); }
+
+Status TpccWorkload::OrderStatusAt(uint32_t w) {
   const uint32_t d =
       1 + static_cast<uint32_t>(rng_.Uniform(scale_.districts_per_warehouse));
   const uint32_t c = PickCustomer();
-  const uint32_t wd_idx = (w - 1) * scale_.districts_per_warehouse + (d - 1);
+  const uint32_t wd_idx = WdIndex(w, d);
   ByteBuffer row;
   FLASHDB_RETURN_IF_ERROR(GetRow(customer_, CKey(w, d, c), &row));
   const uint32_t next = next_o_id_[wd_idx];
@@ -367,11 +427,12 @@ Status TpccWorkload::OrderStatus() {
   return Status::OK();
 }
 
-Status TpccWorkload::Delivery() {
-  const uint32_t w = 1 + static_cast<uint32_t>(rng_.Uniform(scale_.warehouses));
+Status TpccWorkload::Delivery() { return DeliveryAt(PickWarehouse()); }
+
+Status TpccWorkload::DeliveryAt(uint32_t w) {
   ByteBuffer row;
   for (uint32_t d = 1; d <= scale_.districts_per_warehouse; ++d) {
-    const uint32_t wd_idx = (w - 1) * scale_.districts_per_warehouse + (d - 1);
+    const uint32_t wd_idx = WdIndex(w, d);
     const uint32_t o = next_delivery_o_id_[wd_idx];
     if (o >= next_o_id_[wd_idx]) continue;  // nothing undelivered
     // Pop the NEW-ORDER row.
@@ -410,11 +471,12 @@ Status TpccWorkload::Delivery() {
   return Status::OK();
 }
 
-Status TpccWorkload::StockLevel() {
-  const uint32_t w = 1 + static_cast<uint32_t>(rng_.Uniform(scale_.warehouses));
+Status TpccWorkload::StockLevel() { return StockLevelAt(PickWarehouse()); }
+
+Status TpccWorkload::StockLevelAt(uint32_t w) {
   const uint32_t d =
       1 + static_cast<uint32_t>(rng_.Uniform(scale_.districts_per_warehouse));
-  const uint32_t wd_idx = (w - 1) * scale_.districts_per_warehouse + (d - 1);
+  const uint32_t wd_idx = WdIndex(w, d);
   const uint32_t threshold = static_cast<uint32_t>(rng_.Range(10, 20));
   ByteBuffer row;
   FLASHDB_RETURN_IF_ERROR(GetRow(district_, DKey(w, d), &row));
@@ -442,13 +504,30 @@ Status TpccWorkload::StockLevel() {
   return Status::OK();
 }
 
+Status TpccWorkload::RunTransactionOfType(TpccTxnType type, uint32_t w) {
+  switch (type) {
+    case TpccTxnType::kNewOrder: return NewOrderAt(w);
+    case TpccTxnType::kPayment: return PaymentAt(w);
+    case TpccTxnType::kOrderStatus: return OrderStatusAt(w);
+    case TpccTxnType::kDelivery: return DeliveryAt(w);
+    case TpccTxnType::kStockLevel: return StockLevelAt(w);
+  }
+  return Status::InvalidArgument("unknown transaction type");
+}
+
 Status TpccWorkload::RunTransaction() {
-  const uint32_t pick = static_cast<uint32_t>(rng_.Uniform(100));
-  if (pick < 45) return NewOrder();
-  if (pick < 88) return Payment();
-  if (pick < 92) return OrderStatus();
-  if (pick < 96) return Delivery();
-  return StockLevel();
+  TpccTxnType type;
+  uint32_t w;
+  return RunTransactionDrawing(&type, &w);
+}
+
+Status TpccWorkload::RunTransactionDrawing(TpccTxnType* type,
+                                           uint32_t* warehouse) {
+  // Draw order matches the historical RunTransaction() exactly: the mix pick
+  // first, then the target warehouse as the transaction's first own draw.
+  *type = PickTxnType(&rng_);
+  *warehouse = PickWarehouse();
+  return RunTransactionOfType(*type, *warehouse);
 }
 
 Status TpccWorkload::Run(uint64_t n) {

@@ -1,4 +1,5 @@
-// TPC-C-style workload for Experiment 7 (Fig. 18).
+// TPC-C-style workload for Experiment 7 (Fig. 18) and the concurrent OLTP
+// serving layer (tpcc_driver.h).
 //
 // A self-contained, scaled implementation of the TPC-C schema (9 tables) and
 // the five transaction types with the standard 45/43/4/4/4 mix, running on
@@ -8,6 +9,12 @@
 // DBMS buffer is varied from 0.1% to 10% of the database size, which depends
 // on the page access pattern, not on SQL processing -- hence this native
 // implementation preserves the relevant behaviour (see DESIGN.md).
+//
+// Every transaction targets exactly one warehouse, and each instance may host
+// a *subset* of the global warehouses: the multi-client driver places each
+// warehouse's tables on the shard that owns it and routes whole transactions
+// to the owning shard's worker. Construction with the full {1..W} list is
+// draw-for-draw RNG-identical to the historical single-instance behaviour.
 //
 // Scale is configurable; defaults are shrunk so benches finish quickly while
 // keeping the spec's relative table sizes and access skew.
@@ -39,6 +46,17 @@ struct TpccScale {
   uint32_t transaction_headroom = 10000;
 };
 
+/// The five transaction types of the standard mix.
+enum class TpccTxnType : uint8_t {
+  kNewOrder = 0,
+  kPayment = 1,
+  kOrderStatus = 2,
+  kDelivery = 3,
+  kStockLevel = 4,
+};
+inline constexpr uint32_t kNumTpccTxnTypes = 5;
+const char* TpccTxnTypeName(TpccTxnType t);
+
 /// Per-transaction-type counters.
 struct TpccStats {
   uint64_t new_order = 0;
@@ -54,32 +72,73 @@ struct TpccStats {
 /// See file comment.
 class TpccWorkload {
  public:
-  /// `pool` must sit on a formatted store large enough for the scale
-  /// (RequiredPages()).
+  /// Hosts every warehouse 1..scale.warehouses. `pool` must sit on a
+  /// formatted store large enough for the scale (RequiredPages()).
   TpccWorkload(storage::BufferPool* pool, const TpccScale& scale,
                uint64_t seed);
+
+  /// Hosts only `warehouse_ids` (global ids in 1..scale.warehouses, given in
+  /// hosting order). The ITEM table is replicated into every instance (it is
+  /// read-only after load); WAREHOUSE/DISTRICT/CUSTOMER/STOCK/ORDER* rows
+  /// exist only for the hosted warehouses. Page budgets shrink with the
+  /// hosted count, so a shard's instance fits a shard-sized store.
+  TpccWorkload(storage::BufferPool* pool, const TpccScale& scale,
+               std::vector<uint32_t> warehouse_ids, uint64_t seed);
 
   /// Logical pages needed for tables + indexes at `scale` and `page_size`.
   static uint32_t RequiredPages(const TpccScale& scale, uint32_t page_size);
 
-  /// Creates tables/indexes and loads initial rows.
+  /// Page budget for an instance hosting `hosted_warehouses` of the scale's
+  /// warehouses (full ITEM table, per-warehouse tables scaled down).
+  static uint32_t RequiredPagesHosted(const TpccScale& scale,
+                                      uint32_t page_size,
+                                      uint32_t hosted_warehouses);
+
+  /// Draws one transaction type from the 45/43/4/4/4 mix (one Uniform(100)
+  /// draw -- the same draw RunTransaction() has always used).
+  static TpccTxnType PickTxnType(Random* rng);
+
+  /// Creates tables/indexes and loads initial rows for the hosted
+  /// warehouses.
   Status Load();
 
-  /// Executes one transaction drawn from the standard mix.
+  /// Executes one transaction drawn from the standard mix against a
+  /// uniformly drawn hosted warehouse.
   Status RunTransaction();
+
+  /// RunTransaction() that also reports what it drew -- the legacy-path
+  /// recorder for the driver's commit-order log. RNG consumption is
+  /// draw-for-draw identical to RunTransaction().
+  Status RunTransactionDrawing(TpccTxnType* type, uint32_t* warehouse);
+
+  /// Executes one transaction of `type` against hosted warehouse `w` (the
+  /// externally-routed form the multi-client driver uses; type and
+  /// warehouse come from the client's RNG, everything inside the
+  /// transaction from this instance's RNG).
+  Status RunTransactionOfType(TpccTxnType type, uint32_t w);
 
   /// Executes `n` transactions.
   Status Run(uint64_t n);
 
   const TpccStats& stats() const { return stats_; }
   const TpccScale& scale() const { return scale_; }
+  const std::vector<uint32_t>& warehouse_ids() const { return warehouse_ids_; }
+  storage::BufferPool* pool() { return pool_; }
 
-  // Individual transaction types (exposed for tests).
+  // Individual transaction types (exposed for tests); each draws its target
+  // warehouse uniformly from the hosted list.
   Status NewOrder();
   Status Payment();
   Status OrderStatus();
   Status Delivery();
   Status StockLevel();
+
+  // Per-warehouse forms (`w` must be hosted).
+  Status NewOrderAt(uint32_t w);
+  Status PaymentAt(uint32_t w);
+  Status OrderStatusAt(uint32_t w);
+  Status DeliveryAt(uint32_t w);
+  Status StockLevelAt(uint32_t w);
 
  private:
   struct Table {
@@ -91,7 +150,7 @@ class TpccWorkload {
   /// the table.
   Table MakeTable(uint32_t heap_pages, uint32_t index_pages);
 
-  // Key builders (packed composite keys).
+  // Key builders (packed composite keys over *global* warehouse ids).
   static uint64_t WKey(uint32_t w) { return w; }
   static uint64_t DKey(uint32_t w, uint32_t d) {
     return (static_cast<uint64_t>(w) << 8) | d;
@@ -113,6 +172,17 @@ class TpccWorkload {
     return (static_cast<uint64_t>(w) << 32) | i;
   }
 
+  /// Uniform draw over the hosted warehouses. For the full {1..W} list this
+  /// consumes the RNG exactly like the historical `1 + Uniform(W)`.
+  uint32_t PickWarehouse();
+
+  /// Slot of hosted warehouse `w` in per-(w,d) bookkeeping arrays; the
+  /// hosting-order position, so the full list reproduces the legacy
+  /// `(w - 1) * districts + (d - 1)` indexing bit-for-bit.
+  uint32_t WdIndex(uint32_t w, uint32_t d) const {
+    return w_slot_[w] * scale_.districts_per_warehouse + (d - 1);
+  }
+
   // NURand-style skewed pick (spec 2.1.6 simplified).
   uint32_t PickCustomer();
   uint32_t PickItem();
@@ -124,6 +194,11 @@ class TpccWorkload {
 
   storage::BufferPool* pool_;
   TpccScale scale_;
+  /// Hosted warehouses, in hosting order (the full 1..W range by default).
+  std::vector<uint32_t> warehouse_ids_;
+  /// Global warehouse id -> hosting-order slot (index into per-(w,d)
+  /// arrays); sized warehouses + 1.
+  std::vector<uint32_t> w_slot_;
   Random rng_;
   PageId next_page_ = 0;
 
@@ -137,9 +212,9 @@ class TpccWorkload {
   Table item_;
   Table stock_;
 
-  /// Next order id per (w,d); mirrors the district row's d_next_o_id.
+  /// Next order id per hosted (w,d); mirrors the district row's d_next_o_id.
   std::vector<uint32_t> next_o_id_;
-  /// Oldest undelivered order per (w,d).
+  /// Oldest undelivered order per hosted (w,d).
   std::vector<uint32_t> next_delivery_o_id_;
 
   TpccStats stats_;

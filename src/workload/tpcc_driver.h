@@ -1,0 +1,219 @@
+// Concurrent TPC-C serving over a ShardedStore: the heavy-traffic OLTP layer.
+//
+// Warehouse partitioning. TPC-C is built out of single-warehouse
+// transactions, so the database shards naturally by warehouse: shard `s`
+// hosts warehouses {w : (w-1) % S == s}, each shard runs its own BufferPool
+// over its own chip (ShardedStore::shard(s)) and its own TpccWorkload
+// instance holding only the hosted warehouses' tables (ITEM replicated,
+// read-only). A transaction therefore touches exactly one shard, and the
+// driver streams *whole transactions* to the owning shard's ShardExecutor
+// worker with bounded per-shard credits -- the same continuous-submission
+// pattern UpdateDriver::RunPipelined uses one layer down, lifted from
+// page-op windows to transactions.
+//
+// Traffic model. N logical clients issue transactions round-robin (txn i
+// belongs to client i % N). Each client has a home warehouse
+// ((client % W) + 1) and its own RNG stream; per transaction the client
+// draws a route -- hot_warehouse_pct% to warehouse 1 (the deliberate
+// hotspot, the hot_shard_pct idea one layer up), remote_pct% to a uniform
+// warehouse, the rest to home -- and then the transaction type from the
+// standard mix. Everything *inside* the transaction draws from the owning
+// shard's workload RNG, so per-shard execution is a pure function of the
+// per-shard transaction sequence.
+//
+// Determinism contract (the correctness spine). Serve() records the
+// *commit order*: the completion callback of each transaction, running on
+// its shard's worker, appends to a mutex-guarded commit log. Per shard,
+// tasks and their callbacks run in submission order, so every shard's
+// subsequence of the log equals its submission sequence -- and the
+// submission sequence is fixed by the client RNG streams alone. Replaying
+// the log single-threaded (Replay()) therefore re-executes each shard's
+// exact sequence and must reproduce bit-identical flash state, virtual
+// clocks, latency histograms, and worst-op samples, no matter how the
+// concurrent run interleaved in wall time. tests/tpcc_driver_test.cc holds
+// this differentially; bench/exp16_oltp gates it on every row.
+
+#ifndef FLASHDB_WORKLOAD_TPCC_DRIVER_H_
+#define FLASHDB_WORKLOAD_TPCC_DRIVER_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "ftl/shard_executor.h"
+#include "ftl/sharded_store.h"
+#include "storage/buffer_pool.h"
+#include "workload/tpcc.h"
+#include "workload/update_driver.h"
+
+namespace flashdb::workload {
+
+/// Serving configuration.
+struct TpccDriverOptions {
+  TpccScale scale;
+  /// Logical clients; transaction i is issued by client i % num_clients.
+  uint32_t num_clients = 4;
+  uint64_t seed = 42;
+  /// BufferPool frames per shard.
+  uint32_t frames_per_shard = 128;
+  /// Percentage of transactions routed to warehouse 1 (the hotspot).
+  double hot_warehouse_pct = 5.0;
+  /// Percentage routed to a uniformly random warehouse (cross-warehouse
+  /// traffic); the remainder goes to the client's home warehouse.
+  double remote_pct = 10.0;
+  /// Transactions in flight per shard before the producer parks.
+  uint32_t max_inflight_per_shard = 4;
+  /// FlushAll the shard's pool after every transaction (write-through
+  /// serving: each commit is one partitioned WriteBatch on the chip). When
+  /// off, dirty pages reach flash via eviction and explicit FlushAll().
+  bool flush_every_txn = true;
+  /// exp7-compatibility mode (requires 1 shard, 1 client): transactions are
+  /// drawn by the shard workload's own RunTransactionDrawing, consuming the
+  /// single legacy RNG stream draw-for-draw like TpccWorkload::Run. The
+  /// commit log still records what was drawn, so Replay() works unchanged.
+  bool legacy_single_stream = false;
+};
+
+/// One committed transaction, in commit order.
+struct TpccCommit {
+  uint32_t client = 0;
+  uint32_t warehouse = 0;
+  TpccTxnType type = TpccTxnType::kNewOrder;
+};
+using TpccCommitLog = std::vector<TpccCommit>;
+
+/// Per-transaction-type serving metrics. A transaction's latency is the
+/// advance of its shard's virtual clock across the whole transaction
+/// (including its flush); the worst-op sample carries the same GC/meta
+/// attribution as the page-op layer, with `pid` holding the warehouse id.
+struct TpccTypeStats {
+  uint64_t count = 0;
+  LatencyHistogram latency;
+  WorstOpSample worst_op;
+};
+
+/// Virtual-time serving metrics of one Serve()/Replay() call.
+struct TpccRunStats {
+  uint64_t transactions = 0;
+  std::array<TpccTypeStats, kNumTpccTxnTypes> by_type;
+  /// All types merged.
+  LatencyHistogram latency;
+  WorstOpSample worst_op;
+  /// Max over shards of the run's clock advance: the serving-throughput
+  /// denominator when the chips run in parallel.
+  uint64_t elapsed_vt_us = 0;
+  /// Sum over shards of the clock advance (total device busy time).
+  uint64_t total_work_us = 0;
+  /// Wall-clock time the producer spent parked on per-shard credits
+  /// (concurrent Serve only; wall time, excluded from determinism checks).
+  uint64_t credit_wait_ns = 0;
+};
+
+/// See file comment.
+class TpccDriver {
+ public:
+  /// `store` must be formatted with num_shards() * PagesPerShard(...) pages
+  /// and outlive the driver. Requires num_shards() <= scale.warehouses (an
+  /// empty shard would serve nothing).
+  TpccDriver(ftl::ShardedStore* store, const TpccDriverOptions& opts);
+
+  /// Logical pages each shard's chip needs: the hosted-warehouse page
+  /// budget of the fullest shard (ceil(W/S) warehouses).
+  static uint32_t PagesPerShard(const TpccScale& scale, uint32_t page_size,
+                                uint32_t num_shards);
+
+  uint32_t shard_of_warehouse(uint32_t w) const {
+    return (w - 1) % store_->num_shards();
+  }
+  uint32_t home_warehouse(uint32_t client) const {
+    return client % opts_.scale.warehouses + 1;
+  }
+
+  /// Loads every shard's tables -- on the shards' workers when `executor`
+  /// is non-null (parallel load), inline otherwise; per-shard state is
+  /// bit-identical either way (shard confinement).
+  Status Load(ftl::ShardExecutor* executor);
+
+  /// Serves `num_txns` transactions and appends their commit order to the
+  /// commit log (cleared first). With `executor` non-null, transactions
+  /// stream to the shard workers with bounded credits; null runs them
+  /// inline in submission order. Client RNG streams persist across calls
+  /// (warmup then measure continues the same traffic). Accumulates into
+  /// `*out` (caller zero-initializes); `out` may be null.
+  Status Serve(uint64_t num_txns, ftl::ShardExecutor* executor,
+               TpccRunStats* out);
+
+  /// Re-executes `log` single-threaded in log order against this driver's
+  /// (freshly loaded) shards -- the differential half of the determinism
+  /// contract. Does not consume client RNG streams.
+  Status Replay(const TpccCommitLog& log, TpccRunStats* out);
+
+  /// Flushes every shard's pool in shard order (quiescent workers only).
+  Status FlushAll();
+
+  const TpccCommitLog& commit_log() const { return commit_log_; }
+  TpccWorkload* shard_workload(uint32_t s) {
+    return shards_[s].workload.get();
+  }
+  storage::BufferPool* shard_pool(uint32_t s) { return shards_[s].pool.get(); }
+  ftl::ShardedStore* store() { return store_; }
+
+ private:
+  /// One shard's sub-DBMS plus its worker-confined metric accumulators
+  /// (folded into the caller's TpccRunStats in shard-index order after the
+  /// workers quiesce -- Merge is commutative and Offer order-stable, so the
+  /// fold equals the sequential replay's).
+  struct ShardState {
+    std::unique_ptr<storage::BufferPool> pool;
+    std::unique_ptr<TpccWorkload> workload;
+    std::array<TpccTypeStats, kNumTpccTxnTypes> acc;
+  };
+
+  /// Point-in-time read of one chip's clock + by-category time totals (the
+  /// same bracketing UpdateDriver uses per page op, here per transaction).
+  struct CostSnap {
+    uint64_t clock_us = 0;
+    uint64_t read_us = 0;
+    uint64_t write_us = 0;
+    uint64_t gc_us = 0;
+    uint64_t meta_us = 0;
+  };
+  static CostSnap SnapCost(flash::FlashDevice* dev);
+  static WorstOpSample CostSince(const CostSnap& before,
+                                 flash::FlashDevice* dev, PageId pid);
+
+  /// One client draw: routing + type, from the client's RNG stream.
+  struct Draw {
+    uint32_t client = 0;
+    uint32_t warehouse = 0;
+    TpccTxnType type = TpccTxnType::kNewOrder;
+  };
+  Draw DrawNext(uint64_t txn_index);
+
+  /// Runs one transaction on shard `s` (thread-confined to its worker or to
+  /// the calling thread when inline) and records its metrics into the
+  /// shard's accumulators.
+  Status ExecuteTxn(uint32_t s, TpccTxnType type, uint32_t w);
+
+  Status ServeInline(uint64_t num_txns);
+  Status ServeConcurrent(uint64_t num_txns, ftl::ShardExecutor* executor);
+
+  void ResetAccumulators();
+  /// Folds shard accumulators + clock deltas since `clocks_before` into
+  /// `*out` (no-op when null).
+  void FoldStats(const std::vector<uint64_t>& clocks_before,
+                 TpccRunStats* out);
+
+  ftl::ShardedStore* store_;
+  TpccDriverOptions opts_;
+  std::vector<ShardState> shards_;
+  std::vector<Random> client_rngs_;
+  TpccCommitLog commit_log_;
+  uint64_t credit_wait_ns_ = 0;
+};
+
+}  // namespace flashdb::workload
+
+#endif  // FLASHDB_WORKLOAD_TPCC_DRIVER_H_

@@ -1,0 +1,289 @@
+// Differential tests of the concurrent TPC-C serving layer (TpccDriver).
+//
+// The determinism contract under test: a concurrent N-client run records its
+// commit order, and a single-threaded replay of that order against an
+// identically prepared rig must reproduce bit-identical flash state, virtual
+// clocks, latency histograms, and worst-op samples -- for both a loosely
+// coupled method (OPU) and the paper's differential method (PDL) at 1, 2,
+// and 4 shards. A second gate pins RNG-stream compatibility: the driver's
+// legacy mode over a 1-shard store is draw-for-draw identical to the
+// historical exp7 path (flat store + TpccWorkload::Run).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ftl/shard_executor.h"
+#include "methods/method_factory.h"
+#include "workload/tpcc_driver.h"
+
+namespace flashdb::workload {
+namespace {
+
+using flash::FlashConfig;
+using flash::FlashDevice;
+
+constexpr uint32_t kPageSize = 2048;
+
+TpccScale DriverScale() {
+  TpccScale s;
+  s.warehouses = 4;
+  s.districts_per_warehouse = 4;
+  s.customers_per_district = 40;
+  s.items = 300;
+  s.init_orders_per_district = 12;
+  // Unscaled per shard: under full skew one shard can absorb every txn.
+  s.transaction_headroom = 2000;
+  return s;
+}
+
+/// A sharded serving rig; identical arguments produce identical state.
+struct Rig {
+  std::unique_ptr<ftl::ShardedStore> store;
+  std::unique_ptr<TpccDriver> driver;
+};
+
+Rig MakeRig(const char* method, uint32_t shards, const TpccDriverOptions& opts) {
+  const uint32_t pages_per_shard =
+      TpccDriver::PagesPerShard(opts.scale, kPageSize, shards);
+  const uint32_t blocks_per_shard = (pages_per_shard * 2) / 64 + 8;
+  auto spec = methods::ParseMethodSpec(method);
+  EXPECT_TRUE(spec.ok());
+  Rig rig;
+  rig.store = methods::CreateShardedStore(FlashConfig::Small(blocks_per_shard),
+                                          shards, *spec);
+  EXPECT_TRUE(
+      rig.store->Format(shards * pages_per_shard, nullptr, nullptr).ok());
+  rig.driver = std::make_unique<TpccDriver>(rig.store.get(), opts);
+  return rig;
+}
+
+/// Every logical page, read back through the store (quiescent only). Both
+/// sides of a comparison dump identically, so the reads cannot skew it --
+/// but clocks must be compared *before* dumping.
+std::vector<ByteBuffer> DumpPages(PageStore* store) {
+  std::vector<ByteBuffer> pages(store->num_logical_pages());
+  for (PageId pid = 0; pid < store->num_logical_pages(); ++pid) {
+    pages[pid].resize(kPageSize);
+    EXPECT_TRUE(store->ReadPage(pid, pages[pid]).ok()) << "pid " << pid;
+  }
+  return pages;
+}
+
+void ExpectStatsEqual(const TpccRunStats& a, const TpccRunStats& b) {
+  EXPECT_EQ(a.transactions, b.transactions);
+  EXPECT_EQ(a.elapsed_vt_us, b.elapsed_vt_us);
+  EXPECT_EQ(a.total_work_us, b.total_work_us);
+  EXPECT_TRUE(a.latency == b.latency);
+  EXPECT_TRUE(a.worst_op == b.worst_op);
+  for (uint32_t t = 0; t < kNumTpccTxnTypes; ++t) {
+    EXPECT_EQ(a.by_type[t].count, b.by_type[t].count) << TpccTxnTypeName(
+        static_cast<TpccTxnType>(t));
+    EXPECT_TRUE(a.by_type[t].latency == b.by_type[t].latency)
+        << TpccTxnTypeName(static_cast<TpccTxnType>(t));
+    EXPECT_TRUE(a.by_type[t].worst_op == b.by_type[t].worst_op)
+        << TpccTxnTypeName(static_cast<TpccTxnType>(t));
+  }
+}
+
+struct Case {
+  std::string method;
+  uint32_t shards;
+};
+
+class TpccDriverDifferentialTest : public ::testing::TestWithParam<Case> {};
+
+// The tentpole invariant: concurrent serving == sequential replay of the
+// recorded commit order, bit for bit.
+TEST_P(TpccDriverDifferentialTest, ConcurrentMatchesCommitOrderReplay) {
+  const Case& c = GetParam();
+  TpccDriverOptions opts;
+  opts.scale = DriverScale();
+  opts.num_clients = 4;
+  opts.seed = 42;
+  opts.frames_per_shard = 96;
+  opts.hot_warehouse_pct = 10.0;
+  opts.remote_pct = 20.0;
+
+  Rig live = MakeRig(c.method.c_str(), c.shards, opts);
+  ftl::ShardExecutor executor(c.shards);
+  ASSERT_TRUE(live.driver->Load(&executor).ok());
+  TpccRunStats live_stats;
+  ASSERT_TRUE(live.driver->Serve(300, &executor, &live_stats).ok());
+  ASSERT_EQ(live.driver->commit_log().size(), 300u);
+
+  Rig ref = MakeRig(c.method.c_str(), c.shards, opts);
+  ASSERT_TRUE(ref.driver->Load(nullptr).ok());
+  TpccRunStats ref_stats;
+  ASSERT_TRUE(ref.driver->Replay(live.driver->commit_log(), &ref_stats).ok());
+
+  EXPECT_EQ(live.store->shard_clocks(), ref.store->shard_clocks());
+  ExpectStatsEqual(live_stats, ref_stats);
+  EXPECT_EQ(DumpPages(live.store.get()), DumpPages(ref.store.get()));
+}
+
+// The per-shard commit subsequences of a concurrent run equal the (fully
+// deterministic) submission order -- which an inline Serve on an identical
+// rig reproduces directly. This is the ordering half of the contract,
+// checked without any device-state comparison.
+TEST_P(TpccDriverDifferentialTest, PerShardCommitOrderMatchesSubmission) {
+  const Case& c = GetParam();
+  TpccDriverOptions opts;
+  opts.scale = DriverScale();
+  opts.num_clients = 4;
+  opts.seed = 7;
+  opts.frames_per_shard = 96;
+
+  Rig live = MakeRig(c.method.c_str(), c.shards, opts);
+  ftl::ShardExecutor executor(c.shards);
+  ASSERT_TRUE(live.driver->Load(&executor).ok());
+  ASSERT_TRUE(live.driver->Serve(250, &executor, nullptr).ok());
+  const TpccCommitLog concurrent = live.driver->commit_log();
+
+  Rig inline_rig = MakeRig(c.method.c_str(), c.shards, opts);
+  ASSERT_TRUE(inline_rig.driver->Load(nullptr).ok());
+  ASSERT_TRUE(inline_rig.driver->Serve(250, nullptr, nullptr).ok());
+  const TpccCommitLog submission = inline_rig.driver->commit_log();
+
+  ASSERT_EQ(concurrent.size(), submission.size());
+  for (uint32_t s = 0; s < c.shards; ++s) {
+    std::vector<TpccCommit> a, b;
+    for (const TpccCommit& cm : concurrent) {
+      if (live.driver->shard_of_warehouse(cm.warehouse) == s) a.push_back(cm);
+    }
+    for (const TpccCommit& cm : submission) {
+      if (live.driver->shard_of_warehouse(cm.warehouse) == s) b.push_back(cm);
+    }
+    ASSERT_EQ(a.size(), b.size()) << "shard " << s;
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].client, b[i].client) << "shard " << s << " pos " << i;
+      EXPECT_EQ(a[i].warehouse, b[i].warehouse);
+      EXPECT_EQ(a[i].type, b[i].type);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MethodsAndShards, TpccDriverDifferentialTest,
+    ::testing::Values(Case{"OPU", 1}, Case{"OPU", 2}, Case{"OPU", 4},
+                      Case{"PDL(256B)", 1}, Case{"PDL(256B)", 2},
+                      Case{"PDL(256B)", 4}),
+    [](const ::testing::TestParamInfo<Case>& info) {
+      std::string name = info.param.method + "_s" +
+                         std::to_string(info.param.shards);
+      for (char& ch : name) {
+        if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
+      }
+      return name;
+    });
+
+// RNG-stream compatibility gate: the driver in legacy mode (1 shard, 1
+// client, no per-txn flush) consumes the workload RNG draw-for-draw like the
+// historical exp7 path, so device clock and every logical page must match a
+// flat-store TpccWorkload::Run of the same length.
+TEST(TpccDriverLegacyTest, SingleStreamMatchesExp7Path) {
+  const TpccScale scale = DriverScale();
+  const uint64_t seed = 42;
+  const uint32_t frames = 64;
+  const uint64_t txns = 200;
+
+  // Historical rig: flat chip, one workload, Run + FlushAll.
+  const uint32_t pages = TpccWorkload::RequiredPages(scale, kPageSize);
+  const uint32_t blocks = (pages * 2) / 64 + 8;
+  FlashDevice flat_dev(FlashConfig::Small(blocks));
+  auto spec = methods::ParseMethodSpec("PDL(256B)");
+  ASSERT_TRUE(spec.ok());
+  std::unique_ptr<PageStore> flat_store =
+      methods::CreateStore(&flat_dev, *spec);
+  ASSERT_TRUE(flat_store->Format(pages, nullptr, nullptr).ok());
+  storage::BufferPool flat_pool(flat_store.get(), frames);
+  TpccWorkload flat_tpcc(&flat_pool, scale, seed);
+  ASSERT_TRUE(flat_tpcc.Load().ok());
+  ASSERT_TRUE(flat_tpcc.Run(txns).ok());
+  ASSERT_TRUE(flat_pool.FlushAll().ok());
+
+  // Driver rig: 1-shard ShardedStore in legacy_single_stream mode.
+  TpccDriverOptions opts;
+  opts.scale = scale;
+  opts.num_clients = 1;
+  opts.seed = seed;
+  opts.frames_per_shard = frames;
+  opts.flush_every_txn = false;
+  opts.legacy_single_stream = true;
+  ASSERT_EQ(TpccDriver::PagesPerShard(scale, kPageSize, 1), pages);
+  Rig rig = MakeRig("PDL(256B)", 1, opts);
+  ASSERT_TRUE(rig.driver->Load(nullptr).ok());
+  ASSERT_TRUE(rig.driver->Serve(txns, nullptr, nullptr).ok());
+  ASSERT_TRUE(rig.driver->FlushAll().ok());
+
+  EXPECT_EQ(rig.store->shard_clocks(),
+            std::vector<uint64_t>{flat_dev.clock().now_us()});
+  std::vector<ByteBuffer> flat_pages(pages);
+  for (PageId pid = 0; pid < pages; ++pid) {
+    flat_pages[pid].resize(kPageSize);
+    ASSERT_TRUE(flat_store->ReadPage(pid, flat_pages[pid]).ok());
+  }
+  EXPECT_EQ(DumpPages(rig.store.get()), flat_pages);
+  // The legacy commit log still captured the drawn mix.
+  EXPECT_EQ(rig.driver->commit_log().size(), txns);
+}
+
+// 100% hotspot routing sends every transaction to warehouse 1 on shard 0:
+// the other shards' clocks must not move during Serve.
+TEST(TpccDriverSkewTest, FullHotspotConfinesTrafficToShardZero) {
+  TpccDriverOptions opts;
+  opts.scale = DriverScale();
+  opts.num_clients = 4;
+  opts.seed = 3;
+  opts.frames_per_shard = 96;
+  opts.hot_warehouse_pct = 100.0;
+  opts.remote_pct = 0.0;
+
+  Rig rig = MakeRig("OPU", 4, opts);
+  ASSERT_TRUE(rig.driver->Load(nullptr).ok());
+  const std::vector<uint64_t> before = rig.store->shard_clocks();
+  TpccRunStats stats;
+  ASSERT_TRUE(rig.driver->Serve(120, nullptr, &stats).ok());
+  const std::vector<uint64_t> after = rig.store->shard_clocks();
+  EXPECT_GT(after[0], before[0]);
+  for (uint32_t s = 1; s < 4; ++s) {
+    EXPECT_EQ(after[s], before[s]) << "shard " << s;
+  }
+  for (const TpccCommit& c : rig.driver->commit_log()) {
+    EXPECT_EQ(c.warehouse, 1u);
+  }
+  // Work was serial on one chip: elapsed == total busy time.
+  EXPECT_EQ(stats.elapsed_vt_us, stats.total_work_us);
+}
+
+// Latency recording sanity: every transaction lands one histogram sample,
+// per-type counts sum to the total, and the worst op carries attribution.
+TEST(TpccDriverStatsTest, HistogramsCoverEveryTransaction) {
+  TpccDriverOptions opts;
+  opts.scale = DriverScale();
+  opts.num_clients = 2;
+  opts.seed = 11;
+  opts.frames_per_shard = 96;
+
+  Rig rig = MakeRig("PDL(256B)", 2, opts);
+  ftl::ShardExecutor executor(2);
+  ASSERT_TRUE(rig.driver->Load(&executor).ok());
+  TpccRunStats stats;
+  ASSERT_TRUE(rig.driver->Serve(200, &executor, &stats).ok());
+  EXPECT_EQ(stats.transactions, 200u);
+  EXPECT_EQ(stats.latency.count(), 200u);
+  uint64_t by_type = 0;
+  for (const TpccTypeStats& t : stats.by_type) {
+    by_type += t.count;
+    EXPECT_EQ(t.latency.count(), t.count);
+  }
+  EXPECT_EQ(by_type, 200u);
+  EXPECT_TRUE(stats.worst_op.valid);
+  EXPECT_GT(stats.worst_op.total_us, 0u);
+  EXPECT_GE(stats.latency.p99(), stats.latency.p50());
+}
+
+}  // namespace
+}  // namespace flashdb::workload

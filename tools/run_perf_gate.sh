@@ -54,3 +54,11 @@ mkdir -p "$OUT_DIR"
 # exact same histogram, worst op, and per-chip clocks.
 "$BUILD_DIR/exp15_latency" --blocks=64 --ops=2000 --warmup-max=3000 \
     --shards=4 --batch=8 --epoch=500 --json="$OUT_DIR/exp15_latency.json"
+
+# Concurrent TPC-C serving: transaction-latency percentiles and serving
+# throughput (ktps_vt) are virtual time, deterministic for fixed seed/flags,
+# and gate tightly. The OLTP acceptance bounds ride in CI: >= 3x serving
+# speedup from 1 to 4 shards at 4 clients, and commit-order determinism
+# (concurrent == single-threaded replay of the recorded log) on every row.
+"$BUILD_DIR/exp16_oltp" --warehouses=4 --warmup-tx=200 --tx=600 \
+    --hot=5 --remote=10 --json="$OUT_DIR/exp16_oltp.json"
