@@ -42,6 +42,8 @@
 #include "ftl/shard_executor.h"
 #include "harness/experiment.h"
 #include "harness/table_printer.h"
+#include "obs/metrics_import.h"
+#include "obs/metrics_registry.h"
 
 using namespace flashdb;
 using harness::TablePrinter;
@@ -120,7 +122,8 @@ Result<PipelinePoint> RunPoint(const harness::ExperimentEnv& env,
                                uint32_t depth, size_t queue_capacity,
                                uint32_t reps,
                                const workload::WorkloadParams& params,
-                               uint32_t total_blocks, bool pin, bool check) {
+                               uint32_t total_blocks, bool pin, bool check,
+                               obs::MetricsRegistry* metrics) {
   PipelinePoint point;
   std::unique_ptr<ftl::ShardedStore> last_store;
   workload::RunStats last_stats;
@@ -169,6 +172,13 @@ Result<PipelinePoint> RunPoint(const harness::ExperimentEnv& env,
     point.p50_us = stats.latency.p50();
     point.p99_us = stats.latency.p99();
     point.p999_us = stats.latency.p999();
+    // Uniform metrics object: run breakdown + the executor's per-worker
+    // counters and the store's clock skew, read after the workers quiesce.
+    if (metrics != nullptr && rep == reps - 1) {
+      obs::ImportRunStats(metrics, "run", stats);
+      obs::ImportExecutorStats(metrics, "executor", executor);
+      obs::ImportShardedStoreStats(metrics, "store", *run.store);
+    }
     last_store = std::move(run.store);
     last_stats = stats;
   }
@@ -244,6 +254,8 @@ int main(int argc, char** argv) {
                     "lag_ms", "par us/op", "gc us/op", "meta us/op",
                     "wait_ms", "p50 us", "p99 us", "p999 us",
                     "determinism"});
+  obs::MetricsRegistry metrics;
+  uint64_t point_index = 0;
   int failures = 0;
   for (const std::string& name : method_names) {
     auto spec = methods::ParseMethodSpec(name);
@@ -259,7 +271,8 @@ int main(int argc, char** argv) {
     for (uint32_t depth : points) {
       auto point =
           RunPoint(env, *spec, num_shards, batch_size, depth, queue_capacity,
-                   reps, params, total_blocks, pin, check);
+                   reps, params, total_blocks, pin, check, &metrics);
+      metrics.SnapshotEpoch(point_index++);
       if (!point.ok()) {
         std::cerr << name << " depth " << depth << ": "
                   << point.status().ToString() << "\n";
@@ -289,6 +302,7 @@ int main(int argc, char** argv) {
   tbl.Print(std::cout);
   harness::JsonDump json(flags.GetString("json", ""));
   json.Add("exp10_pipeline", tbl);
+  json.AddRaw("metrics", metrics.ToJson());
   if (!json.Finish()) return 1;
   if (failures != 0) {
     std::cerr << "\n" << failures

@@ -46,6 +46,9 @@
 #include "ftl/shard_router.h"
 #include "harness/experiment.h"
 #include "harness/table_printer.h"
+#include "obs/metrics_import.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace_recorder.h"
 
 using namespace flashdb;
 using harness::TablePrinter;
@@ -66,6 +69,10 @@ struct LatencyPoint {
   double wall_ms = 0;
   bool deterministic = true;
   bool checked = false;
+  /// Replay's deterministic event stream byte-identical to the primary's.
+  bool trace_ok = true;
+  uint64_t trace_emitted = 0;
+  uint64_t trace_dropped = 0;
 };
 
 /// A fully prepared rig: flat (one chip) or sharded, at steady state, with
@@ -157,16 +164,32 @@ Result<PreparedRun> Prepare(const harness::ExperimentEnv& env,
   return run;
 }
 
+/// Attaches a recorder's lanes to every chip of the rig plus the driver's
+/// wall lane (one lane per shard: shard confinement makes them
+/// single-writer).
+void AttachTrace(PreparedRun* run, uint32_t shards, obs::TraceRecorder* rec) {
+  if (run->sharded != nullptr) {
+    for (uint32_t i = 0; i < shards; ++i) {
+      run->sharded->shard_device(i)->set_trace(rec->shard(i));
+    }
+  } else {
+    run->flat_dev->set_trace(rec->shard(0));
+  }
+  run->driver->set_wall_trace(rec->wall_lane());
+}
+
 /// Runs one cell in its own mode, then (with `check`) replays the identical
 /// operations through a different mode on an identically prepared rig and
-/// compares chip clocks, the full histogram, and the worst-op sample.
+/// compares chip clocks, the full histogram, the worst-op sample, and the
+/// canonical event trace. With a --trace path, exports the primary run's
+/// timeline as Chrome trace JSON.
 Result<LatencyPoint> RunPoint(const harness::ExperimentEnv& env,
                               const methods::MethodSpec& spec,
                               const Config& cfg, uint32_t batch_size,
                               size_t queue_capacity, uint32_t total_blocks,
                               uint64_t epoch_ops, double hot_pct,
                               uint32_t disturb_limit, double ber,
-                              bool check) {
+                              bool check, uint64_t point_index) {
   // Each rig gets its own injector so retry-attenuation RNG state never
   // leaks between the primary run and the replay.
   flash::BitErrorInjector::Params inj_params;
@@ -183,6 +206,9 @@ Result<LatencyPoint> RunPoint(const harness::ExperimentEnv& env,
       PreparedRun run,
       Prepare(env, spec, cfg, total_blocks, epoch_ops, hot_pct, disturb_limit,
               &primary_injector));
+  // Post-warmup attach: the timeline covers exactly the measured ops.
+  obs::TraceRecorder recorder(cfg.shards);
+  AttachTrace(&run, cfg.shards, &recorder);
   if (cfg.depth == 0) {
     const auto t0 = std::chrono::steady_clock::now();
     FLASHDB_RETURN_IF_ERROR(
@@ -211,11 +237,20 @@ Result<LatencyPoint> RunPoint(const harness::ExperimentEnv& env,
                         .count();
   }
 
+  point.trace_emitted = recorder.total_emitted();
+  point.trace_dropped = recorder.total_dropped();
+  if (!env.trace_path.empty()) {
+    FLASHDB_RETURN_IF_ERROR(recorder.WriteChromeTraceFile(
+        harness::PointTracePath(env.trace_path, point_index)));
+  }
+
   if (check) {
     FLASHDB_ASSIGN_OR_RETURN(
         PreparedRun ref,
         Prepare(env, spec, cfg, total_blocks, epoch_ops, hot_pct,
                 disturb_limit, &replay_injector));
+    obs::TraceRecorder ref_recorder(cfg.shards);
+    AttachTrace(&ref, cfg.shards, &ref_recorder);
     workload::RunStats ref_stats;
     const workload::Schedule ref_schedule =
         ref.driver->MakeSchedule(env.measure_ops);
@@ -233,6 +268,10 @@ Result<LatencyPoint> RunPoint(const harness::ExperimentEnv& env,
     point.deterministic = ref.clocks() == run.clocks() &&
                           ref_stats.latency == point.stats.latency &&
                           ref_stats.worst_op == point.stats.worst_op;
+    // The trace-determinism contract: the two modes' deterministic event
+    // streams must agree byte-for-byte (wall-domain events excluded).
+    point.trace_ok =
+        ref_recorder.CanonicalBytes() == recorder.CanonicalBytes();
   }
   return point;
 }
@@ -281,8 +320,10 @@ int main(int argc, char** argv) {
   TablePrinter tbl({"Method", "mode", "shards", "K", "pin", "extra",
                     "p50 us", "p99 us", "p999 us", "mean us", "max us",
                     "worst us", "w_gc us", "w_meta us", "wall_ms",
-                    "determinism"});
+                    "determinism", "trace"});
+  obs::MetricsRegistry metrics;
   int failures = 0;
+  uint64_t point_index = 0;
   for (const std::string& name : method_names) {
     auto spec = methods::ParseMethodSpec(name);
     if (!spec.ok()) {
@@ -292,14 +333,16 @@ int main(int argc, char** argv) {
     for (const Config& cfg : configs) {
       auto point = RunPoint(env, *spec, cfg, batch_size, queue_capacity,
                             total_blocks, epoch_ops, hot_pct, disturb_limit,
-                            ber, check);
+                            ber, check, point_index);
       if (!point.ok()) {
         std::cerr << name << " " << cfg.mode << " shards=" << cfg.shards
                   << " K=" << cfg.depth << " extra=" << cfg.extra << ": "
                   << point.status().ToString() << "\n";
         return 1;
       }
-      if (point->checked && !point->deterministic) failures++;
+      if (point->checked && (!point->deterministic || !point->trace_ok)) {
+        failures++;
+      }
       const workload::LatencyHistogram& h = point->stats.latency;
       tbl.AddRow({name, cfg.mode, std::to_string(cfg.shards),
                   cfg.depth == 0 ? "-" : std::to_string(cfg.depth),
@@ -312,16 +355,27 @@ int main(int argc, char** argv) {
                   std::to_string(point->stats.worst_op.meta_us),
                   TablePrinter::Num(point->wall_ms, 2),
                   point->checked ? (point->deterministic ? "ok" : "FAIL")
-                                 : "-"});
+                                 : "-",
+                  point->checked ? (point->trace_ok ? "ok" : "FAIL") : "-"});
+      // One epoch per measured row: the registry's time series doubles as a
+      // machine-readable form of the whole sweep.
+      obs::ImportRunStats(&metrics, "run", point->stats);
+      metrics.Set("trace.emitted", static_cast<double>(point->trace_emitted),
+                  obs::MetricsRegistry::Kind::kCounter);
+      metrics.Set("trace.dropped", static_cast<double>(point->trace_dropped),
+                  obs::MetricsRegistry::Kind::kCounter);
+      metrics.SnapshotEpoch(point_index);
+      ++point_index;
     }
   }
   tbl.Print(std::cout);
   harness::JsonDump json(flags.GetString("json", ""));
   json.Add("exp15_latency", tbl);
+  json.AddRaw("metrics", metrics.ToJson());
   if (!json.Finish()) return 1;
   if (failures != 0) {
     std::cerr << "\n" << failures
-              << " configuration(s) broke latency determinism\n";
+              << " configuration(s) broke latency or trace determinism\n";
     return 1;
   }
   return 0;

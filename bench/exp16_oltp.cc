@@ -33,8 +33,12 @@
 
 #include "ftl/shard_executor.h"
 #include "harness/cli.h"
+#include "harness/experiment.h"
 #include "harness/table_printer.h"
 #include "methods/method_factory.h"
+#include "obs/metrics_import.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace_recorder.h"
 #include "workload/tpcc_driver.h"
 
 using namespace flashdb;
@@ -53,6 +57,11 @@ struct OltpPoint {
   double wall_ms = 0;
   bool deterministic = true;
   bool checked = false;
+  /// Replay's deterministic event stream byte-identical to the concurrent
+  /// serve's (transaction spans, flash commands, buffer traffic).
+  bool trace_ok = true;
+  uint64_t trace_emitted = 0;
+  uint64_t trace_dropped = 0;
 };
 
 struct Rig {
@@ -80,15 +89,33 @@ Result<Rig> Prepare(const methods::MethodSpec& spec,
   return rig;
 }
 
+/// Attaches one recorder lane per shard chip plus the producer's wall lane.
+/// Safe while the workers are quiescent (shard confinement makes each lane
+/// single-writer once serving resumes).
+void AttachTrace(Rig* rig, uint32_t shards, obs::TraceRecorder* rec) {
+  for (uint32_t i = 0; i < shards; ++i) {
+    rig->store->shard_device(i)->set_trace(rec->shard(i));
+  }
+  rig->driver->set_wall_trace(rec->wall_lane());
+}
+
 Result<OltpPoint> RunPoint(const methods::MethodSpec& spec,
                            const workload::TpccDriverOptions& opts,
                            const Cell& cell, uint64_t warmup_tx,
-                           uint64_t measure_tx, bool check) {
+                           uint64_t measure_tx, bool check,
+                           const std::string& trace_path,
+                           uint64_t point_index) {
   FLASHDB_ASSIGN_OR_RETURN(Rig rig, Prepare(spec, opts, cell.shards));
   ftl::ShardExecutor executor(cell.shards);
   FLASHDB_RETURN_IF_ERROR(rig.driver->Load(&executor));
   FLASHDB_RETURN_IF_ERROR(rig.driver->Serve(warmup_tx, &executor, nullptr));
   const workload::TpccCommitLog warmup_log = rig.driver->commit_log();
+
+  // Post-warmup attach: the timeline covers the measured transactions only,
+  // and the replay rig mirrors this by attaching after replaying the warmup
+  // log.
+  obs::TraceRecorder recorder(cell.shards);
+  AttachTrace(&rig, cell.shards, &recorder);
 
   OltpPoint point;
   const auto t0 = std::chrono::steady_clock::now();
@@ -102,14 +129,24 @@ Result<OltpPoint> RunPoint(const methods::MethodSpec& spec,
                     static_cast<double>(point.stats.elapsed_vt_us);
   }
 
+  point.trace_emitted = recorder.total_emitted();
+  point.trace_dropped = recorder.total_dropped();
+  if (!trace_path.empty()) {
+    FLASHDB_RETURN_IF_ERROR(recorder.WriteChromeTraceFile(
+        harness::PointTracePath(trace_path, point_index)));
+  }
+
   if (check) {
     // The commit-order determinism contract: single-threaded replay of the
     // recorded log (warmup first, then the measured span) on a fresh,
     // identically prepared rig must reproduce the concurrent run
-    // bit-for-bit -- per-chip clocks, full histogram, worst-op sample.
+    // bit-for-bit -- per-chip clocks, full histogram, worst-op sample, and
+    // the canonical event trace.
     FLASHDB_ASSIGN_OR_RETURN(Rig ref, Prepare(spec, opts, cell.shards));
     FLASHDB_RETURN_IF_ERROR(ref.driver->Load(nullptr));
     FLASHDB_RETURN_IF_ERROR(ref.driver->Replay(warmup_log, nullptr));
+    obs::TraceRecorder ref_recorder(cell.shards);
+    AttachTrace(&ref, cell.shards, &ref_recorder);
     workload::TpccRunStats ref_stats;
     FLASHDB_RETURN_IF_ERROR(
         ref.driver->Replay(rig.driver->commit_log(), &ref_stats));
@@ -119,6 +156,8 @@ Result<OltpPoint> RunPoint(const methods::MethodSpec& spec,
         ref_stats.transactions == point.stats.transactions &&
         ref_stats.latency == point.stats.latency &&
         ref_stats.worst_op == point.stats.worst_op;
+    point.trace_ok =
+        ref_recorder.CanonicalBytes() == recorder.CanonicalBytes();
   }
   return point;
 }
@@ -162,8 +201,11 @@ int main(int argc, char** argv) {
   const std::vector<std::string> method_names = {"OPU", "PDL(256B)"};
   TablePrinter tbl({"Method", "clients", "shards", "txns", "p50 us", "p99 us",
                     "p999 us", "worst us", "w_gc us", "w_meta us", "ktps_vt",
-                    "speedup_vt", "wall_ms", "determinism"});
+                    "speedup_vt", "wall_ms", "determinism", "trace"});
+  obs::MetricsRegistry metrics;
+  const std::string trace_path = flags.GetString("trace", "");
   int failures = 0;
+  uint64_t point_index = 0;
   for (const std::string& name : method_names) {
     auto spec = methods::ParseMethodSpec(name);
     if (!spec.ok()) {
@@ -174,15 +216,25 @@ int main(int argc, char** argv) {
     for (const Cell& cell : cells) {
       workload::TpccDriverOptions cell_opts = opts;
       cell_opts.num_clients = cell.clients;
-      auto point =
-          RunPoint(*spec, cell_opts, cell, warmup_tx, measure_tx, check);
+      auto point = RunPoint(*spec, cell_opts, cell, warmup_tx, measure_tx,
+                            check, trace_path, point_index);
       if (!point.ok()) {
         std::cerr << name << " clients=" << cell.clients
                   << " shards=" << cell.shards << ": "
                   << point.status().ToString() << "\n";
         return 1;
       }
-      if (point->checked && !point->deterministic) failures++;
+      if (point->checked && (!point->deterministic || !point->trace_ok)) {
+        failures++;
+      }
+      // One registry epoch per measured cell (series across the sweep).
+      obs::ImportTpccStats(&metrics, "tpcc", point->stats);
+      metrics.Set("trace.emitted", static_cast<double>(point->trace_emitted),
+                  obs::MetricsRegistry::Kind::kCounter);
+      metrics.Set("trace.dropped", static_cast<double>(point->trace_dropped),
+                  obs::MetricsRegistry::Kind::kCounter);
+      metrics.SnapshotEpoch(point_index);
+      ++point_index;
       points.emplace_back(cell, std::move(*point));
     }
     // Scaling anchor: the single-shard cell at the standard client count.
@@ -203,16 +255,18 @@ int main(int argc, char** argv) {
                   TablePrinter::Num(pt.ktps_vt, 2),
                   anchor > 0 ? TablePrinter::Num(pt.ktps_vt / anchor, 2) : "-",
                   TablePrinter::Num(pt.wall_ms, 2),
-                  pt.checked ? (pt.deterministic ? "ok" : "FAIL") : "-"});
+                  pt.checked ? (pt.deterministic ? "ok" : "FAIL") : "-",
+                  pt.checked ? (pt.trace_ok ? "ok" : "FAIL") : "-"});
     }
   }
   tbl.Print(std::cout);
   harness::JsonDump json(flags.GetString("json", ""));
   json.Add("exp16_oltp", tbl);
+  json.AddRaw("metrics", metrics.ToJson());
   if (!json.Finish()) return 1;
   if (failures != 0) {
     std::cerr << "\n" << failures
-              << " cell(s) broke commit-order determinism\n";
+              << " cell(s) broke commit-order or trace determinism\n";
     return 1;
   }
   return 0;

@@ -33,6 +33,8 @@
 #include "ftl/shard_executor.h"
 #include "harness/experiment.h"
 #include "harness/table_printer.h"
+#include "obs/metrics_import.h"
+#include "obs/metrics_registry.h"
 
 using namespace flashdb;
 using harness::TablePrinter;
@@ -104,7 +106,8 @@ Result<ParallelPoint> RunParallelPoint(const harness::ExperimentEnv& env,
                                        uint32_t batch_size,
                                        const workload::WorkloadParams& params,
                                        uint32_t total_blocks, bool pin,
-                                       bool check) {
+                                       bool check,
+                                       obs::MetricsRegistry* metrics) {
   FLASHDB_ASSIGN_OR_RETURN(
       PreparedRun run, Prepare(env, spec, num_shards, params, total_blocks));
   const uint64_t parallel0 = run.store->parallel_time_us();
@@ -148,6 +151,15 @@ Result<ParallelPoint> RunParallelPoint(const harness::ExperimentEnv& env,
   point.p50_us = stats.latency.p50();
   point.p99_us = stats.latency.p99();
   point.p999_us = stats.latency.p999();
+
+  // The uniform per-bench metrics object: run stats plus the executor's
+  // per-worker submit/complete counters and the store's clock skew --
+  // report-time reads only, the caller snapshots one epoch per point.
+  if (metrics != nullptr) {
+    obs::ImportRunStats(metrics, "run", stats);
+    obs::ImportExecutorStats(metrics, "executor", executor);
+    obs::ImportShardedStoreStats(metrics, "store", *run.store);
+  }
 
   if (check) {
     // Replay the identical schedule sequentially on an identically prepared
@@ -205,6 +217,8 @@ int main(int argc, char** argv) {
                     "speedup", "par us/op", "total us/op", "gc us/op",
                     "meta us/op", "stall us/op", "p50 us", "p99 us",
                     "p999 us", "determinism"});
+  obs::MetricsRegistry metrics;
+  uint64_t point_index = 0;
   int failures = 0;
   for (const std::string& name : method_names) {
     auto spec = methods::ParseMethodSpec(name);
@@ -216,7 +230,8 @@ int main(int argc, char** argv) {
       double base_wall = 0;
       for (uint32_t shards : {1u, 2u, 4u, 8u}) {
         auto point = RunParallelPoint(env, *spec, shards, batch, params,
-                                      total_blocks, pin, check);
+                                      total_blocks, pin, check, &metrics);
+        metrics.SnapshotEpoch(point_index++);
         if (!point.ok()) {
           std::cerr << name << " x" << shards << " b" << batch << ": "
                     << point.status().ToString() << "\n";
@@ -246,6 +261,7 @@ int main(int argc, char** argv) {
   tbl.Print(std::cout);
   harness::JsonDump json(flags.GetString("json", ""));
   json.Add("exp9_parallel", tbl);
+  json.AddRaw("metrics", metrics.ToJson());
   if (!json.Finish()) return 1;
   if (failures != 0) {
     std::cerr << "\n" << failures

@@ -4,7 +4,29 @@
 #include <cstdlib>
 #include <string>
 
+#include "obs/trace_recorder.h"
+
 namespace flashdb::flash {
+
+namespace {
+
+/// Trace category of one array command.
+obs::TraceCat TraceCatOf(OpKind kind, bool cache_chain) {
+  switch (kind) {
+    case OpKind::kRead:
+      return obs::TraceCat::kFlashRead;
+    case OpKind::kProgram:
+      return cache_chain ? obs::TraceCat::kFlashCacheProgram
+                         : obs::TraceCat::kFlashProgram;
+    case OpKind::kProgramSpare:
+      return obs::TraceCat::kFlashProgramSpare;
+    case OpKind::kErase:
+      return obs::TraceCat::kFlashErase;
+  }
+  return obs::TraceCat::kFlashRead;
+}
+
+}  // namespace
 
 FlashDevice::ConfinementScope::ConfinementScope(const FlashDevice* dev)
     : dev_(dev) {
@@ -97,7 +119,7 @@ void FlashDevice::SyncPlanesToClock() {
   clock_seen_us_ = now;
 }
 
-void FlashDevice::OccupyPlane(uint32_t plane, uint64_t us) {
+uint64_t FlashDevice::OccupyPlane(uint32_t plane, uint64_t us) {
   SyncPlanesToClock();
   uint64_t min_ready = plane_ready_us_[0];
   for (uint64_t r : plane_ready_us_) min_ready = r < min_ready ? r : min_ready;
@@ -110,11 +132,20 @@ void FlashDevice::OccupyPlane(uint32_t plane, uint64_t us) {
   pc.stall_us += start - min_ready;
   clock_.AdvanceTo(end);
   clock_seen_us_ = clock_.now_us();
+  return start;
 }
 
-void FlashDevice::Charge(OpKind kind, PhysAddr addr, uint64_t us) {
+void FlashDevice::Charge(OpKind kind, PhysAddr addr, uint64_t us,
+                         bool cache_chain) {
   ChargeCounters(kind, us, 1);
-  OccupyPlane(config_.geometry.plane_of_block(BlockOf(addr)), us);
+  const uint32_t plane = config_.geometry.plane_of_block(BlockOf(addr));
+  const uint64_t start = OccupyPlane(plane, us);
+  if (trace_ != nullptr) {
+    const uint64_t what =
+        kind == OpKind::kErase ? BlockOf(addr) : static_cast<uint64_t>(addr);
+    trace_->Emit(TraceCatOf(kind, cache_chain), start, us, plane, what,
+                 static_cast<uint64_t>(category_));
+  }
 }
 
 Status FlashDevice::ReadPage(PhysAddr addr, MutBytes data, MutBytes spare) {
@@ -304,16 +335,18 @@ Status FlashDevice::ProgramImpl(PhysAddr addr, ConstBytes data,
   // cache_write_us == 0 the charge is identical either way.
   const uint32_t plane = g.plane_of_block(block);
   uint64_t us = config_.timing.write_us;
+  bool cache_chain = false;
   if (kind == OpKind::kProgram && first_program) {
     const PhysAddr prev = plane_last_prog_[plane];
     if (prev != kNullAddr && addr == prev + 1 && BlockOf(prev) == block) {
       us = config_.timing.effective_cache_write_us();
+      cache_chain = true;
     }
     plane_last_prog_[plane] = addr;
   } else {
     plane_last_prog_[plane] = kNullAddr;
   }
-  Charge(kind, addr, us);
+  Charge(kind, addr, us, cache_chain);
 
   if (fault_injector_ != nullptr) {
     fault_injector_->AfterMutation(kind, addr);
@@ -361,7 +394,13 @@ Status FlashDevice::EraseBlock(uint32_t block) {
       // cells keep their pre-erase contents and the block's wear counter
       // does not advance (nothing was erased).
       ChargeCounters(OpKind::kErase, config_.timing.erase_us, 1);
-      OccupyPlane(g.plane_of_block(block), config_.timing.erase_us);
+      const uint32_t plane = g.plane_of_block(block);
+      const uint64_t start = OccupyPlane(plane, config_.timing.erase_us);
+      if (trace_ != nullptr) {
+        trace_->Emit(obs::TraceCat::kFlashErase, start,
+                     config_.timing.erase_us, plane, block,
+                     static_cast<uint64_t>(category_));
+      }
       return Status::IOError("erase failed (grown bad block) at block " +
                              std::to_string(block));
     }
@@ -444,6 +483,11 @@ Status FlashDevice::EraseBlocksMultiPlane(const std::vector<uint32_t>& blocks) {
   }
   clock_.AdvanceTo(end);
   clock_seen_us_ = clock_.now_us();
+  if (trace_ != nullptr) {
+    // One event per command: a0 = plane bitmask, a1 = lead block.
+    trace_->Emit(obs::TraceCat::kFlashEraseMulti, start, us, seen_planes,
+                 blocks[0], static_cast<uint64_t>(category_));
+  }
 
   if (fault_injector_ != nullptr) {
     for (uint32_t b : blocks) {

@@ -35,6 +35,10 @@
 #include "flash/flash_config.h"
 #include "flash/flash_stats.h"
 
+namespace flashdb::obs {
+class TraceShard;
+}  // namespace flashdb::obs
+
 namespace flashdb::flash {
 
 /// Physical page address: a linear page index over the whole chip.
@@ -186,6 +190,14 @@ class FlashDevice {
   /// Installs (or clears, with nullptr) the fault injector. Not owned.
   void set_fault_injector(FaultInjector* fi) { fault_injector_ = fi; }
 
+  /// Installs (or clears, with nullptr) the trace sink for this chip's flash
+  /// command spans. Not owned; must be the owning shard's lane (the device is
+  /// thread-confined, so the single-writer ring contract holds by
+  /// construction). Emission only reads values the operation already
+  /// computed -- attaching a sink never changes clocks, stats, or cells.
+  void set_trace(obs::TraceShard* sink) { trace_ = sink; }
+  obs::TraceShard* trace() const { return trace_; }
+
   /// Zeroes statistics and the virtual clock (flash contents untouched).
   void ResetAccounting();
 
@@ -226,9 +238,14 @@ class FlashDevice {
   void ChargeCounters(OpKind kind, uint64_t us, uint64_t count);
   /// Advances the per-plane virtual-time model: the op starts at the plane's
   /// ready time and the chip clock moves to the latest plane completion.
-  void OccupyPlane(uint32_t plane, uint64_t us);
-  /// Counters + single-plane occupancy for the plane owning `addr`.
-  void Charge(OpKind kind, PhysAddr addr, uint64_t us);
+  /// Returns the op's start time (the plane's prior ready time) -- the span
+  /// timestamp the trace layer records.
+  uint64_t OccupyPlane(uint32_t plane, uint64_t us);
+  /// Counters + single-plane occupancy for the plane owning `addr`, plus the
+  /// trace span when a sink is attached. `cache_chain` marks a program that
+  /// hit the plane's cache-program chain (traced as its own category).
+  void Charge(OpKind kind, PhysAddr addr, uint64_t us,
+              bool cache_chain = false);
   /// Re-floors plane ready times after an external clock Advance()/Reset().
   void SyncPlanesToClock();
   /// Resets the cells, program budgets and frontier of one block.
@@ -265,6 +282,8 @@ class FlashDevice {
   FlashStats stats_;
   OpCategory category_ = OpCategory::kDefault;
   FaultInjector* fault_injector_ = nullptr;
+  /// Trace sink for flash command spans; null = recording off (zero cost).
+  obs::TraceShard* trace_ = nullptr;
   /// True while a device operation is in flight (see ConfinementScope).
   mutable std::atomic<bool> in_operation_{false};
 };

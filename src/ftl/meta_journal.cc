@@ -8,6 +8,7 @@
 #include "common/coding.h"
 #include "common/crc32.h"
 #include "ftl/spare_codec.h"
+#include "obs/trace_recorder.h"
 
 namespace flashdb::ftl {
 
@@ -279,7 +280,12 @@ Status MetaJournal::Append(const Record& rec) {
           "reserve more meta_blocks");
     }
   }
+  const uint64_t start = dev_->clock().now_us();
   FLASHDB_RETURN_IF_ERROR(WriteRecord(rec.epoch, bytes));
+  if (dev_->trace() != nullptr) {
+    dev_->trace()->Emit(obs::TraceCat::kMetaAppend, start,
+                        dev_->clock().now_us() - start, rec.epoch, frames);
+  }
   if (rec.type == Record::Type::kSnapshot) {
     next_epoch_ = rec.epoch + 1;
     last_snapshot_ = std::make_unique<Record>(Stripped(rec));

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "ftl/shard_executor.h"
+#include "obs/trace_recorder.h"
 
 namespace flashdb::ftl {
 
@@ -345,11 +346,18 @@ Status ShardedStore::ScrubShards(ScrubResult* out) {
         shards_[i].device->TakeScrubCandidates();
     if (cands.empty()) continue;
     PageStore* s = shards_[i].store.get();
+    flash::FlashDevice* dev = shards_[i].device;
     StoreCategoryScope cat(s, flash::OpCategory::kScrub);
     for (const flash::PhysAddr addr : cands) {
       ++res.candidates;
       bool relocated = false;
+      const uint64_t start = dev->clock().now_us();
       FLASHDB_RETURN_IF_ERROR(s->ScrubPhysPage(addr, &relocated));
+      if (dev->trace() != nullptr) {
+        dev->trace()->Emit(obs::TraceCat::kScrubRelocate, start,
+                           dev->clock().now_us() - start, addr,
+                           relocated ? 1 : 0);
+      }
       if (relocated) {
         ++res.relocated;
       } else {
@@ -529,6 +537,17 @@ Status ShardedStore::MigrateBuckets(std::span<const ShardRouter::Swap> swaps,
       }
       write_a = write_bucket(shard_a, slot_a, images_b);
       write_b = write_bucket(shard_b, slot_b, images_a);
+    }
+    // The swap is applied on both chips: mark it on both shards' timelines
+    // (instant events, stamped with each chip's post-copy clock; emitted from
+    // the submitting thread while the workers are quiescent).
+    for (const uint32_t sh : {shard_a, shard_b}) {
+      flash::FlashDevice* dev = shards_[sh].device;
+      if (dev->trace() != nullptr && write_a.ok() && write_b.ok()) {
+        dev->trace()->Emit(obs::TraceCat::kBucketMigrate,
+                           dev->clock().now_us(), 0, swap.bucket_a,
+                           swap.bucket_b, m);
+      }
     }
     if (!write_a.ok() || !write_b.ok()) {
       // A half-written swap cannot be rolled back in RAM: one slot set may

@@ -1,8 +1,21 @@
 #include "harness/experiment.h"
 
+#include <cstdio>
+
 #include "ftl/shard_executor.h"
+#include "obs/trace_recorder.h"
 
 namespace flashdb::harness {
+
+std::string PointTracePath(const std::string& base, uint64_t index) {
+  if (index == 0) return base;
+  char suffix[32];
+  std::snprintf(suffix, sizeof(suffix), ".%llu",
+                static_cast<unsigned long long>(index));
+  const size_t dot = base.rfind('.');
+  if (dot == std::string::npos || dot == 0) return base + suffix;
+  return base.substr(0, dot) + suffix + base.substr(dot);
+}
 
 ExperimentEnv ExperimentEnv::FromFlags(const Flags& flags) {
   ExperimentEnv env;
@@ -28,6 +41,7 @@ ExperimentEnv ExperimentEnv::FromFlags(const Flags& flags) {
   env.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
   env.pipeline_depth =
       static_cast<uint32_t>(flags.GetInt("pipeline", 0));
+  env.trace_path = flags.GetString("trace", "");
   return env;
 }
 
@@ -45,6 +59,14 @@ Result<PointResult> RunWorkloadPoint(const ExperimentEnv& env,
                                   : 20ULL * env.num_db_pages();
   FLASHDB_RETURN_IF_ERROR(
       driver.Warmup(env.warmup_erases_per_block, warmup_cap));
+  // Attach tracing after warmup so the timeline covers the measured run
+  // only. Recording never perturbs virtual time (null-sink contract).
+  std::unique_ptr<obs::TraceRecorder> recorder;
+  if (!env.trace_path.empty()) {
+    recorder = std::make_unique<obs::TraceRecorder>(1);
+    dev.set_trace(recorder->shard(0));
+    driver.set_wall_trace(recorder->wall_lane());
+  }
   PointResult result;
   result.method = std::string(store->name());
   if (env.pipeline_depth == 0) {
@@ -59,6 +81,11 @@ Result<PointResult> RunWorkloadPoint(const ExperimentEnv& env,
     FLASHDB_RETURN_IF_ERROR(driver.RunPipelined(
         schedule, /*batch_size=*/1, env.pipeline_depth, &executor,
         &result.stats));
+  }
+  if (recorder != nullptr) {
+    static uint64_t point_index = 0;
+    FLASHDB_RETURN_IF_ERROR(recorder->WriteChromeTraceFile(
+        PointTracePath(env.trace_path, point_index++)));
   }
   return result;
 }

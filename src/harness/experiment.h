@@ -43,6 +43,13 @@ struct ExperimentEnv {
   /// (single-op windows read every page from flash and flush immediately,
   /// so scheduled execution degenerates to exactly the Run() sequence).
   uint32_t pipeline_depth = 0;
+  /// When non-empty (--trace=out.json), every measured point records a
+  /// deterministic event timeline (flash command spans, GC/scrub/meta/
+  /// buffer-pool traffic, op spans) and exports it as Chrome trace-event
+  /// JSON: the first point to `trace_path`, point k to `<stem>.k.<ext>`.
+  /// Recording never changes virtual-time results (null-sink contract,
+  /// pinned by tests/trace_test.cc).
+  std::string trace_path;
 
   uint32_t num_db_pages() const {
     // Two blocks of headroom keep IPL(64KB) feasible at 50% utilization: its
@@ -56,7 +63,7 @@ struct ExperimentEnv {
 
   /// Common bench flags: --blocks, --page-size, --util, --warmup-epb,
   /// --warmup-max, --ops, --seed, --tread, --twrite, --terase, --dies,
-  /// --planes, --pipeline.
+  /// --planes, --pipeline, --trace.
   static ExperimentEnv FromFlags(const Flags& flags);
 };
 
@@ -71,6 +78,11 @@ struct PointResult {
 Result<PointResult> RunWorkloadPoint(const ExperimentEnv& env,
                                      const methods::MethodSpec& spec,
                                      const workload::WorkloadParams& params);
+
+/// Per-point trace file naming under --trace: index 0 keeps `base`, index k
+/// becomes `<stem>.k.<ext>` (benches measure several points per run, each
+/// with its own timeline).
+std::string PointTracePath(const std::string& base, uint64_t index);
 
 }  // namespace flashdb::harness
 

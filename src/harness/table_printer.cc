@@ -86,18 +86,25 @@ void TablePrinter::WriteJson(std::ostream& os) const {
 
 bool DumpTablesJson(
     const std::string& path,
-    const std::vector<std::pair<std::string, const TablePrinter*>>& tables) {
+    const std::vector<std::pair<std::string, const TablePrinter*>>& tables,
+    const std::vector<std::pair<std::string, std::string>>& raw_objects) {
   std::ofstream out(path);
   if (!out) {
     std::cerr << "cannot write --json file: " << path << "\n";
     return false;
   }
   out << "{";
-  for (size_t i = 0; i < tables.size(); ++i) {
-    out << (i ? ",\n" : "\n");
-    EmitJsonString(out, tables[i].first);
+  size_t emitted = 0;
+  for (const auto& [name, table] : tables) {
+    out << (emitted++ ? ",\n" : "\n");
+    EmitJsonString(out, name);
     out << ": ";
-    tables[i].second->WriteJson(out);
+    table->WriteJson(out);
+  }
+  for (const auto& [name, raw] : raw_objects) {
+    out << (emitted++ ? ",\n" : "\n");
+    EmitJsonString(out, name);
+    out << ": " << raw;
   }
   out << "\n}\n";
   return true;
@@ -108,7 +115,7 @@ bool JsonDump::Finish() const {
   std::vector<std::pair<std::string, const TablePrinter*>> refs;
   refs.reserve(tables_.size());
   for (const auto& [name, table] : tables_) refs.emplace_back(name, &table);
-  return DumpTablesJson(path_, refs);
+  return DumpTablesJson(path_, refs, raw_objects_);
 }
 
 }  // namespace flashdb::harness

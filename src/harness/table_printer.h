@@ -36,11 +36,14 @@ class TablePrinter {
 
 /// Writes `tables` to `path` as one JSON object {name: [rows...], ...} --
 /// the machine-readable form behind every bench's --json flag, so perf
-/// trajectories (BENCH_*.json) can be recorded run-over-run. Returns false
+/// trajectories (BENCH_*.json) can be recorded run-over-run. `raw_objects`
+/// are pre-serialized JSON values (e.g. an obs::MetricsRegistry dump)
+/// emitted verbatim after the tables under their names. Returns false
 /// (after printing to stderr) when the file cannot be written.
 bool DumpTablesJson(
     const std::string& path,
-    const std::vector<std::pair<std::string, const TablePrinter*>>& tables);
+    const std::vector<std::pair<std::string, const TablePrinter*>>& tables,
+    const std::vector<std::pair<std::string, std::string>>& raw_objects = {});
 
 /// Accumulates named result tables over a bench run and, when the bench was
 /// invoked with a --json=<path> flag, writes them out via DumpTablesJson.
@@ -54,12 +57,22 @@ class JsonDump {
     if (!path_.empty()) tables_.emplace_back(std::move(name), table);
   }
 
+  /// Attaches a pre-serialized JSON value emitted verbatim under `name`
+  /// after the tables -- how benches dump their obs::MetricsRegistry as one
+  /// uniform "metrics" object.
+  void AddRaw(std::string name, std::string raw_json) {
+    if (!path_.empty()) {
+      raw_objects_.emplace_back(std::move(name), std::move(raw_json));
+    }
+  }
+
   /// Writes the collected tables; returns false on I/O failure.
   bool Finish() const;
 
  private:
   std::string path_;
   std::vector<std::pair<std::string, TablePrinter>> tables_;
+  std::vector<std::pair<std::string, std::string>> raw_objects_;
 };
 
 }  // namespace flashdb::harness

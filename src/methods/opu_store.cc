@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <string>
 
+#include "obs/trace_recorder.h"
+
 namespace flashdb::methods {
 
 using flash::kNullAddr;
@@ -142,6 +144,10 @@ Status OpuStore::RunGcOnce() {
     return Status::NoSpace("garbage collection found no reclaimable block");
   }
   ++gc_runs_;
+  if (dev_->trace() != nullptr) {
+    dev_->trace()->Emit(obs::TraceCat::kGcVictim, dev_->clock().now_us(), 0,
+                        victims[0], victims.size());
+  }
   const uint32_t ppb = dev_->geometry().pages_per_block;
   ByteBuffer data(data_size_);
   ByteBuffer spare(spare_size_);

@@ -1,0 +1,86 @@
+// Structured trace events stamped with virtual time -- the vocabulary of the
+// observability layer (obs::TraceRecorder).
+//
+// Every event carries (ts_us, dur_us, shard, seq, category, a0..a2). The
+// timestamps are *virtual* time read off the owning chip's deterministic
+// clock, so for a fixed schedule the per-shard event sequences are identical
+// across every execution mode -- sequential, batched, parallel, pipelined,
+// and the TPC-C concurrent-vs-replay pair. That turns the trace itself into
+// a correctness oracle: the merged stream (sorted by (ts, shard, seq)) must
+// be byte-identical between a concurrent run and its sequential replay.
+//
+// The one exception is the wall-clock domain: credit-wait events happen on
+// the producer thread, outside virtual time, and do not exist in a
+// sequential replay at all. They are tagged non-deterministic
+// (TraceCatDeterministic() == false), excluded from the canonical byte
+// stream used by the trace-equality gates, and exported on their own track.
+
+#ifndef FLASHDB_OBS_TRACE_EVENT_H_
+#define FLASHDB_OBS_TRACE_EVENT_H_
+
+#include <cstdint>
+
+namespace flashdb::obs {
+
+/// Event taxonomy. Flash command spans come first (emitted by FlashDevice
+/// itself, one per array command including read-retry passes); the rest are
+/// emitted by the FTL / storage / workload layers above.
+enum class TraceCat : uint8_t {
+  kFlashRead = 0,       ///< Page read (each retry pass is its own event).
+  kFlashProgram,        ///< Full-page or partial data program.
+  kFlashProgramSpare,   ///< Spare-area-only program (obsolete marks, OOB).
+  kFlashCacheProgram,   ///< Program that hit the plane's cache-program chain.
+  kFlashErase,          ///< Single-block erase.
+  kFlashEraseMulti,     ///< Multi-plane erase command (one event per command).
+  kGcVictim,            ///< GC victim group picked (instant event).
+  kScrubRelocate,       ///< Scrub sweep examined a flagged page.
+  kBucketMigrate,       ///< Wear-leveling bucket swap touched this shard.
+  kMetaAppend,          ///< MetaJournal record append (span over its frames).
+  kBufMiss,             ///< BufferPool miss: fault-in read (span).
+  kBufEvict,            ///< BufferPool eviction (span covers any write-back).
+  kOpSpan,              ///< One workload page operation (UpdateDriver).
+  kTxnSpan,             ///< One TPC-C transaction (TpccDriver).
+  kCreditWait,          ///< Producer parked on a credit -- WALL clock domain.
+};
+
+inline constexpr int kNumTraceCats = 15;
+
+/// Short stable name, used in exports and by tools/trace_summary.py.
+const char* TraceCatName(TraceCat cat);
+
+/// False only for wall-clock-domain categories (kCreditWait): those are
+/// excluded from the canonical byte stream the determinism gates compare.
+inline constexpr bool TraceCatDeterministic(TraceCat cat) {
+  return cat != TraceCat::kCreditWait;
+}
+
+/// One recorded event. `seq` is the per-shard emission index (assigned by
+/// the owning ring buffer); (shard, seq) is unique, which makes the merge
+/// order (ts_us, shard, seq) a total order. The args a0..a2 are
+/// per-category:
+///   flash spans:     a0 = plane, a1 = addr (or lead block for erases),
+///                    a2 = device OpCategory at emission (GC/scrub/meta/...)
+///   kFlashEraseMulti a0 = plane bitmask, a1 = lead block, a2 = OpCategory
+///   kGcVictim:       a0 = lead victim block, a1 = group size, a2 = 0
+///   kScrubRelocate:  a0 = phys addr, a1 = relocated (0/1), a2 = 0
+///   kBucketMigrate:  a0 = bucket_a, a1 = bucket_b, a2 = pages moved
+///   kMetaAppend:     a0 = record epoch, a1 = frames written, a2 = 0
+///   kBufMiss:        a0 = pid, a1 = 0, a2 = 0
+///   kBufEvict:       a0 = pid, a1 = dirty write-back (0/1), a2 = 0
+///   kOpSpan:         a0 = global pid, a1 = is_update (0/1), a2 = 0
+///   kTxnSpan:        a0 = warehouse, a1 = txn type, a2 = client
+///   kCreditWait:     a0 = shard waited on, a1 = wait ns, a2 = 0
+struct TraceEvent {
+  uint64_t ts_us = 0;   ///< Start (virtual us; wall-relative for kCreditWait).
+  uint64_t dur_us = 0;  ///< Duration (0 = instant event).
+  uint32_t shard = 0;   ///< Owning lane (shard index, or the wall lane).
+  uint64_t seq = 0;     ///< Per-shard emission index.
+  TraceCat cat = TraceCat::kFlashRead;
+  uint64_t a0 = 0;
+  uint64_t a1 = 0;
+  uint64_t a2 = 0;
+};
+
+}  // namespace flashdb::obs
+
+#endif  // FLASHDB_OBS_TRACE_EVENT_H_

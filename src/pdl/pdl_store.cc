@@ -4,6 +4,8 @@
 #include <cassert>
 #include <string>
 
+#include "obs/trace_recorder.h"
+
 namespace flashdb::pdl {
 
 using flash::kNullAddr;
@@ -394,6 +396,10 @@ Status PdlStore::RunGcOnce() {
     return Status::NoSpace("garbage collection found no reclaimable block");
   }
   counters_.gc_runs++;
+  if (dev_->trace() != nullptr) {
+    dev_->trace()->Emit(obs::TraceCat::kGcVictim, dev_->clock().now_us(), 0,
+                        victims[0], victims.size());
+  }
   auto in_victims = [&](uint32_t b) {
     return std::find(victims.begin(), victims.end(), b) != victims.end();
   };

@@ -5,6 +5,9 @@
 #include <cstring>
 #include <string>
 
+#include "flash/flash_device.h"
+#include "obs/trace_recorder.h"
+
 namespace flashdb::storage {
 
 BufferPool::ConfinementScope::ConfinementScope(BufferPool* pool)
@@ -45,10 +48,18 @@ Result<uint32_t> BufferPool::Evict() {
     Frame& f = frames_[*it];
     if (f.pins != 0) continue;
     const uint32_t idx = *it;
+    flash::FlashDevice* dev = store_->device();
+    const bool was_dirty = f.dirty;
+    const uint64_t start = dev->clock().now_us();
     if (f.dirty) {
       FLASHDB_RETURN_IF_ERROR(store_->WriteBack(f.pid, f.data));
       stats_.dirty_writebacks++;
       f.dirty = false;
+    }
+    if (dev->trace() != nullptr) {
+      dev->trace()->Emit(obs::TraceCat::kBufEvict, start,
+                         dev->clock().now_us() - start, f.pid,
+                         was_dirty ? 1 : 0);
     }
     lru_.erase(it);
     f.in_lru = false;
@@ -80,11 +91,17 @@ Result<uint32_t> BufferPool::Pin(PageId pid) {
     FLASHDB_ASSIGN_OR_RETURN(idx, Evict());
   }
   Frame& f = frames_[idx];
+  flash::FlashDevice* dev = store_->device();
+  const uint64_t start = dev->clock().now_us();
   if (Status st = store_->ReadPage(pid, f.data); !st.ok()) {
     // Return the frame before propagating (a corrupt or failed read must not
     // leak the frame, or the pool shrinks to a permanent Busy).
     free_frames_.push_back(idx);
     return st;
+  }
+  if (dev->trace() != nullptr) {
+    dev->trace()->Emit(obs::TraceCat::kBufMiss, start,
+                       dev->clock().now_us() - start, pid);
   }
   f.pid = pid;
   f.dirty = false;

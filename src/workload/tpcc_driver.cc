@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "flash/flash_device.h"
+#include "obs/trace_recorder.h"
 
 namespace flashdb::workload {
 
@@ -101,7 +102,8 @@ Status TpccDriver::Load(ftl::ShardExecutor* executor) {
   return first;
 }
 
-Status TpccDriver::ExecuteTxn(uint32_t s, TpccTxnType type, uint32_t w) {
+Status TpccDriver::ExecuteTxn(uint32_t s, TpccTxnType type, uint32_t w,
+                              uint32_t client) {
   ShardState& sh = shards_[s];
   flash::FlashDevice* dev = store_->shard_device(s);
   const CostSnap before = SnapCost(dev);
@@ -109,6 +111,10 @@ Status TpccDriver::ExecuteTxn(uint32_t s, TpccTxnType type, uint32_t w) {
   if (st.ok() && opts_.flush_every_txn) st = sh.pool->FlushAll();
   if (!st.ok()) return st;
   const WorstOpSample cost = CostSince(before, dev, w);
+  if (dev->trace() != nullptr) {
+    dev->trace()->Emit(obs::TraceCat::kTxnSpan, before.clock_us, cost.total_us,
+                       w, static_cast<uint64_t>(type), client);
+  }
   TpccTypeStats& acc = sh.acc[static_cast<size_t>(type)];
   acc.count++;
   acc.latency.Record(cost.total_us);
@@ -191,6 +197,10 @@ Status TpccDriver::ServeInline(uint64_t num_txns) {
       if (st.ok() && opts_.flush_every_txn) st = sh.pool->FlushAll();
       FLASHDB_RETURN_IF_ERROR(st);
       const WorstOpSample cost = CostSince(before, dev, w);
+      if (dev->trace() != nullptr) {
+        dev->trace()->Emit(obs::TraceCat::kTxnSpan, before.clock_us,
+                           cost.total_us, w, static_cast<uint64_t>(type), 0);
+      }
       TpccTypeStats& acc = sh.acc[static_cast<size_t>(type)];
       acc.count++;
       acc.latency.Record(cost.total_us);
@@ -201,8 +211,8 @@ Status TpccDriver::ServeInline(uint64_t num_txns) {
   }
   for (uint64_t i = 0; i < num_txns; ++i) {
     const Draw d = DrawNext(i);
-    FLASHDB_RETURN_IF_ERROR(
-        ExecuteTxn(shard_of_warehouse(d.warehouse), d.type, d.warehouse));
+    FLASHDB_RETURN_IF_ERROR(ExecuteTxn(shard_of_warehouse(d.warehouse), d.type,
+                                       d.warehouse, d.client));
     commit_log_.push_back(TpccCommit{d.client, d.warehouse, d.type});
   }
   return Status::OK();
@@ -271,16 +281,22 @@ Status TpccDriver::ServeConcurrent(uint64_t num_txns,
         return ctl.has_error.load(std::memory_order_acquire) ||
                ctl.inflight[s].load(std::memory_order_acquire) < max_inflight;
       });
-      credit_wait_ns_ += static_cast<uint64_t>(
+      const uint64_t waited_ns = static_cast<uint64_t>(
           std::chrono::duration_cast<std::chrono::nanoseconds>(
               std::chrono::steady_clock::now() - park_start)
               .count());
+      credit_wait_ns_ += waited_ns;
+      if (wall_trace_ != nullptr) {
+        wall_trace_->Emit(obs::TraceCat::kCreditWait,
+                          (credit_wait_ns_ - waited_ns) / 1000,
+                          waited_ns / 1000, s, waited_ns);
+      }
       if (ctl.has_error.load(std::memory_order_acquire)) break;
     }
     ctl.inflight[s].fetch_add(1, std::memory_order_relaxed);
     const TpccCommit commit{d.client, d.warehouse, d.type};
     const Status submitted = executor->SubmitWithCallback(
-        s, [this, s, d] { return ExecuteTxn(s, d.type, d.warehouse); },
+        s, [this, s, d] { return ExecuteTxn(s, d.type, d.warehouse, d.client); },
         [&ctl, s, commit](const Status& st) { ctl.OnComplete(s, commit, st); });
     if (!submitted.ok()) {
       // Nothing enqueued, the callback never runs: hand the credit back.
@@ -329,7 +345,8 @@ Status TpccDriver::Replay(const TpccCommitLog& log, TpccRunStats* out) {
   const std::vector<uint64_t> clocks_before = store_->shard_clocks();
   Status st;
   for (const TpccCommit& c : log) {
-    st = ExecuteTxn(shard_of_warehouse(c.warehouse), c.type, c.warehouse);
+    st = ExecuteTxn(shard_of_warehouse(c.warehouse), c.type, c.warehouse,
+                    c.client);
     if (!st.ok()) break;
   }
   FoldStats(clocks_before, out);

@@ -48,6 +48,10 @@
 #include "workload/tpcc.h"
 #include "workload/update_driver.h"
 
+namespace flashdb::obs {
+class TraceShard;
+}  // namespace flashdb::obs
+
 namespace flashdb::workload {
 
 /// Serving configuration.
@@ -153,6 +157,12 @@ class TpccDriver {
   /// Flushes every shard's pool in shard order (quiescent workers only).
   Status FlushAll();
 
+  /// Wall-clock-domain trace lane for the concurrent producer's credit-wait
+  /// events (TraceRecorder::wall_lane()); null disables. Per-shard
+  /// virtual-time events (flash spans, buffer traffic, transaction spans)
+  /// attach via each shard device's set_trace.
+  void set_wall_trace(obs::TraceShard* lane) { wall_trace_ = lane; }
+
   const TpccCommitLog& commit_log() const { return commit_log_; }
   TpccWorkload* shard_workload(uint32_t s) {
     return shards_[s].workload.get();
@@ -195,7 +205,7 @@ class TpccDriver {
   /// Runs one transaction on shard `s` (thread-confined to its worker or to
   /// the calling thread when inline) and records its metrics into the
   /// shard's accumulators.
-  Status ExecuteTxn(uint32_t s, TpccTxnType type, uint32_t w);
+  Status ExecuteTxn(uint32_t s, TpccTxnType type, uint32_t w, uint32_t client);
 
   Status ServeInline(uint64_t num_txns);
   Status ServeConcurrent(uint64_t num_txns, ftl::ShardExecutor* executor);
@@ -212,6 +222,7 @@ class TpccDriver {
   std::vector<Random> client_rngs_;
   TpccCommitLog commit_log_;
   uint64_t credit_wait_ns_ = 0;
+  obs::TraceShard* wall_trace_ = nullptr;
 };
 
 }  // namespace flashdb::workload

@@ -13,6 +13,8 @@
 #include "flash/flash_device.h"
 #include "ftl/shard_executor.h"
 #include "ftl/sharded_store.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace_recorder.h"
 
 namespace flashdb::workload {
 
@@ -169,6 +171,10 @@ Status UpdateDriver::Run(uint64_t num_ops, RunStats* out) {
       const WorstOpSample sample = CostSince(snap, dev, pid);
       pending_latency_.Record(sample.total_us);
       pending_worst_.Offer(sample);
+      if (dev->trace() != nullptr) {
+        dev->trace()->Emit(obs::TraceCat::kOpSpan, snap.clock_us,
+                           sample.total_us, pid, is_update ? 1 : 0);
+      }
     }
     out->operations++;
   }
@@ -261,6 +267,13 @@ Status UpdateDriver::FlushShardWindow(ShardStream* s) {
       q.cost.meta_us += wb.meta_us;
       s->hist.Record(q.cost.total_us);
       s->worst.Offer(q.cost);
+      if (dev->trace() != nullptr) {
+        // The op's span opened at its inline start; its duration is the
+        // accumulated latency (inline + this write-back) -- identical in
+        // every run mode sharing the schedule and batch size.
+        dev->trace()->Emit(obs::TraceCat::kOpSpan, q.start_us,
+                           q.cost.total_us, q.cost.pid, 1);
+      }
     }
     s->queued_n = 0;
     s->latest.clear();
@@ -308,6 +321,10 @@ Status UpdateDriver::RunShardWindow(ShardStream* s, size_t begin, size_t end) {
         const WorstOpSample sample = CostSince(snap, dev, gpid);
         s->hist.Record(sample.total_us);
         s->worst.Offer(sample);
+        if (dev->trace() != nullptr) {
+          dev->trace()->Emit(obs::TraceCat::kOpSpan, snap.clock_us,
+                             sample.total_us, gpid, 0);
+        }
       }
       continue;
     }
@@ -332,6 +349,7 @@ Status UpdateDriver::RunShardWindow(ShardStream* s, size_t begin, size_t end) {
     // An update op's sample stays open until its write-back flushes: stash
     // the inline cost (reading step + log spills) with the queued write.
     q.cost = record ? CostSince(snap, dev, gpid) : WorstOpSample{};
+    q.start_us = record ? snap.clock_us : 0;
     s->latest[ipid] = s->queued_n;
     ++s->queued_n;
   }
@@ -443,6 +461,7 @@ Status UpdateDriver::RunEpochs(
     // router disabled -- so a leveling-off reference run sees the exact same
     // window boundaries (and therefore virtual clocks) as a leveling-on run
     // that happens to plan zero migrations.
+    uint64_t epoch_index = 0;
     for (size_t begin = 0; begin < all.size(); begin += epoch) {
       const ChunkSpan chunk =
           all.subspan(begin, std::min<size_t>(epoch, all.size() - begin));
@@ -455,6 +474,24 @@ Status UpdateDriver::RunEpochs(
       if (scrubbing && begin + epoch < all.size()) {
         FLASHDB_RETURN_IF_ERROR(ScrubEpoch(out));
       }
+      if (params_.metrics != nullptr) {
+        // Epoch time series: cumulative values at the quiescent boundary;
+        // per-epoch deltas are differences of consecutive snapshots.
+        obs::MetricsRegistry* m = params_.metrics;
+        const flash::FlashStats st = store_->stats();
+        m->Set("epoch.ops", static_cast<double>(begin + chunk.size()));
+        m->Set("epoch.erases", static_cast<double>(st.total.erases));
+        m->Set("epoch.clock_us", static_cast<double>(StoreClockUs()));
+        m->Set("epoch.gc_us",
+               static_cast<double>(
+                   st.by_category[static_cast<int>(flash::OpCategory::kGc)]
+                       .total_us()));
+        m->Set("epoch.migrations", static_cast<double>(out->migrations));
+        m->Set("epoch.scrub_relocations",
+               static_cast<double>(out->scrub_relocations));
+        m->SnapshotEpoch(epoch_index);
+      }
+      ++epoch_index;
     }
   }
   AccumulateRunStats(stats0, clock0, schedule, out);
@@ -703,10 +740,18 @@ Status UpdateDriver::RunPipelinedChunk(ChunkSpan chunk, uint32_t batch_size,
         }
         return false;
       });
-      credit_wait_ns_ += static_cast<uint64_t>(
+      const uint64_t waited_ns = static_cast<uint64_t>(
           std::chrono::duration_cast<std::chrono::nanoseconds>(
               std::chrono::steady_clock::now() - park_start)
               .count());
+      credit_wait_ns_ += waited_ns;
+      if (wall_trace_ != nullptr) {
+        // Wall-clock domain: stamped with the producer's cumulative parked
+        // time, excluded from the canonical (deterministic) stream.
+        wall_trace_->Emit(obs::TraceCat::kCreditWait,
+                          (credit_wait_ns_ - waited_ns) / 1000,
+                          waited_ns / 1000, ~0ull, waited_ns);
+      }
     }
   }
 

@@ -34,6 +34,11 @@ class ShardExecutor;
 class ShardedStore;
 }  // namespace flashdb::ftl
 
+namespace flashdb::obs {
+class MetricsRegistry;
+class TraceShard;
+}  // namespace flashdb::obs
+
 namespace flashdb::workload {
 
 /// Parameters of the synthetic workload (Table 3).
@@ -81,6 +86,11 @@ struct WorkloadParams {
   /// tests pin down), so recording never changes any gated virtual-time
   /// column. Off by default to keep the WriteBatch fast path.
   bool record_latency = false;
+  /// Optional metrics sink: when set, the scheduled run modes take an
+  /// epoch-granular snapshot (ops, erases, clock, GC time) at every
+  /// rebalance-epoch boundary -- the time-series half of the bench "metrics"
+  /// object. Written only at quiescent boundaries, never on the hot path.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// The slowest operation of a run, with the per-cause breakdown of where its
@@ -293,6 +303,12 @@ class UpdateDriver {
   Random& rng() { return rng_; }
   uint32_t num_pages() const { return num_pages_; }
 
+  /// Wall-clock-domain trace lane (TraceRecorder::wall_lane()) for the
+  /// pipelined producer's credit-wait events. Written only by the submitting
+  /// thread; null disables. Per-shard virtual-time events attach one layer
+  /// down via FlashDevice::set_trace.
+  void set_wall_trace(obs::TraceShard* lane) { wall_trace_ = lane; }
+
  private:
   /// One shard's slice of a schedule plus its thread-confined execution
   /// state (scratch buffers and the queued write-back window).
@@ -309,6 +325,9 @@ class UpdateDriver {
       /// in-memory updates' log spills), completed with the write-back
       /// delta at flush time.
       WorstOpSample cost;
+      /// Latency recording only: the shard clock when the op began -- the
+      /// kOpSpan timestamp, emitted when the write-back flushes.
+      uint64_t start_us = 0;
     };
     ByteBuffer scratch;                    ///< Current page image.
     UpdateLog log_scratch;                 ///< Reused OnUpdate log.
@@ -406,6 +425,8 @@ class UpdateDriver {
   /// Cumulative wall time the pipelined producer spent parked on credits
   /// (only the submitting thread writes it; see RunStats::credit_wait_ns).
   uint64_t credit_wait_ns_ = 0;
+  /// Wall lane for credit-wait trace events (see set_wall_trace).
+  obs::TraceShard* wall_trace_ = nullptr;
   /// Latency samples of the run in progress, reset at the start of every
   /// public run entry point and folded into the caller's RunStats at the
   /// end (see AccumulateRunStats). Only the submitting thread touches them.

@@ -308,13 +308,14 @@ def check_require(gate, req, current, keys, current_path):
                           current_path, "current"):
         return
     key_cols = keys.get(table, [])
-    for row in current[table]:
+    for idx, row in enumerate(current[table]):
         got = row.get(req["column"], "")
         label = f"{table}[{describe(row, key_cols)}].{req['column']}"
         if got == req["value"]:
             gate.ok(f"{label} == {req['value']!r}")
         else:
-            gate.fail(f"{label}: expected {req['value']!r}, got {got!r}")
+            gate.fail(f"{label}: expected {req['value']!r}, got {got!r} "
+                      f"(row {idx})")
 
 
 def check_bound(gate, rule, current, ceiling, current_path):
@@ -328,7 +329,7 @@ def check_bound(gate, rule, current, ceiling, current_path):
                           current_path, "current"):
         return
     hit = False
-    for row in current[table]:
+    for idx, row in enumerate(current[table]):
         if not matches(row, rule["where"]):
             continue
         hit = True
@@ -336,11 +337,13 @@ def check_bound(gate, rule, current, ceiling, current_path):
         label = f"{table}[{describe(row, list(rule['where']))}].{rule['column']}"
         if val is None:
             gate.fail(f"{label}: non-numeric cell "
-                      f"{row.get(rule['column'])!r}")
+                      f"{row.get(rule['column'])!r} (row {idx})")
         elif ceiling and val > rule["threshold"]:
-            gate.fail(f"{label}: {val:g} > ceiling {rule['threshold']:g}")
+            gate.fail(f"{label}: {val:g} > ceiling {rule['threshold']:g} "
+                      f"(row {idx})")
         elif not ceiling and val < rule["threshold"]:
-            gate.fail(f"{label}: {val:g} < floor {rule['threshold']:g}")
+            gate.fail(f"{label}: {val:g} < floor {rule['threshold']:g} "
+                      f"(row {idx})")
         else:
             op = "<=" if ceiling else ">="
             gate.ok(f"{label}: {val:g} {op} {rule['threshold']:g}")

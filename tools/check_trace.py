@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Validate an exported Chrome trace-event JSON file (--trace output).
+
+Checks the invariants the exporter (obs::TraceRecorder::WriteChromeTrace)
+promises:
+  * top-level object with a "traceEvents" array and "otherData" counters;
+  * every event is a metadata record ("M"), a complete span ("X" with a
+    positive integer dur), or an instant ("i");
+  * span/instant events carry cat "vt" (virtual time) or "wall", a known
+    name, and args with seq/a0/a1/a2;
+  * events are written in merge order: timestamps never decrease;
+  * per process (= shard lane), seq values are unique -- the single-writer
+    emission order survived export without duplication;
+  * otherData.emitted == surviving events + otherData.dropped.
+
+Exit code 0 when every file passes, 1 with a diagnostic otherwise.
+
+Usage: check_trace.py out.json [more.json ...]
+"""
+
+import json
+import sys
+
+KNOWN_NAMES = {
+    "flash_read", "flash_program", "flash_program_spare",
+    "flash_cache_program", "flash_erase", "flash_erase_multi",
+    "gc_victim", "scrub_relocate", "bucket_migrate", "meta_append",
+    "buf_miss", "buf_evict", "op_span", "txn_span", "credit_wait",
+}
+
+
+def fail(path, msg):
+    print(f"check_trace: {path}: {msg}", file=sys.stderr)
+    return 1
+
+
+def check_file(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(path, f"cannot parse: {e}")
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        return fail(path, "missing top-level traceEvents array")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        return fail(path, "traceEvents is not an array")
+
+    seqs_by_pid = {}  # pid -> set of seq values (must stay unique per shard)
+    last_ts = None
+    spans = 0
+    for i, e in enumerate(events):
+        ph = e.get("ph")
+        if ph == "M":
+            if e.get("name") != "thread_name":
+                return fail(path,
+                            f"event {i}: unknown metadata {e.get('name')!r}")
+            continue
+        if ph not in ("X", "i"):
+            return fail(path, f"event {i}: unknown phase {ph!r}")
+        if e.get("name") not in KNOWN_NAMES:
+            return fail(path, f"event {i}: unknown name {e.get('name')!r}")
+        cat = e.get("cat")
+        if cat not in ("vt", "wall"):
+            return fail(path, f"event {i}: unknown cat {cat!r}")
+        ts = e.get("ts")
+        if not isinstance(ts, int) or ts < 0:
+            return fail(path, f"event {i}: bad ts {ts!r}")
+        if last_ts is not None and ts < last_ts:
+            return fail(path, f"event {i}: ts {ts} < previous {last_ts} -- "
+                              "not in merge order")
+        last_ts = ts
+        if ph == "X":
+            dur = e.get("dur")
+            if not isinstance(dur, int) or dur <= 0:
+                return fail(path, f"event {i}: bad dur {dur!r}")
+        args = e.get("args")
+        if not isinstance(args, dict) or "seq" not in args:
+            return fail(path, f"event {i}: missing args.seq")
+        lane = seqs_by_pid.setdefault(e.get("pid"), set())
+        if args["seq"] in lane:
+            return fail(path, f"event {i}: duplicate seq {args['seq']} "
+                              f"on pid {e.get('pid')}")
+        lane.add(args["seq"])
+        spans += 1
+
+    other = doc.get("otherData", {})
+    emitted = int(other.get("emitted", -1))
+    dropped = int(other.get("dropped", -1))
+    if emitted < 0 or dropped < 0:
+        return fail(path, "otherData.emitted/dropped missing")
+    if spans + dropped != emitted:
+        return fail(path, f"event count {spans} + dropped {dropped} "
+                          f"!= emitted {emitted}")
+    print(f"check_trace: {path}: OK ({spans} events, "
+          f"{dropped} dropped, {len(seqs_by_pid)} lanes)")
+    return 0
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    rc = 0
+    for path in argv[1:]:
+        rc |= check_file(path)
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Offline analyzer for exported Chrome trace JSON (--trace output).
+
+Reports, over the virtual-time ("vt") events of one trace:
+  * the top-K longest spans (what to stare at first in a latency tail);
+  * per-plane occupancy: busy-us of each (shard, plane) flash track as a
+    percentage of that shard's measured span -- idle planes are unexploited
+    multi-plane parallelism;
+  * the worst window: the busiest window of --window us (by summed span
+    time), with its time attributed to GC, scrub, meta-journal, and
+    foreground flash work -- the "why was this millisecond slow" view.
+
+Usage: trace_summary.py out.json [--top=10] [--window=5000]
+"""
+
+import json
+import sys
+
+FLASH_NAMES = {
+    "flash_read", "flash_program", "flash_program_spare",
+    "flash_cache_program", "flash_erase", "flash_erase_multi",
+}
+
+# OpCategory enum order, mirrored from src/flash/flash_stats.h (events carry
+# the category in a2 for flash spans).
+CATEGORIES = ["default", "read_step", "write_step", "gc", "recovery",
+              "migrate", "meta", "scrub"]
+
+
+def load_events(path):
+    with open(path) as f:
+        doc = json.load(f)
+    out = []
+    for e in doc.get("traceEvents", []):
+        if e.get("ph") not in ("X", "i") or e.get("cat") != "vt":
+            continue
+        out.append(e)
+    return out
+
+
+def top_spans(events, k):
+    spans = [e for e in events if e.get("ph") == "X"]
+    spans.sort(key=lambda e: -e["dur"])
+    print(f"top {min(k, len(spans))} longest spans (virtual us):")
+    for e in spans[:k]:
+        cat = ""
+        if e["name"] in FLASH_NAMES:
+            a2 = e.get("args", {}).get("a2", 0)
+            if 0 <= a2 < len(CATEGORIES):
+                cat = f" [{CATEGORIES[a2]}]"
+        print(f"  {e['dur']:>8} us  @{e['ts']:>10}  shard {e['pid']}  "
+              f"{e['name']}{cat}")
+    print()
+
+
+def plane_occupancy(events, names):
+    """Busy-us per (shard, thread-name) flash track vs the shard's span."""
+    busy = {}
+    shard_span = {}
+    for e in events:
+        pid = e["pid"]
+        ts, dur = e["ts"], e.get("dur", 0)
+        lo, hi = shard_span.get(pid, (ts, ts + dur))
+        shard_span[pid] = (min(lo, ts), max(hi, ts + dur))
+        if e["name"] in FLASH_NAMES and e.get("ph") == "X":
+            key = (pid, names.get((pid, e["tid"]), f"tid{e['tid']}"))
+            busy[key] = busy.get(key, 0) + dur
+    if not busy:
+        print("no flash spans (plane occupancy unavailable)\n")
+        return
+    print("per-plane occupancy (busy-us / shard span):")
+    for (pid, track) in sorted(busy):
+        lo, hi = shard_span[pid]
+        span = max(1, hi - lo)
+        pct = 100.0 * busy[(pid, track)] / span
+        print(f"  shard {pid} {track:<8} {busy[(pid, track)]:>10} us "
+              f"busy  {pct:6.1f}%")
+    print()
+
+
+def worst_window(events, window_us):
+    """Attribute the busiest fixed-size virtual-time window."""
+    spans = [e for e in events
+             if e.get("ph") == "X" and e["name"] in FLASH_NAMES]
+    if not spans:
+        print("no flash spans (worst-window attribution unavailable)\n")
+        return
+    starts = sorted({e["ts"] for e in spans})
+    best_start, best_total, best_attr = 0, -1, {}
+    for w0 in starts:
+        w1 = w0 + window_us
+        attr = {}
+        total = 0
+        for e in spans:
+            # Overlap of the span with the window.
+            ov = min(e["ts"] + e["dur"], w1) - max(e["ts"], w0)
+            if ov <= 0:
+                continue
+            a2 = e.get("args", {}).get("a2", 0)
+            cat = CATEGORIES[a2] if 0 <= a2 < len(CATEGORIES) else "other"
+            attr[cat] = attr.get(cat, 0) + ov
+            total += ov
+        if total > best_total:
+            best_start, best_total, best_attr = w0, total, attr
+    print(f"worst {window_us} us window starts @{best_start} "
+          f"({best_total} busy us across planes):")
+    for cat in sorted(best_attr, key=lambda c: -best_attr[c]):
+        pct = 100.0 * best_attr[cat] / max(1, best_total)
+        print(f"  {cat:<10} {best_attr[cat]:>10} us  {pct:6.1f}%")
+    print()
+
+
+def thread_names(path):
+    with open(path) as f:
+        doc = json.load(f)
+    names = {}
+    for e in doc.get("traceEvents", []):
+        if e.get("ph") == "M" and e.get("name") == "thread_name":
+            names[(e["pid"], e["tid"])] = e["args"]["name"]
+    return names
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    opts = dict(a[2:].split("=", 1) for a in argv[1:] if a.startswith("--"))
+    if len(args) != 1:
+        print(__doc__, file=sys.stderr)
+        return 2
+    path = args[0]
+    top = int(opts.get("top", 10))
+    window = int(opts.get("window", 5000))
+    events = load_events(path)
+    if not events:
+        print(f"trace_summary: {path}: no virtual-time events", file=sys.stderr)
+        return 1
+    lo = min(e["ts"] for e in events)
+    hi = max(e["ts"] + e.get("dur", 0) for e in events)
+    print(f"{path}: {len(events)} vt events over [{lo}, {hi}] us "
+          f"({hi - lo} us)\n")
+    top_spans(events, top)
+    plane_occupancy(events, thread_names(path))
+    worst_window(events, window)
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main(sys.argv))
+    except BrokenPipeError:  # e.g. piped into head
+        sys.exit(0)
